@@ -1,0 +1,30 @@
+"""Figure 7: MI scenario execution time for Python, pgFMU- and pgFMU+."""
+
+from __future__ import annotations
+
+from conftest import mi_instance_counts, scenario_overrides
+
+from repro.harness import figure7_mi_scaling
+
+
+def test_figure7_mi_scaling(benchmark, experiment_report):
+    result = benchmark.pedantic(
+        lambda: figure7_mi_scaling(
+            instance_counts=mi_instance_counts(),
+            settings_overrides=scenario_overrides(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report(result)
+    # Paper: pgFMU+ wins for every model, by 5.31x / 5.51x / 8.43x at 100
+    # instances.  At reduced scale the factor is smaller but pgFMU+ must win
+    # for every model, and the advantage must grow with the instance count.
+    for model in ("HP0", "HP1", "Classroom"):
+        assert result.meta[f"{model}_max_speedup"] > 1.2
+        model_rows = [row for row in result.rows if row[0] == model]
+        speedups = [row[5] for row in model_rows]
+        assert speedups[-1] >= speedups[0] * 0.9  # non-degrading with scale
+        for row in model_rows:
+            python_seconds, plus_seconds = row[2], row[4]
+            assert plus_seconds < python_seconds

@@ -1,0 +1,15 @@
+"""Figure 8: simulated usability study (learning + development time)."""
+
+from __future__ import annotations
+
+from repro.harness import figure8_usability
+
+
+def test_figure8_usability(benchmark, experiment_report):
+    result = benchmark(lambda: figure8_usability(n_participants=30, seed=42))
+    experiment_report(result)
+    # Paper: every participant completed the pgFMU task within 20 minutes
+    # (9.6 - 17.6 min) and was on average 11.74x faster than with Python.
+    assert result.meta["all_faster_with_pgfmu"] is True
+    assert result.meta["max_pgfmu_minutes"] < 20.0
+    assert 10.0 < result.meta["mean_speedup"] < 13.5

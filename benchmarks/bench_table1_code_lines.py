@@ -1,0 +1,14 @@
+"""Table 1: workflow operations and code lines (Python stack vs pgFMU)."""
+
+from __future__ import annotations
+
+from repro.harness import table1_code_lines
+
+
+def test_table1_code_lines(benchmark, experiment_report):
+    result = benchmark(table1_code_lines)
+    experiment_report(result)
+    # Paper: 88 Python lines vs 4 pgFMU lines (22x fewer).
+    assert result.meta["python_total_lines"] > 80
+    assert result.meta["pgfmu_total_lines"] <= 6
+    assert result.meta["code_reduction_factor"] > 10

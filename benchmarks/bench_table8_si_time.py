@@ -1,0 +1,23 @@
+"""Table 8: SI scenario per-operation execution time."""
+
+from __future__ import annotations
+
+from conftest import scenario_overrides
+
+from repro.harness import table8_si_time
+
+
+def test_table8_si_time(benchmark, experiment_report):
+    result = benchmark.pedantic(
+        lambda: table8_si_time(settings_overrides=scenario_overrides()),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report(result)
+    for model in ("HP0", "HP1", "Classroom"):
+        # Paper: Python and pgFMU totals within a fraction of a percent of each
+        # other (we allow 40% at reduced scale where fixed overheads matter),
+        # and calibration takes the overwhelming share of the total time.
+        ratio = result.meta[f"{model}_python_over_pgfmu_total"]
+        assert 0.6 < ratio < 1.7
+        assert result.meta[f"{model}_calibration_share_of_total"] > 0.75

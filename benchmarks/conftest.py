@@ -1,0 +1,60 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  By default the
+experiments run at a reduced scale (shorter measurement campaigns, smaller
+calibration budgets, fewer instances) so the whole suite finishes in minutes;
+set ``PGFMU_FULL_SCALE=1`` to run at a scale close to the paper's setup
+(hours instead of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+FULL_SCALE = os.environ.get("PGFMU_FULL_SCALE", "0") not in ("0", "", "false", "False")
+
+#: Scenario overrides used by the reduced-scale (default) benchmark runs.
+REDUCED_SCALE = {
+    "hours": 96.0,
+    "ga_options": {"population_size": 12, "generations": 8, "patience": 5},
+    "local_options": {"max_iterations": 15},
+}
+
+#: Scenario overrides approximating the paper's setup (four weeks of data,
+#: a thorough global search).  Only used when PGFMU_FULL_SCALE=1.
+PAPER_SCALE = {
+    "hours": 672.0,
+    "ga_options": {"population_size": 24, "generations": 20},
+    "local_options": {"max_iterations": 60},
+}
+
+
+def scenario_overrides() -> dict:
+    """The scenario overrides for the current scale."""
+    return dict(PAPER_SCALE if FULL_SCALE else REDUCED_SCALE)
+
+
+def mi_instance_counts() -> tuple:
+    """Instance counts swept by the Figure 7 benchmark."""
+    return (10, 40, 100) if FULL_SCALE else (2, 4, 6)
+
+
+@pytest.fixture()
+def experiment_report(request, capsys):
+    """Print an experiment's text table at the end of the benchmark."""
+
+    def report(result):
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+        return result
+
+    return report

@@ -1,0 +1,32 @@
+"""Combining pgFMU with in-DBMS machine learning (the MADlib-style UDFs).
+
+Reproduces the two combination experiments of Section 8.2 on the Classroom
+thermal model:
+
+(a) an ARIMA model trained with ``arima_train`` predicts the (unknown)
+    classroom occupancy; feeding the prediction to the FMU improves the
+    simulated indoor-temperature accuracy;
+(b) the FMU-simulated indoor temperature, added to the feature vector of a
+    logistic regression, improves the classifier that identifies whether the
+    ventilation damper is open.
+
+Run with:  python examples/classroom_with_madlib.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import madlib_damper_experiment, madlib_occupancy_experiment
+
+
+def main() -> None:
+    occupancy = madlib_occupancy_experiment(
+        ga_options={"population_size": 16, "generations": 8}
+    )
+    print(occupancy.to_text())
+    print()
+    damper = madlib_damper_experiment()
+    print(damper.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Side-by-side comparison of the traditional stack and pgFMU (Tables 1, 7, 8).
+
+Runs the single-instance scenario for the HP1 model in all three
+configurations of the paper (Python, pgFMU-, pgFMU+), printing the per-step
+execution times, the calibration quality, and the code-line comparison that
+motivates the whole system.
+
+Run with:  python examples/traditional_vs_pgfmu.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import table1_code_lines
+from repro.workflows import ScenarioSettings, run_si_scenario
+
+
+def main() -> None:
+    print(table1_code_lines().to_text())
+    print()
+
+    settings = ScenarioSettings(
+        model_name="HP1",
+        hours=120.0,
+        ga_options={"population_size": 16, "generations": 10},
+    )
+    outcome = run_si_scenario(settings)
+
+    print("SI scenario (HP1) - per-step execution time in seconds")
+    header = ["configuration"] + [step.name for step in outcome.python.steps] + ["total"]
+    print(" | ".join(header))
+    for label, result in outcome.results().items():
+        cells = [label] + [f"{step.seconds:.3f}" for step in result.steps]
+        cells.append(f"{result.total_seconds:.3f}")
+        print(" | ".join(cells))
+
+    print()
+    print("Calibration quality (training RMSE / estimated parameters)")
+    for label, result in outcome.results().items():
+        parameters = ", ".join(f"{k}={v:.3f}" for k, v in sorted(result.parameters.items()))
+        print(f"  {label:7s}  rmse={result.training_error:.4f}  {parameters}")
+    print(f"  ground truth: {outcome.true_parameters}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""pgFMU reproduction: in-DBMS storage, simulation and calibration of FMUs.
+
+This package reproduces the system described in "pgFMU: Integrating Data
+Management with Physical System Modelling" (EDBT 2020) as a self-contained
+Python library.  The most common entry points:
+
+* :class:`repro.core.PgFmu` - a pgFMU session (database + model catalogue +
+  ``fmu_*`` SQL UDFs + MADlib-style ML UDFs).
+* :class:`repro.sqldb.Database` - the in-memory SQL engine on its own.
+* :func:`repro.modelica.compile_fmu` / :func:`repro.fmi.load_fmu` - the
+  Modelica compiler and FMU runtime.
+* :mod:`repro.harness` - one function per table/figure of the paper.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core import PgFmu
+from repro.fmi import FmuArchive, FmuModel, load_fmu
+from repro.modelica import compile_fmu
+from repro.sqldb import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PgFmu",
+    "Database",
+    "FmuArchive",
+    "FmuModel",
+    "load_fmu",
+    "compile_fmu",
+    "__version__",
+]

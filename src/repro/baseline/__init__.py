@@ -1,0 +1,30 @@
+"""The "Python" baseline: the traditional FMU software-stack workflow.
+
+The paper's experiments compare pgFMU against a conventional workflow built
+from separate tools (PyFMI + ModestPy + Assimulo + psycopg2 + pandas), with
+explicit data export/import between the database and the modelling tools
+(Figure 1).  This subpackage reproduces that baseline on top of our
+substrates:
+
+* :mod:`repro.baseline.workflow` - the seven-step workflow with per-step
+  timing, including the explicit text-file interchange and the explicit
+  export of predictions back into the database that pgFMU eliminates.
+* :mod:`repro.baseline.code_metrics` - the per-operation code-line
+  accounting behind Table 1 (88 lines of Python vs 4 lines of SQL).
+"""
+
+from repro.baseline.code_metrics import (
+    CODE_LINE_TABLE,
+    OperationCodeLines,
+    code_lines_table,
+)
+from repro.baseline.workflow import PythonWorkflow, StepTiming, WorkflowResult
+
+__all__ = [
+    "PythonWorkflow",
+    "WorkflowResult",
+    "StepTiming",
+    "OperationCodeLines",
+    "CODE_LINE_TABLE",
+    "code_lines_table",
+]

@@ -1,0 +1,36 @@
+"""pgFMU core: in-DBMS storage, simulation and calibration of FMU models.
+
+This subpackage is the reproduction of the paper's contribution.  It layers
+on top of the SQL engine (:mod:`repro.sqldb`), the FMI runtime
+(:mod:`repro.fmi`), the Modelica compiler (:mod:`repro.modelica`) and the
+estimation stack (:mod:`repro.estimation`):
+
+* :mod:`repro.core.catalog` - the model catalogue of Figure 4 (``Model``,
+  ``ModelVariable``, ``ModelInstance``, ``ModelInstanceValues``) plus FMU
+  storage.
+* :mod:`repro.core.instances` - instance management: ``fmu_create``,
+  ``fmu_copy``, ``fmu_variables``, ``fmu_get``, ``fmu_set_*``, ``fmu_reset``,
+  ``fmu_delete_instance``, ``fmu_delete_model``.
+* :mod:`repro.core.parest` - parameter estimation (Algorithms 2 and 3),
+  including the multi-instance (MI) optimization.
+* :mod:`repro.core.simulate` - model simulation (Algorithm 4).
+* :mod:`repro.core.session` - the :class:`PgFmu` facade owning the database
+  and wiring everything together.
+* :mod:`repro.core.udfs` - registration of all ``fmu_*`` functions as SQL
+  UDFs so every query from the paper runs against the engine.
+
+Typical use::
+
+    from repro.core import PgFmu
+
+    pg = PgFmu()
+    pg.database.execute("CREATE TABLE measurements (...)")
+    instance = pg.sql("SELECT fmu_create('/tmp/hp1.fmu', 'HP1Instance1')").scalar()
+    pg.sql("SELECT fmu_parest('{HP1Instance1}', '{SELECT * FROM measurements}', '{Cp, R}')")
+    rows = pg.sql("SELECT * FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')")
+"""
+
+from repro.core.catalog import ModelCatalog
+from repro.core.session import PgFmu
+
+__all__ = ["ModelCatalog", "PgFmu"]

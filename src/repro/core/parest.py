@@ -1,0 +1,242 @@
+"""Parameter estimation UDFs: Algorithm 2 (single instance) and Algorithm 3 (MI).
+
+``fmu_parest`` takes a list of instances and a list of SQL queries producing
+their measurements.  For a single instance it runs the full Global+Local
+search (G+LaG).  For multiple instances of the same parent model it applies
+the multi-instance (MI) optimization: the first instance is calibrated with
+G+LaG, and every further instance whose measurements are sufficiently similar
+(relative L2 dissimilarity below ``threshold``) is warm-started from the
+first optimum and refined with Local-Only search (LO), skipping the expensive
+global stage entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.catalog import ModelCatalog
+from repro.core.instances import InstanceManager
+from repro.errors import EstimationError, PgFmuError
+from repro.estimation.estimator import Estimation, EstimationResult
+from repro.estimation.metrics import relative_l2_dissimilarity
+from repro.estimation.objective import MeasurementSet
+
+#: Default dissimilarity threshold (20 %), chosen by the paper from Figure 6.
+DEFAULT_SIMILARITY_THRESHOLD = 0.2
+
+
+@dataclass
+class ParestOutcome:
+    """Result of calibrating one instance inside a ``fmu_parest`` call."""
+
+    instance_id: str
+    error: float
+    parameters: Dict[str, float]
+    method: str
+    n_evaluations: int
+    global_time: float
+    local_time: float
+    used_mi_optimization: bool = False
+    dissimilarity: Optional[float] = None
+
+    @property
+    def total_time(self) -> float:
+        return self.global_time + self.local_time
+
+
+@dataclass
+class ParameterEstimator:
+    """Implements ``fmu_parest`` on top of the catalogue and estimation stack.
+
+    Attributes
+    ----------
+    catalog / instances:
+        The model catalogue and instance manager.
+    ga_options / local_options:
+        Budget options forwarded to the estimation stack.  The experiment
+        harness shrinks these to keep benchmark runtimes manageable; the
+        defaults match a thorough calibration.
+    seed:
+        Seed for the global search.
+    """
+
+    catalog: ModelCatalog
+    instances: InstanceManager
+    ga_options: Dict = field(default_factory=dict)
+    local_options: Dict = field(default_factory=dict)
+    seed: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Measurement loading
+    # ------------------------------------------------------------------ #
+    def load_measurements(self, input_sql: str) -> MeasurementSet:
+        """Execute an ``input_sql`` query and convert it to a measurement set."""
+        if not input_sql or not str(input_sql).strip():
+            raise PgFmuError("fmu_parest requires a measurement query (input_sql)")
+        rows = self.catalog.database.query_dicts(str(input_sql))
+        if not rows:
+            raise PgFmuError(f"measurement query returned no rows: {input_sql!r}")
+        return MeasurementSet.from_rows(rows)
+
+    # ------------------------------------------------------------------ #
+    # Single instance (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def estimate_single(
+        self,
+        instance_id: str,
+        input_sql: str,
+        parameters: Optional[Sequence[str]] = None,
+        method: str = "global+local",
+        initial_values: Optional[Dict[str, float]] = None,
+        measurements: Optional[MeasurementSet] = None,
+    ) -> ParestOutcome:
+        """Calibrate one instance and write the estimates back to the catalogue."""
+        measurement_set = measurements if measurements is not None else self.load_measurements(input_sql)
+        parameter_names = list(parameters) if parameters else self.instances.parameter_names(instance_id)
+        if not parameter_names:
+            raise EstimationError(
+                f"instance {instance_id!r} has no parameters to estimate"
+            )
+        model = self.catalog.runtime_model(instance_id)
+        estimation = Estimation(
+            model=model,
+            measurements=measurement_set,
+            parameters=parameter_names,
+            bounds=self.instances.bounds(instance_id),
+            ga_options=dict(self.ga_options),
+            local_options=dict(self.local_options),
+            seed=self.seed,
+        )
+        result: EstimationResult = estimation.estimate(method=method, initial_values=initial_values)
+        for name, value in result.parameters.items():
+            self.catalog.set_instance_value(instance_id, name, value)
+        return ParestOutcome(
+            instance_id=instance_id,
+            error=result.error,
+            parameters=result.parameters,
+            method=result.method,
+            n_evaluations=result.n_evaluations,
+            global_time=result.global_time,
+            local_time=result.local_time,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Multi-instance (Algorithm 3)
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        instance_ids: Sequence[str],
+        input_sqls: Sequence[str],
+        parameters: Optional[Sequence[str]] = None,
+        threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+        use_mi_optimization: bool = True,
+    ) -> List[ParestOutcome]:
+        """Calibrate one or more instances, applying the MI optimization.
+
+        Parameters
+        ----------
+        instance_ids / input_sqls:
+            Parallel lists of instances and their measurement queries.
+        parameters:
+            Optional explicit parameter list (shared by all instances).
+        threshold:
+            Relative L2 dissimilarity below which the LO warm start is used.
+        use_mi_optimization:
+            Disable to force the full G+LaG for every instance (this is the
+            pgFMU- configuration of the paper's experiments).
+        """
+        instance_ids = [str(i) for i in instance_ids]
+        input_sqls = [str(q) for q in input_sqls]
+        if not instance_ids:
+            raise PgFmuError("fmu_parest requires at least one instance")
+        if len(instance_ids) != len(input_sqls):
+            raise PgFmuError(
+                f"fmu_parest received {len(instance_ids)} instances but "
+                f"{len(input_sqls)} measurement queries"
+            )
+
+        outcomes: List[ParestOutcome] = []
+        reference_outcome: Optional[ParestOutcome] = None
+        reference_measurements: Optional[MeasurementSet] = None
+        reference_model_id: Optional[str] = None
+
+        for index, (instance_id, input_sql) in enumerate(zip(instance_ids, input_sqls)):
+            measurements = self.load_measurements(input_sql)
+            model_id = self.instances.model_id_of(instance_id)
+
+            if index == 0 or not use_mi_optimization:
+                outcome = self.estimate_single(
+                    instance_id, input_sql, parameters, measurements=measurements
+                )
+                if index == 0:
+                    reference_outcome = outcome
+                    reference_measurements = measurements
+                    reference_model_id = model_id
+                outcomes.append(outcome)
+                continue
+
+            if model_id != reference_model_id or reference_outcome is None:
+                outcomes.append(
+                    self.estimate_single(
+                        instance_id, input_sql, parameters, measurements=measurements
+                    )
+                )
+                continue
+
+            dissimilarity = self.measurement_dissimilarity(
+                reference_measurements, measurements
+            )
+            if dissimilarity >= threshold:
+                outcome = self.estimate_single(
+                    instance_id, input_sql, parameters, measurements=measurements
+                )
+                outcome.dissimilarity = dissimilarity
+                outcomes.append(outcome)
+                continue
+
+            # MI optimization: warm-start from the reference optimum, LO only.
+            for name, value in reference_outcome.parameters.items():
+                self.catalog.set_instance_value(instance_id, name, value)
+            outcome = self.estimate_single(
+                instance_id,
+                input_sql,
+                parameters,
+                method="local",
+                initial_values=reference_outcome.parameters,
+                measurements=measurements,
+            )
+            outcome.used_mi_optimization = True
+            outcome.dissimilarity = dissimilarity
+            outcomes.append(outcome)
+
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+    # Similarity measure
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def measurement_dissimilarity(
+        reference: Optional[MeasurementSet], candidate: MeasurementSet
+    ) -> float:
+        """Maximum relative L2 dissimilarity across shared measured series."""
+        if reference is None:
+            return float("inf")
+        shared = [
+            name for name in reference.variable_names() if name in candidate.series
+        ]
+        if not shared:
+            return float("inf")
+        dissimilarities = []
+        for name in shared:
+            a = reference.series[name]
+            b = candidate.series[name]
+            n = min(len(a), len(b))
+            if n < 2:
+                continue
+            dissimilarities.append(relative_l2_dissimilarity(a[:n], b[:n]))
+        if not dissimilarities:
+            return float("inf")
+        return float(np.max(dissimilarities))

@@ -1,0 +1,176 @@
+"""The :class:`PgFmu` session facade.
+
+A ``PgFmu`` object owns (or wraps) a :class:`~repro.sqldb.database.Database`,
+creates the model catalogue, registers all ``fmu_*`` UDFs (and, optionally,
+the MADlib-style ML UDFs), and exposes the same operations as plain Python
+methods for callers that prefer an API over SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.catalog import ModelCatalog
+from repro.core.instances import InstanceManager
+from repro.core.parest import DEFAULT_SIMILARITY_THRESHOLD, ParameterEstimator, ParestOutcome
+from repro.core.simulate import Simulator
+from repro.core.udfs import register_pgfmu_udfs
+from repro.fmi.results import SimulationResult
+from repro.ml.udfs import register_ml_udfs
+from repro.sqldb.database import Database
+from repro.sqldb.result import ResultSet
+
+
+class PgFmu:
+    """A pgFMU session: database + model catalogue + UDFs.
+
+    Parameters
+    ----------
+    database:
+        An existing database to extend; a fresh one is created when omitted.
+    storage_dir:
+        Directory for FMU storage (a temporary directory by default).
+    ga_options / local_options:
+        Default calibration budgets used by ``fmu_parest``; benchmarks shrink
+        them to keep run times manageable.
+    seed:
+        Seed for the calibration global search.
+    register_ml:
+        Also register the MADlib-style ML UDFs (``arima_train`` etc.).
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        storage_dir: Optional[str] = None,
+        ga_options: Optional[dict] = None,
+        local_options: Optional[dict] = None,
+        seed: int = 1,
+        register_ml: bool = True,
+    ):
+        self.database = database if database is not None else Database()
+        self.catalog = ModelCatalog(self.database, storage_dir=storage_dir)
+        self.instances = InstanceManager(self.catalog)
+        self.estimator = ParameterEstimator(
+            catalog=self.catalog,
+            instances=self.instances,
+            ga_options=dict(ga_options or {}),
+            local_options=dict(local_options or {}),
+            seed=seed,
+        )
+        self.simulator = Simulator(catalog=self.catalog, instances=self.instances)
+        register_pgfmu_udfs(self)
+        if register_ml:
+            register_ml_udfs(self.database)
+
+    # ------------------------------------------------------------------ #
+    # SQL passthrough
+    # ------------------------------------------------------------------ #
+    def sql(self, query: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
+        """Execute a SQL statement against the session's database."""
+        return self.database.execute(query, params)
+
+    # ------------------------------------------------------------------ #
+    # Model / instance management
+    # ------------------------------------------------------------------ #
+    def create(self, model_ref: str, instance_id: Optional[str] = None) -> str:
+        """``fmu_create``: load/compile a model and create an instance."""
+        return self.instances.create(model_ref, instance_id)
+
+    def copy(self, instance_id: str, new_instance_id: Optional[str] = None) -> str:
+        """``fmu_copy``: duplicate an instance including its values."""
+        return self.instances.copy(instance_id, new_instance_id)
+
+    def delete_instance(self, instance_id: str) -> str:
+        """``fmu_delete_instance``."""
+        return self.instances.delete_instance(instance_id)
+
+    def delete_model(self, model_id: str) -> str:
+        """``fmu_delete_model`` (cascades to all instances)."""
+        return self.instances.delete_model(model_id)
+
+    def variables(self, instance_id: str) -> List[Dict[str, Any]]:
+        """``fmu_variables`` as a list of dict rows."""
+        return self.instances.variables(instance_id)
+
+    def get(self, instance_id: str, var_name: str) -> Dict[str, Any]:
+        """``fmu_get``: initial/min/max values of one variable."""
+        return self.instances.get(instance_id, var_name)
+
+    def set_initial(self, instance_id: str, var_name: str, value: Any) -> str:
+        """``fmu_set_initial``."""
+        return self.instances.set_initial(instance_id, var_name, value)
+
+    def set_minimum(self, instance_id: str, var_name: str, value: Any) -> str:
+        """``fmu_set_minimum``."""
+        return self.instances.set_minimum(instance_id, var_name, value)
+
+    def set_maximum(self, instance_id: str, var_name: str, value: Any) -> str:
+        """``fmu_set_maximum``."""
+        return self.instances.set_maximum(instance_id, var_name, value)
+
+    def reset(self, instance_id: str) -> str:
+        """``fmu_reset``: restore the model's initial values for an instance."""
+        return self.instances.reset(instance_id)
+
+    # ------------------------------------------------------------------ #
+    # Calibration and simulation
+    # ------------------------------------------------------------------ #
+    def parest(
+        self,
+        instance_ids: Sequence[str],
+        input_sqls: Sequence[str],
+        parameters: Optional[Sequence[str]] = None,
+        threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+        use_mi_optimization: bool = True,
+    ) -> List[ParestOutcome]:
+        """``fmu_parest``: calibrate one or more instances."""
+        return self.estimator.estimate(
+            instance_ids,
+            input_sqls,
+            parameters=parameters,
+            threshold=threshold,
+            use_mi_optimization=use_mi_optimization,
+        )
+
+    def simulate(
+        self,
+        instance_id: str,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> SimulationResult:
+        """``fmu_simulate`` returning the trajectory object (Python API)."""
+        return self.simulator.simulate_result(instance_id, input_sql, time_from, time_to)
+
+    def simulate_rows(
+        self,
+        instance_id: str,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> List[List[Any]]:
+        """``fmu_simulate`` returning long-format rows (the SQL UDF shape)."""
+        return self.simulator.simulate_rows(instance_id, input_sql, time_from, time_to)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    def instance_parameters(self, instance_id: str) -> Dict[str, float]:
+        """Current per-instance parameter values (from the catalogue)."""
+        parameter_names = set(self.instances.parameter_names(instance_id))
+        values = self.catalog.instance_values(instance_id)
+        result: Dict[str, float] = {}
+        for name in parameter_names:
+            value = values.get(name)
+            if value is not None:
+                result[name] = float(value)
+        return result
+
+    def model_ids(self) -> List[str]:
+        """All model UUIDs present in the catalogue."""
+        return [row["modelid"] for row in self.database.table("model").to_dicts()]
+
+    def instance_ids(self) -> List[str]:
+        """All instance identifiers present in the catalogue."""
+        return [row["instanceid"] for row in self.database.table("modelinstance").to_dicts()]

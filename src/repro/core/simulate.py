@@ -1,0 +1,165 @@
+"""Model simulation UDF (Algorithm 4 of the paper).
+
+``fmu_simulate`` loads the instance's runtime FMU from storage, binds the
+measured input series produced by the optional ``input_sql`` query to the
+model's input variables using the catalogue metadata (Challenge 2), resolves
+the simulation window, integrates the model, and emits the results as a long
+table ``(simulationTime, instanceId, varName, value)`` - one row per time
+step and variable, the shape the paper's Table 4 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.catalog import ModelCatalog
+from repro.core.instances import InstanceManager
+from repro.errors import SimulationInputError
+from repro.fmi.results import SimulationResult
+
+
+@dataclass
+class Simulator:
+    """Implements ``fmu_simulate`` on top of the catalogue and FMI runtime."""
+
+    catalog: ModelCatalog
+    instances: InstanceManager
+    #: Solver used for simulation; the adaptive solver is the default because
+    #: simulation (unlike calibration) runs once and accuracy matters most.
+    solver: str = "rk45"
+
+    # ------------------------------------------------------------------ #
+    # Core simulation
+    # ------------------------------------------------------------------ #
+    def simulate_result(
+        self,
+        instance_id: str,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+        output_step: Optional[float] = None,
+    ) -> SimulationResult:
+        """Simulate an instance and return the full trajectory object."""
+        model = self.catalog.runtime_model(instance_id)
+        input_names = set(model.input_names())
+
+        inputs: Dict[str, tuple] = {}
+        measured_time: Optional[np.ndarray] = None
+        if input_sql is not None and str(input_sql).strip():
+            rows = self.catalog.database.query_dicts(str(input_sql))
+            if not rows:
+                raise SimulationInputError(
+                    f"input query returned no rows: {input_sql!r}"
+                )
+            inputs, measured_time = self._bind_inputs(rows, input_names)
+        elif input_names:
+            raise SimulationInputError(
+                f"model instance {instance_id!r} declares input variables "
+                f"({', '.join(sorted(input_names))}) but no input query was supplied"
+            )
+
+        start, stop = self._resolve_window(
+            instance_id, measured_time, time_from, time_to
+        )
+        output_times = None
+        if measured_time is not None:
+            mask = (measured_time >= start) & (measured_time <= stop)
+            if mask.sum() >= 2:
+                output_times = measured_time[mask]
+
+        return model.simulate(
+            inputs=inputs,
+            start_time=start,
+            stop_time=stop,
+            output_step=output_step,
+            output_times=output_times,
+            solver=self.solver,
+        )
+
+    def simulate_rows(
+        self,
+        instance_id: str,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> List[List[Any]]:
+        """Simulate and emit long-format rows for the ``fmu_simulate`` UDF."""
+        model = self.catalog.runtime_model(instance_id)
+        result = self.simulate_result(instance_id, input_sql, time_from, time_to)
+        reported = list(model.state_names()) + [
+            name for name in model.output_names() if name not in model.state_names()
+        ]
+        rows: List[List[Any]] = []
+        for i, t in enumerate(result.time):
+            for name in reported:
+                rows.append([float(t), instance_id, name, float(result[name][i])])
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Input binding and window resolution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _bind_inputs(rows: List[Dict[str, Any]], input_names: set) -> tuple:
+        """Map query columns onto model inputs by name (case-insensitive)."""
+        first = rows[0]
+        column_map = {column.lower(): column for column in first}
+        time_column = None
+        for candidate in ("time", "simulationtime", "timestamp"):
+            if candidate in column_map:
+                time_column = column_map[candidate]
+                break
+        if time_column is None:
+            raise SimulationInputError(
+                "the input query must expose a time column "
+                "(one of: time, simulationTime, timestamp)"
+            )
+        time = np.array([float(row[time_column]) for row in rows], dtype=float)
+        order = np.argsort(time, kind="stable")
+        time = time[order]
+
+        inputs: Dict[str, tuple] = {}
+        for name in input_names:
+            column = column_map.get(name.lower())
+            if column is None:
+                continue
+            values = np.array(
+                [0.0 if row[column] is None else float(row[column]) for row in rows],
+                dtype=float,
+            )[order]
+            inputs[name] = (time, values)
+        return inputs, time
+
+    def _resolve_window(
+        self,
+        instance_id: str,
+        measured_time: Optional[np.ndarray],
+        time_from: Optional[float],
+        time_to: Optional[float],
+    ) -> tuple:
+        model_row = self.catalog.model_row(self.instances.model_id_of(instance_id))
+        start = time_from
+        stop = time_to
+        if start is None:
+            if measured_time is not None:
+                start = float(measured_time[0])
+            else:
+                start = model_row.get("defaultstarttime")
+        if stop is None:
+            if measured_time is not None:
+                stop = float(measured_time[-1])
+            else:
+                stop = model_row.get("defaultendtime")
+        if start is None or stop is None:
+            raise SimulationInputError(
+                "the simulation time window could not be determined; supply "
+                "time_from/time_to or an input query with a time column"
+            )
+        start, stop = float(start), float(stop)
+        if stop <= start:
+            raise SimulationInputError(
+                f"invalid simulation window: [{start}, {stop}]"
+            )
+        return start, stop

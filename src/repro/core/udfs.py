@@ -1,0 +1,204 @@
+"""Registration of the pgFMU UDFs on the session's database.
+
+Every function from Section 5-7 of the paper is exposed so the paper's SQL
+queries run verbatim against the engine:
+
+Scalar UDFs
+    ``fmu_create``, ``fmu_copy``, ``fmu_delete_instance``, ``fmu_delete_model``,
+    ``fmu_set_initial``, ``fmu_set_minimum``, ``fmu_set_maximum``, ``fmu_reset``,
+    ``fmu_parest`` (returns the estimation errors as an array literal) and
+    ``fmu_calibrate`` (a composition-friendly variant returning the instance
+    id, used to express the paper's single-query workflow).
+
+Set-returning UDFs
+    ``fmu_variables``, ``fmu_get``, ``fmu_simulate``, ``fmu_models``,
+    ``fmu_instances``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.sqldb.arrays import format_array_literal, parse_array_literal
+from repro.core.parest import DEFAULT_SIMILARITY_THRESHOLD
+
+
+def register_pgfmu_udfs(session) -> None:
+    """Register all fmu_* UDFs for a :class:`~repro.core.session.PgFmu` session."""
+    database = session.database
+
+    # ------------------------------------------------------------------ #
+    # Scalar UDFs
+    # ------------------------------------------------------------------ #
+    def fmu_create(_db, model_ref: str, instance_id: Optional[str] = None) -> str:
+        return session.create(model_ref, instance_id)
+
+    def fmu_copy(_db, instance_id: str, new_instance_id: Optional[str] = None) -> str:
+        return session.copy(instance_id, new_instance_id)
+
+    def fmu_delete_instance(_db, instance_id: str) -> str:
+        return session.delete_instance(instance_id)
+
+    def fmu_delete_model(_db, model_id: str) -> str:
+        return session.delete_model(model_id)
+
+    def fmu_set_initial(_db, instance_id: str, var_name: str, value: Any) -> str:
+        return session.set_initial(instance_id, var_name, value)
+
+    def fmu_set_minimum(_db, instance_id: str, var_name: str, value: Any) -> str:
+        return session.set_minimum(instance_id, var_name, value)
+
+    def fmu_set_maximum(_db, instance_id: str, var_name: str, value: Any) -> str:
+        return session.set_maximum(instance_id, var_name, value)
+
+    def fmu_reset(_db, instance_id: str) -> str:
+        return session.reset(instance_id)
+
+    def fmu_parest(
+        _db,
+        instance_ids: str,
+        input_sqls: str,
+        parameters: Optional[str] = None,
+        threshold: Optional[float] = None,
+    ) -> str:
+        ids = parse_array_literal(instance_ids)
+        queries = parse_array_literal(input_sqls)
+        if len(queries) == 1 and len(ids) > 1:
+            queries = queries * len(ids)
+        pars = parse_array_literal(parameters) or None
+        outcomes = session.parest(
+            ids,
+            queries,
+            parameters=pars,
+            threshold=threshold if threshold is not None else DEFAULT_SIMILARITY_THRESHOLD,
+        )
+        return format_array_literal([round(o.error, 6) for o in outcomes])
+
+    def fmu_calibrate(
+        _db,
+        instance_id: str,
+        input_sql: str,
+        parameters: Optional[str] = None,
+        threshold: Optional[float] = None,
+    ) -> str:
+        """Calibrate one instance and return its id (composition-friendly)."""
+        pars = parse_array_literal(parameters) or None
+        session.parest(
+            [instance_id],
+            [input_sql],
+            parameters=pars,
+            threshold=threshold if threshold is not None else DEFAULT_SIMILARITY_THRESHOLD,
+        )
+        return instance_id
+
+    database.register_scalar_udf(
+        "fmu_create", fmu_create, min_args=1, max_args=2,
+        description="Load or compile an FMU/Modelica model and create an instance",
+    )
+    database.register_scalar_udf(
+        "fmu_copy", fmu_copy, min_args=1, max_args=2,
+        description="Copy a model instance (values included)",
+    )
+    database.register_scalar_udf(
+        "fmu_delete_instance", fmu_delete_instance, min_args=1, max_args=1,
+        description="Delete one model instance",
+    )
+    database.register_scalar_udf(
+        "fmu_delete_model", fmu_delete_model, min_args=1, max_args=1,
+        description="Delete a model and all of its instances",
+    )
+    database.register_scalar_udf(
+        "fmu_set_initial", fmu_set_initial, min_args=3, max_args=3,
+        description="Set the per-instance initial value of a variable",
+    )
+    database.register_scalar_udf(
+        "fmu_set_minimum", fmu_set_minimum, min_args=3, max_args=3,
+        description="Set the minimum bound of a model variable",
+    )
+    database.register_scalar_udf(
+        "fmu_set_maximum", fmu_set_maximum, min_args=3, max_args=3,
+        description="Set the maximum bound of a model variable",
+    )
+    database.register_scalar_udf(
+        "fmu_reset", fmu_reset, min_args=1, max_args=1,
+        description="Reset a model instance to its initial values",
+    )
+    database.register_scalar_udf(
+        "fmu_parest", fmu_parest, min_args=2, max_args=4,
+        description="Estimate model instance parameters from measurements (SI and MI)",
+    )
+    database.register_scalar_udf(
+        "fmu_calibrate", fmu_calibrate, min_args=2, max_args=4,
+        description="Calibrate one instance and return its id (for nested queries)",
+    )
+
+    # ------------------------------------------------------------------ #
+    # Set-returning UDFs
+    # ------------------------------------------------------------------ #
+    def fmu_variables(_db, instance_id: str) -> List[List[Any]]:
+        return [
+            [
+                row["instanceid"],
+                row["varname"],
+                row["vartype"],
+                row["initialvalue"],
+                row["minvalue"],
+                row["maxvalue"],
+            ]
+            for row in session.variables(instance_id)
+        ]
+
+    def fmu_get(_db, instance_id: str, var_name: str) -> List[List[Any]]:
+        values = session.get(instance_id, var_name)
+        return [[values["initialvalue"], values["minvalue"], values["maxvalue"]]]
+
+    def fmu_simulate(
+        _db,
+        instance_id: str,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> List[List[Any]]:
+        return session.simulate_rows(instance_id, input_sql, time_from, time_to)
+
+    def fmu_models(_db) -> List[List[Any]]:
+        rows = database.table("model").to_dicts()
+        return [
+            [r["modelid"], r["modelname"], r["fmureference"], r["defaultstarttime"], r["defaultendtime"]]
+            for r in rows
+        ]
+
+    def fmu_instances(_db) -> List[List[Any]]:
+        rows = database.table("modelinstance").to_dicts()
+        return [[r["instanceid"], r["modelid"]] for r in rows]
+
+    database.register_table_udf(
+        "fmu_variables", fmu_variables,
+        columns=["instanceid", "varname", "vartype", "initialvalue", "minvalue", "maxvalue"],
+        min_args=1, max_args=1,
+        description="Variables and parameters of a model instance",
+    )
+    database.register_table_udf(
+        "fmu_get", fmu_get,
+        columns=["initialvalue", "minvalue", "maxvalue"],
+        min_args=2, max_args=2,
+        description="Initial/min/max values of one variable",
+    )
+    database.register_table_udf(
+        "fmu_simulate", fmu_simulate,
+        columns=["simulationtime", "instanceid", "varname", "value"],
+        min_args=1, max_args=4,
+        description="Simulate a model instance and return a long-format result table",
+    )
+    database.register_table_udf(
+        "fmu_models", fmu_models,
+        columns=["modelid", "modelname", "fmureference", "defaultstarttime", "defaultendtime"],
+        min_args=0, max_args=0,
+        description="All models registered in the catalogue",
+    )
+    database.register_table_udf(
+        "fmu_instances", fmu_instances,
+        columns=["instanceid", "modelid"],
+        min_args=0, max_args=0,
+        description="All model instances registered in the catalogue",
+    )

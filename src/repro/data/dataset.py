@@ -1,0 +1,119 @@
+"""The :class:`Dataset` container shared by generators, loaders and workflows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.estimation.objective import MeasurementSet
+
+
+@dataclass
+class Dataset:
+    """A measurement dataset: a shared time grid plus named series.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier, also used to derive SQL table names.
+    time:
+        Time grid in hours from the start of the measurement campaign.
+    series:
+        Mapping of column name to values on ``time``.
+    meta:
+        Free-form metadata (true parameters, generator seed, ...).
+    """
+
+    name: str
+    time: np.ndarray
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.time = np.asarray(self.time, dtype=float)
+        if self.time.ndim != 1 or self.time.size < 2:
+            raise ReproError("a dataset needs a 1-D time grid with at least 2 points")
+        clean: Dict[str, np.ndarray] = {}
+        for column, values in self.series.items():
+            arr = np.asarray(values, dtype=float)
+            if arr.shape != self.time.shape:
+                raise ReproError(
+                    f"dataset {self.name!r}: series {column!r} has length {arr.shape[0]}, "
+                    f"expected {self.time.shape[0]}"
+                )
+            clean[column] = arr
+        self.series = clean
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> List[str]:
+        """Series names (excluding time)."""
+        return list(self.series)
+
+    def __len__(self) -> int:
+        return int(self.time.size)
+
+    def __getitem__(self, column: str) -> np.ndarray:
+        try:
+            return self.series[column]
+        except KeyError:
+            raise ReproError(
+                f"dataset {self.name!r} has no column {column!r}; columns: {self.columns}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def rows(self) -> Iterator[List[float]]:
+        """Yield positional rows ``[time, col1, col2, ...]`` in column order."""
+        columns = self.columns
+        for i in range(len(self)):
+            yield [float(self.time[i])] + [float(self.series[c][i]) for c in columns]
+
+    def to_dicts(self) -> List[Dict[str, float]]:
+        """Rows as dictionaries including the ``time`` key."""
+        columns = self.columns
+        return [
+            {"time": float(self.time[i]), **{c: float(self.series[c][i]) for c in columns}}
+            for i in range(len(self))
+        ]
+
+    def to_measurement_set(self) -> MeasurementSet:
+        """Convert to the calibration :class:`MeasurementSet` form."""
+        return MeasurementSet(time=self.time.copy(), series={k: v.copy() for k, v in self.series.items()})
+
+    # ------------------------------------------------------------------ #
+    # Transformation
+    # ------------------------------------------------------------------ #
+    def window(self, start: float, stop: float) -> "Dataset":
+        """Restrict the dataset to ``start <= time <= stop``."""
+        mask = (self.time >= start) & (self.time <= stop)
+        if mask.sum() < 2:
+            raise ReproError("dataset window contains fewer than 2 samples")
+        return Dataset(
+            name=self.name,
+            time=self.time[mask],
+            series={k: v[mask] for k, v in self.series.items()},
+            meta=dict(self.meta),
+        )
+
+    def with_series(self, extra: Mapping[str, Sequence[float]]) -> "Dataset":
+        """A copy with additional (or replaced) series."""
+        series = {k: v.copy() for k, v in self.series.items()}
+        for name, values in extra.items():
+            series[name] = np.asarray(values, dtype=float)
+        return Dataset(name=self.name, time=self.time.copy(), series=series, meta=dict(self.meta))
+
+    def rename(self, name: str) -> "Dataset":
+        """A copy with a new dataset name."""
+        return Dataset(
+            name=name,
+            time=self.time.copy(),
+            series={k: v.copy() for k, v in self.series.items()},
+            meta=dict(self.meta),
+        )

@@ -1,0 +1,49 @@
+"""Model-name-keyed dataset generation used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.classroom import generate_classroom_dataset
+from repro.data.dataset import Dataset
+from repro.data.nist import generate_hp0_dataset, generate_hp1_dataset
+from repro.errors import ReproError
+
+
+def generate_dataset_for(model_name: str, hours: Optional[float] = None, seed: Optional[int] = None) -> Dataset:
+    """Generate the measurement dataset matching one of the paper's models.
+
+    Parameters
+    ----------
+    model_name:
+        ``"HP0"``, ``"HP1"`` or ``"Classroom"`` (case-insensitive).
+    hours:
+        Optional length of the measurement campaign; defaults to the paper's
+        campaign lengths (28 days hourly for the heat pumps, 14 days
+        half-hourly for the classroom).
+    seed:
+        Optional generator seed override.
+    """
+    name = model_name.lower()
+    if name == "hp0":
+        kwargs = {}
+        if hours is not None:
+            kwargs["hours"] = int(hours)
+        if seed is not None:
+            kwargs["seed"] = seed
+        return generate_hp0_dataset(**kwargs)
+    if name == "hp1":
+        kwargs = {}
+        if hours is not None:
+            kwargs["hours"] = int(hours)
+        if seed is not None:
+            kwargs["seed"] = seed
+        return generate_hp1_dataset(**kwargs)
+    if name == "classroom":
+        kwargs = {}
+        if hours is not None:
+            kwargs["hours"] = float(hours)
+        if seed is not None:
+            kwargs["seed"] = seed
+        return generate_classroom_dataset(**kwargs)
+    raise ReproError(f"no dataset generator for model {model_name!r}")

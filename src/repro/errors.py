@@ -1,0 +1,97 @@
+"""Shared exception hierarchy for the pgFMU reproduction.
+
+Every subpackage raises exceptions derived from :class:`ReproError` so that
+callers embedding the library (examples, benchmarks, the SQL engine's UDF
+layer) can catch a single base class at the integration boundary while still
+being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the in-memory SQL engine."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SqlCatalogError(SqlError):
+    """A table, column, or function referenced in a query does not exist."""
+
+
+class SqlTypeError(SqlError):
+    """A value could not be coerced to the column or expression type."""
+
+
+class SqlIntegrityError(SqlError):
+    """A primary-key, foreign-key, or not-null constraint was violated."""
+
+
+class SqlExecutionError(SqlError):
+    """A runtime failure while executing an otherwise valid query."""
+
+
+class FmiError(ReproError):
+    """Base class for FMU archive / runtime errors."""
+
+
+class FmuFormatError(FmiError):
+    """An FMU archive is malformed (bad zip layout or model description)."""
+
+
+class FmuStateError(FmiError):
+    """An FMU runtime operation was invoked in an invalid state."""
+
+
+class FmuVariableError(FmiError):
+    """A variable name or value reference does not exist in the FMU."""
+
+
+class ModelicaError(ReproError):
+    """Base class for Modelica compilation errors."""
+
+
+class ModelicaSyntaxError(ModelicaError):
+    """The Modelica source could not be parsed."""
+
+
+class ModelicaSemanticError(ModelicaError):
+    """The Modelica model is syntactically valid but cannot be flattened."""
+
+
+class SolverError(ReproError):
+    """An ODE solver failed to advance the solution."""
+
+
+class EstimationError(ReproError):
+    """Parameter estimation failed (bad bounds, no measurements, ...)."""
+
+
+class MlError(ReproError):
+    """An in-DBMS machine-learning routine failed (ARIMA, logistic, ...)."""
+
+
+class PgFmuError(ReproError):
+    """Base class for errors raised by the pgFMU core UDF layer."""
+
+
+class UnknownInstanceError(PgFmuError):
+    """A model instance identifier is not present in the model catalogue."""
+
+
+class UnknownModelError(PgFmuError):
+    """A model identifier is not present in the model catalogue."""
+
+
+class DuplicateInstanceError(PgFmuError):
+    """A model instance identifier is already present in the catalogue."""
+
+
+class SimulationInputError(PgFmuError):
+    """Insufficient or inconsistent input data was supplied for simulation."""

@@ -1,0 +1,42 @@
+"""Parameter estimation for FMU models (ModestPy substrate).
+
+The original pgFMU calls ModestPy, which combines a Global Search (a genetic
+algorithm, ``G``) with a gradient-based Local Search (``LaG`` when it follows
+the global stage, ``LO`` when it runs alone from user-supplied initial
+values).  This subpackage implements the same two-stage architecture:
+
+* :mod:`repro.estimation.metrics` - RMSE / MAE / NRMSE error metrics.
+* :mod:`repro.estimation.objective` - a simulation-based objective comparing
+  model trajectories against measured series.
+* :mod:`repro.estimation.genetic` - the Global Search genetic algorithm.
+* :mod:`repro.estimation.local` - the Local Search (SLSQP via scipy with a
+  coordinate-descent fallback).
+* :mod:`repro.estimation.estimator` - the :class:`Estimation` workflow tying
+  the stages together, exposing the ``G+LaG`` and ``LO`` modes that pgFMU's
+  multi-instance optimization switches between.
+
+The cost asymmetry that drives the paper's Figure 6 and Figure 7 (the global
+stage dominates runtime, the local stage is cheap) is inherent to this
+architecture: the GA evaluates ``population x generations`` simulations while
+the local stage needs only a few dozen.
+"""
+
+from repro.estimation.estimator import Estimation, EstimationResult
+from repro.estimation.genetic import GeneticAlgorithm, GaResult
+from repro.estimation.local import LocalSearch, LocalSearchResult
+from repro.estimation.metrics import mae, nrmse, rmse
+from repro.estimation.objective import MeasurementSet, SimulationObjective
+
+__all__ = [
+    "Estimation",
+    "EstimationResult",
+    "GeneticAlgorithm",
+    "GaResult",
+    "LocalSearch",
+    "LocalSearchResult",
+    "MeasurementSet",
+    "SimulationObjective",
+    "rmse",
+    "mae",
+    "nrmse",
+]

@@ -1,0 +1,178 @@
+"""Global Search: a real-coded genetic algorithm.
+
+This is the ``G`` stage of the ModestPy-style estimation workflow.  It is a
+standard real-coded GA with tournament selection, blend crossover, Gaussian
+mutation and elitism, operating inside box constraints.  The GA is the
+expensive stage (population x generations objective evaluations, each of
+which is a full model simulation), which is exactly the cost structure the
+pgFMU multi-instance optimization exploits by skipping it for warm-started
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+Bounds = Sequence[Tuple[float, float]]
+
+
+@dataclass
+class GaResult:
+    """Outcome of a GA run."""
+
+    best_parameters: np.ndarray
+    best_error: float
+    n_evaluations: int
+    n_generations: int
+    history: List[float] = field(default_factory=list)
+
+
+class GeneticAlgorithm:
+    """Real-coded genetic algorithm with box constraints.
+
+    Parameters
+    ----------
+    bounds:
+        ``(low, high)`` pair per parameter; the search never leaves the box.
+    population_size / generations:
+        GA budget.  The defaults are sized for the small thermal models of
+        the paper; benchmarks scale them up or down explicitly.
+    tournament_size, crossover_rate, mutation_rate, mutation_scale:
+        Standard GA operator settings.
+    elitism:
+        Number of best individuals copied unchanged into the next generation.
+    patience:
+        Stop early when the best error has not improved for this many
+        generations (None disables early stopping).
+    seed:
+        Seed for the internal random generator; runs are fully deterministic
+        for a fixed seed, matching the paper's "fixed randomly derived seed".
+    """
+
+    def __init__(
+        self,
+        bounds: Bounds,
+        population_size: int = 24,
+        generations: int = 20,
+        tournament_size: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.25,
+        mutation_scale: float = 0.1,
+        elitism: int = 2,
+        patience: Optional[int] = 8,
+        seed: Optional[int] = 1,
+    ):
+        self.bounds = [(float(lo), float(hi)) for lo, hi in bounds]
+        if not self.bounds:
+            raise EstimationError("GA requires at least one parameter bound")
+        for lo, hi in self.bounds:
+            if not (hi > lo):
+                raise EstimationError(f"invalid bound ({lo}, {hi}): upper must exceed lower")
+        if population_size < 4:
+            raise EstimationError("population_size must be at least 4")
+        if generations < 1:
+            raise EstimationError("generations must be at least 1")
+        self.population_size = int(population_size)
+        self.generations = int(generations)
+        self.tournament_size = max(2, int(tournament_size))
+        self.crossover_rate = float(crossover_rate)
+        self.mutation_rate = float(mutation_rate)
+        self.mutation_scale = float(mutation_scale)
+        self.elitism = max(0, int(elitism))
+        self.patience = patience
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+    def _lows_highs(self) -> Tuple[np.ndarray, np.ndarray]:
+        lows = np.array([lo for lo, _ in self.bounds])
+        highs = np.array([hi for _, hi in self.bounds])
+        return lows, highs
+
+    def _initial_population(self, initial_guess: Optional[np.ndarray]) -> np.ndarray:
+        lows, highs = self._lows_highs()
+        population = self.rng.uniform(lows, highs, size=(self.population_size, len(self.bounds)))
+        if initial_guess is not None:
+            population[0] = np.clip(initial_guess, lows, highs)
+        return population
+
+    def _tournament(self, errors: np.ndarray) -> int:
+        candidates = self.rng.integers(0, len(errors), size=self.tournament_size)
+        return int(candidates[np.argmin(errors[candidates])])
+
+    def _crossover(self, parent_a: np.ndarray, parent_b: np.ndarray) -> np.ndarray:
+        if self.rng.random() > self.crossover_rate:
+            return parent_a.copy()
+        # Blend (BLX-alpha) crossover.
+        alpha = 0.4
+        low = np.minimum(parent_a, parent_b)
+        high = np.maximum(parent_a, parent_b)
+        span = high - low
+        return self.rng.uniform(low - alpha * span, high + alpha * span)
+
+    def _mutate(self, individual: np.ndarray) -> np.ndarray:
+        lows, highs = self._lows_highs()
+        span = highs - lows
+        mask = self.rng.random(len(individual)) < self.mutation_rate
+        noise = self.rng.normal(0.0, self.mutation_scale, size=len(individual)) * span
+        mutated = np.where(mask, individual + noise, individual)
+        return np.clip(mutated, lows, highs)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        objective: Callable[[np.ndarray], float],
+        initial_guess: Optional[Sequence[float]] = None,
+    ) -> GaResult:
+        """Minimize ``objective`` within the bounds and return the best point."""
+        lows, highs = self._lows_highs()
+        guess = None if initial_guess is None else np.asarray(initial_guess, dtype=float)
+        population = self._initial_population(guess)
+        errors = np.array([objective(ind) for ind in population])
+        n_evaluations = len(population)
+        history: List[float] = [float(np.min(errors))]
+
+        best_idx = int(np.argmin(errors))
+        best = population[best_idx].copy()
+        best_error = float(errors[best_idx])
+        stall = 0
+        generation = 0
+
+        for generation in range(1, self.generations + 1):
+            order = np.argsort(errors)
+            next_population = [population[i].copy() for i in order[: self.elitism]]
+            while len(next_population) < self.population_size:
+                parent_a = population[self._tournament(errors)]
+                parent_b = population[self._tournament(errors)]
+                child = self._mutate(self._crossover(parent_a, parent_b))
+                next_population.append(np.clip(child, lows, highs))
+            population = np.vstack(next_population)
+            errors = np.array([objective(ind) for ind in population])
+            n_evaluations += len(population)
+
+            generation_best = int(np.argmin(errors))
+            if errors[generation_best] < best_error - 1e-12:
+                best_error = float(errors[generation_best])
+                best = population[generation_best].copy()
+                stall = 0
+            else:
+                stall += 1
+            history.append(best_error)
+            if self.patience is not None and stall >= self.patience:
+                break
+
+        return GaResult(
+            best_parameters=best,
+            best_error=best_error,
+            n_evaluations=n_evaluations,
+            n_generations=generation,
+            history=history,
+        )

@@ -1,0 +1,179 @@
+"""Local Search: gradient-based refinement inside box constraints.
+
+This is the ``LaG`` / ``LO`` stage of the estimation workflow.  The primary
+implementation delegates to scipy's SLSQP (the paper's configuration uses
+sequential quadratic programming for the local stage); a derivative-free
+coordinate-descent pass is used as a fallback when SLSQP fails or when the
+objective is too noisy for finite-difference gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import EstimationError
+
+Bounds = Sequence[Tuple[float, float]]
+
+
+@dataclass
+class LocalSearchResult:
+    """Outcome of a local search run."""
+
+    best_parameters: np.ndarray
+    best_error: float
+    n_evaluations: int
+    converged: bool
+    method: str
+    history: List[float] = field(default_factory=list)
+
+
+class LocalSearch:
+    """Bounded local minimization starting from a given point.
+
+    Parameters
+    ----------
+    bounds:
+        ``(low, high)`` box per parameter.
+    method:
+        ``"slsqp"`` (default) or ``"coordinate"`` to force the derivative-free
+        fallback.
+    max_iterations:
+        Iteration budget for the underlying optimizer.
+    tolerance:
+        Convergence tolerance on the objective.
+    """
+
+    def __init__(
+        self,
+        bounds: Bounds,
+        method: str = "slsqp",
+        max_iterations: int = 60,
+        tolerance: float = 1e-8,
+    ):
+        self.bounds = [(float(lo), float(hi)) for lo, hi in bounds]
+        if not self.bounds:
+            raise EstimationError("local search requires at least one parameter bound")
+        for lo, hi in self.bounds:
+            if not (hi > lo):
+                raise EstimationError(f"invalid bound ({lo}, {hi}): upper must exceed lower")
+        if method not in ("slsqp", "coordinate"):
+            raise EstimationError(f"unknown local search method {method!r}")
+        self.method = method
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        objective: Callable[[np.ndarray], float],
+        initial_guess: Sequence[float],
+    ) -> LocalSearchResult:
+        """Minimize ``objective`` starting at ``initial_guess``."""
+        raw = np.atleast_1d(np.asarray(initial_guess, dtype=float))
+        if raw.shape != (len(self.bounds),):
+            raise EstimationError(
+                f"initial guess has shape {raw.shape}, expected ({len(self.bounds)},)"
+            )
+        x0 = self._clip(raw)
+        if self.method == "slsqp":
+            result = self._run_slsqp(objective, x0)
+            if result is not None:
+                return result
+        return self._run_coordinate(objective, x0)
+
+    # ------------------------------------------------------------------ #
+    # SLSQP
+    # ------------------------------------------------------------------ #
+    def _run_slsqp(
+        self, objective: Callable[[np.ndarray], float], x0: np.ndarray
+    ) -> Optional[LocalSearchResult]:
+        evaluations = 0
+        history: List[float] = []
+
+        def wrapped(theta: np.ndarray) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            value = float(objective(theta))
+            if not np.isfinite(value):
+                value = 1e12
+            history.append(value)
+            return value
+
+        try:
+            outcome = optimize.minimize(
+                wrapped,
+                x0,
+                method="SLSQP",
+                bounds=self.bounds,
+                options={"maxiter": self.max_iterations, "ftol": self.tolerance},
+            )
+        except Exception:
+            return None
+        if not np.isfinite(outcome.fun):
+            return None
+        best = self._clip(np.asarray(outcome.x, dtype=float))
+        best_error = float(objective(best))
+        evaluations += 1
+        return LocalSearchResult(
+            best_parameters=best,
+            best_error=best_error,
+            n_evaluations=evaluations,
+            converged=bool(outcome.success),
+            method="slsqp",
+            history=history,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Coordinate descent fallback
+    # ------------------------------------------------------------------ #
+    def _run_coordinate(
+        self, objective: Callable[[np.ndarray], float], x0: np.ndarray
+    ) -> LocalSearchResult:
+        lows = np.array([lo for lo, _ in self.bounds])
+        highs = np.array([hi for _, hi in self.bounds])
+        span = highs - lows
+        current = x0.copy()
+        current_error = float(objective(current))
+        evaluations = 1
+        history = [current_error]
+        step = 0.1 * span
+
+        for _ in range(self.max_iterations):
+            improved = False
+            for i in range(len(current)):
+                for direction in (+1.0, -1.0):
+                    candidate = current.copy()
+                    candidate[i] = np.clip(candidate[i] + direction * step[i], lows[i], highs[i])
+                    error = float(objective(candidate))
+                    evaluations += 1
+                    if error < current_error - self.tolerance:
+                        current, current_error = candidate, error
+                        history.append(current_error)
+                        improved = True
+            if not improved:
+                step = step / 2.0
+                if np.all(step < 1e-9 * np.maximum(span, 1.0)):
+                    break
+        return LocalSearchResult(
+            best_parameters=current,
+            best_error=current_error,
+            n_evaluations=evaluations,
+            converged=True,
+            method="coordinate",
+            history=history,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _clip(self, theta: np.ndarray) -> np.ndarray:
+        lows = np.array([lo for lo, _ in self.bounds])
+        highs = np.array([hi for _, hi in self.bounds])
+        return np.clip(theta, lows, highs)

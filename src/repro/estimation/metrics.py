@@ -1,0 +1,80 @@
+"""Error metrics used for model calibration and validation.
+
+The paper evaluates model quality with RMSE (arguing, after Chai & Draxler
+2014, that large errors should be penalized more strongly than MAE does), so
+RMSE is the default everywhere; MAE and NRMSE are provided for completeness
+and for the validation utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def _as_arrays(measured: Sequence[float], simulated: Sequence[float]) -> tuple:
+    y_true = np.asarray(measured, dtype=float)
+    y_pred = np.asarray(simulated, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise EstimationError(
+            f"measured and simulated series have different lengths: "
+            f"{y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise EstimationError("cannot compute an error metric over empty series")
+    return y_true, y_pred
+
+
+def rmse(measured: Sequence[float], simulated: Sequence[float]) -> float:
+    """Root mean square error between measured and simulated series.
+
+    Overflowing residuals (produced by diverging candidate parameter values
+    during calibration) yield ``inf`` rather than a runtime warning.
+    """
+    y_true, y_pred = _as_arrays(measured, simulated)
+    with np.errstate(over="ignore", invalid="ignore"):
+        value = float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+    return value if np.isfinite(value) else float("inf")
+
+
+def mae(measured: Sequence[float], simulated: Sequence[float]) -> float:
+    """Mean absolute error between measured and simulated series."""
+    y_true, y_pred = _as_arrays(measured, simulated)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def nrmse(measured: Sequence[float], simulated: Sequence[float]) -> float:
+    """RMSE normalized by the measured range (dimensionless, in [0, inf))."""
+    y_true, y_pred = _as_arrays(measured, simulated)
+    span = float(np.max(y_true) - np.min(y_true))
+    base = rmse(y_true, y_pred)
+    if span == 0.0:
+        return base
+    return base / span
+
+
+def l2_distance(series_a: Sequence[float], series_b: Sequence[float]) -> float:
+    """Euclidean (L2) distance between two equal-length series.
+
+    This is the similarity measure pgFMU's multi-instance optimization uses
+    to decide whether a new instance's measurements are close enough to the
+    reference instance for the Local-Only warm start (Algorithm 3).
+    """
+    a, b = _as_arrays(series_a, series_b)
+    return float(np.linalg.norm(a - b))
+
+
+def relative_l2_dissimilarity(series_a: Sequence[float], series_b: Sequence[float]) -> float:
+    """L2 distance normalized by the norm of the reference series.
+
+    Expressed as a fraction (0.2 means the series differ by 20 % in the L2
+    sense), matching how the paper reports dataset dissimilarity in Figure 6.
+    """
+    a, b = _as_arrays(series_a, series_b)
+    reference = float(np.linalg.norm(a))
+    if reference == 0.0:
+        return float(np.linalg.norm(b - a))
+    return float(np.linalg.norm(b - a) / reference)

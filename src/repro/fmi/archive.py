@@ -1,0 +1,121 @@
+"""Reading and writing ``.fmu`` archive files.
+
+An FMU is a zip archive.  Our archives follow the FMI layout as closely as
+the pure-Python substitution allows:
+
+* ``modelDescription.xml`` - variable metadata and default experiment.
+* ``resources/equations.json`` - the :class:`~repro.fmi.dynamics.OdeSystem`
+  payload standing in for the compiled binaries of a real FMU.
+* ``documentation/source.mo`` - original Modelica source, when the archive
+  was produced by :mod:`repro.modelica` (optional).
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import FmuFormatError
+from repro.fmi.dynamics import OdeSystem
+from repro.fmi.model_description import ModelDescription
+
+MODEL_DESCRIPTION_NAME = "modelDescription.xml"
+EQUATIONS_NAME = "resources/equations.json"
+SOURCE_NAME = "documentation/source.mo"
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class FmuArchive:
+    """An in-memory FMU: model description plus equation payload."""
+
+    model_description: ModelDescription
+    ode_system: OdeSystem
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        self._cross_check()
+
+    def _cross_check(self) -> None:
+        """Verify the description and the equations agree on variable names."""
+        md_names = {v.name for v in self.model_description.variables}
+        eq_names = self.ode_system.variable_names()
+        missing = eq_names - md_names
+        if missing:
+            raise FmuFormatError(
+                "equation payload declares variables missing from modelDescription.xml: "
+                + ", ".join(sorted(missing))
+            )
+
+    # ------------------------------------------------------------------ #
+    # zip I/O
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialize the archive into FMU zip bytes."""
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+            zf.writestr(MODEL_DESCRIPTION_NAME, self.model_description.to_xml())
+            zf.writestr(EQUATIONS_NAME, self.ode_system.to_json())
+            if self.source is not None:
+                zf.writestr(SOURCE_NAME, self.source)
+        return buffer.getvalue()
+
+    def write(self, path: PathLike) -> Path:
+        """Write the archive to ``path`` (creating parent directories)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self.to_bytes())
+        return path
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FmuArchive":
+        """Parse an FMU from zip bytes."""
+        try:
+            zf = zipfile.ZipFile(io.BytesIO(data))
+        except zipfile.BadZipFile as exc:
+            raise FmuFormatError(f"not a valid FMU archive: {exc}") from exc
+        with zf:
+            names = set(zf.namelist())
+            if MODEL_DESCRIPTION_NAME not in names:
+                raise FmuFormatError("FMU archive is missing modelDescription.xml")
+            if EQUATIONS_NAME not in names:
+                raise FmuFormatError(f"FMU archive is missing {EQUATIONS_NAME}")
+            md = ModelDescription.from_xml(zf.read(MODEL_DESCRIPTION_NAME).decode("utf-8"))
+            ode = OdeSystem.from_json(zf.read(EQUATIONS_NAME).decode("utf-8"))
+            source = None
+            if SOURCE_NAME in names:
+                source = zf.read(SOURCE_NAME).decode("utf-8")
+        return cls(model_description=md, ode_system=ode, source=source)
+
+    @classmethod
+    def read(cls, path: PathLike) -> "FmuArchive":
+        """Read an FMU archive from disk."""
+        path = Path(path)
+        if not path.exists():
+            raise FmuFormatError(f"FMU file does not exist: {path}")
+        return cls.from_bytes(path.read_bytes())
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    @property
+    def guid(self) -> str:
+        return self.model_description.guid
+
+    @property
+    def model_name(self) -> str:
+        return self.model_description.model_name
+
+
+def dump_fmu(archive: FmuArchive, path: PathLike) -> Path:
+    """Write an :class:`FmuArchive` to ``path`` and return the path."""
+    return archive.write(path)
+
+
+def read_fmu(path: PathLike) -> FmuArchive:
+    """Read an :class:`FmuArchive` from a ``.fmu`` file."""
+    return FmuArchive.read(path)

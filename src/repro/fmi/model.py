@@ -1,0 +1,331 @@
+"""FMU runtime model: instantiate, set/get variables, simulate.
+
+:class:`FmuModel` mirrors the part of PyFMI's ``FMUModelCS2``/``FMUModelME2``
+surface that pgFMU uses: loading an FMU, listing model variables, reading and
+writing start values, and simulating with externally supplied input time
+series.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import FmuStateError, FmuVariableError, SimulationInputError
+from repro.fmi.archive import FmuArchive, read_fmu
+from repro.fmi.dynamics import OdeSystem
+from repro.fmi.model_description import ModelDescription
+from repro.fmi.results import SimulationResult
+from repro.fmi.variables import Causality, ScalarVariable
+from repro.solvers import get_solver
+from repro.solvers.base import OdeProblem
+
+PathLike = Union[str, Path]
+
+#: An input series is a pair of equal-length sequences (times, values).
+InputSeries = Tuple[Sequence[float], Sequence[float]]
+
+
+class _InputInterpolator:
+    """Piecewise-linear interpolation of named input time series."""
+
+    def __init__(self, series: Mapping[str, InputSeries]):
+        self._series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for name, (times, values) in series.items():
+            t = np.asarray(list(times), dtype=float)
+            v = np.asarray(list(values), dtype=float)
+            if t.ndim != 1 or v.ndim != 1 or len(t) != len(v):
+                raise SimulationInputError(
+                    f"input series for {name!r} must be two equal-length 1-D sequences"
+                )
+            if len(t) == 0:
+                raise SimulationInputError(f"input series for {name!r} is empty")
+            if np.any(np.diff(t) < 0):
+                order = np.argsort(t, kind="stable")
+                t, v = t[order], v[order]
+            self._series[name] = (t, v)
+
+    def names(self) -> Iterable[str]:
+        return self._series.keys()
+
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        """Overall (min, max) time covered by the supplied series, if any."""
+        if not self._series:
+            return None
+        starts = [t[0] for t, _ in self._series.values()]
+        ends = [t[-1] for t, _ in self._series.values()]
+        return min(starts), max(ends)
+
+    def __call__(self, t: float) -> Dict[str, float]:
+        values = {}
+        for name, (times, series) in self._series.items():
+            values[name] = float(np.interp(t, times, series))
+        return values
+
+
+class FmuModel:
+    """A loaded, instantiable FMU.
+
+    Parameters
+    ----------
+    archive:
+        The parsed :class:`FmuArchive`.
+    instance_name:
+        Optional instance label (mirrors the FMI ``instantiate`` argument).
+    """
+
+    def __init__(self, archive: FmuArchive, instance_name: Optional[str] = None):
+        self._archive = archive
+        self.instance_name = instance_name or archive.model_name
+        self._parameter_values: Dict[str, float] = {}
+        self._state_starts: Dict[str, float] = {}
+        self._input_starts: Dict[str, float] = {}
+        self._instantiated = True
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # Metadata access
+    # ------------------------------------------------------------------ #
+    @property
+    def archive(self) -> FmuArchive:
+        return self._archive
+
+    @property
+    def model_description(self) -> ModelDescription:
+        return self._archive.model_description
+
+    @property
+    def ode_system(self) -> OdeSystem:
+        return self._archive.ode_system
+
+    @property
+    def guid(self) -> str:
+        return self._archive.guid
+
+    @property
+    def model_name(self) -> str:
+        return self._archive.model_name
+
+    def get_model_variables(self) -> Dict[str, ScalarVariable]:
+        """All scalar variables keyed by name (PyFMI-compatible shape)."""
+        return {v.name: v for v in self.model_description.variables}
+
+    def parameter_names(self) -> list:
+        """Names of estimable parameters (causality ``parameter``)."""
+        return [v.name for v in self.model_description.parameters]
+
+    def input_names(self) -> list:
+        return [v.name for v in self.model_description.inputs]
+
+    def output_names(self) -> list:
+        return [v.name for v in self.model_description.outputs]
+
+    def state_names(self) -> list:
+        return list(self.ode_system.state_names)
+
+    # ------------------------------------------------------------------ #
+    # Value access
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Restore all start values from the model description."""
+        self._parameter_values = dict(self.ode_system.parameters)
+        for var in self.model_description.parameters:
+            if var.start is not None:
+                self._parameter_values[var.name] = float(var.start)
+        self._state_starts = {s.name: float(s.start) for s in self.ode_system.states}
+        for var in self.model_description.variables:
+            if var.is_state and var.start is not None:
+                self._state_starts[var.name] = float(var.start)
+        self._input_starts = {
+            v.name: float(v.start) if v.start is not None else 0.0
+            for v in self.model_description.inputs
+        }
+
+    def get(self, name: str) -> float:
+        """Read the current start/parameter value of a variable."""
+        if name in self._parameter_values:
+            return self._parameter_values[name]
+        if name in self._state_starts:
+            return self._state_starts[name]
+        if name in self._input_starts:
+            return self._input_starts[name]
+        var = self.model_description.variable(name)
+        if var.start is None:
+            raise FmuVariableError(f"variable {name!r} has no start value to read")
+        return float(var.start)
+
+    def set(self, name: str, value: float) -> None:
+        """Set a parameter, state start value, or input start value."""
+        var = self.model_description.variable(name)
+        value = float(value)
+        if var.is_parameter:
+            self._parameter_values[name] = value
+        elif var.is_input:
+            self._input_starts[name] = value
+        elif name in self._state_starts or var.is_state:
+            self._state_starts[name] = value
+        else:
+            raise FmuStateError(
+                f"variable {name!r} has causality {var.causality.value!r} and "
+                "cannot be assigned a value"
+            )
+
+    def set_many(self, values: Mapping[str, float]) -> None:
+        """Set several variables at once."""
+        for name, value in values.items():
+            self.set(name, value)
+
+    def parameters(self) -> Dict[str, float]:
+        """Snapshot of current parameter values."""
+        return dict(self._parameter_values)
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        inputs: Optional[Mapping[str, InputSeries]] = None,
+        start_time: Optional[float] = None,
+        stop_time: Optional[float] = None,
+        output_step: Optional[float] = None,
+        output_times: Optional[Sequence[float]] = None,
+        solver: str = "rk45",
+        solver_options: Optional[dict] = None,
+    ) -> SimulationResult:
+        """Simulate the model and return trajectories of states and outputs.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from input variable name to ``(times, values)`` series.
+            Missing inputs default to their start value, held constant.
+        start_time / stop_time:
+            Simulation window.  Defaults come from the supplied input series
+            when present, otherwise from the FMU's default experiment.
+        output_step:
+            Spacing of the reported output grid; defaults to the default
+            experiment step size or 1/100 of the window.
+        output_times:
+            Explicit output grid (overrides ``output_step``).
+        solver / solver_options:
+            Solver registry name and constructor options.
+        """
+        if not self._instantiated:
+            raise FmuStateError("the FMU instance has been terminated")
+
+        interp = self._build_interpolator(inputs or {})
+        t0, t1 = self._resolve_window(interp, start_time, stop_time)
+        grid = self._resolve_grid(t0, t1, output_step, output_times)
+
+        parameter_values = dict(self._parameter_values)
+        system = self.ode_system
+
+        def input_values_at(t: float) -> Dict[str, float]:
+            values = dict(self._input_starts)
+            values.update(interp(t))
+            return values
+
+        def rhs(t, x, _u):
+            return system.derivatives(t, x, input_values_at(t), parameter_values)
+
+        x0 = np.array(
+            [self._state_starts[name] for name in system.state_names], dtype=float
+        )
+        problem = OdeProblem(rhs=rhs, x0=x0, t0=t0, t1=t1)
+        options = dict(solver_options or {})
+        solution = get_solver(solver, **options).solve(problem, output_times=grid)
+
+        trajectories: Dict[str, np.ndarray] = {}
+        for i, name in enumerate(system.state_names):
+            trajectories[name] = solution.states[:, i]
+        outputs = {name: np.empty(len(solution.times)) for name in system.output_names}
+        for k, t in enumerate(solution.times):
+            out = system.evaluate_outputs(
+                t, solution.states[k], input_values_at(t), parameter_values
+            )
+            for name, value in out.items():
+                outputs[name][k] = value
+        trajectories.update(outputs)
+        for name in interp.names():
+            trajectories[name] = np.array(
+                [input_values_at(t)[name] for t in solution.times]
+            )
+
+        return SimulationResult(
+            time=solution.times,
+            trajectories=trajectories,
+            solver_stats={
+                "solver": solution.solver_name,
+                "n_rhs_evals": solution.n_rhs_evals,
+                "n_steps": solution.n_steps,
+                "n_rejected": solution.n_rejected,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _build_interpolator(self, inputs: Mapping[str, InputSeries]) -> _InputInterpolator:
+        known_inputs = set(self.input_names())
+        unknown = set(inputs) - known_inputs
+        if unknown:
+            raise SimulationInputError(
+                f"model {self.model_name!r} has no input variables named: "
+                + ", ".join(sorted(unknown))
+            )
+        return _InputInterpolator(inputs)
+
+    def _resolve_window(
+        self,
+        interp: _InputInterpolator,
+        start_time: Optional[float],
+        stop_time: Optional[float],
+    ) -> Tuple[float, float]:
+        experiment = self.model_description.default_experiment
+        span = interp.time_span()
+        t0 = start_time if start_time is not None else (span[0] if span else experiment.start_time)
+        t1 = stop_time if stop_time is not None else (span[1] if span else experiment.stop_time)
+        t0, t1 = float(t0), float(t1)
+        if t1 <= t0:
+            raise SimulationInputError(
+                f"invalid simulation window: stop_time {t1} must be greater than start_time {t0}"
+            )
+        return t0, t1
+
+    def _resolve_grid(
+        self,
+        t0: float,
+        t1: float,
+        output_step: Optional[float],
+        output_times: Optional[Sequence[float]],
+    ) -> np.ndarray:
+        if output_times is not None:
+            grid = np.asarray(list(output_times), dtype=float)
+            if grid.size == 0:
+                raise SimulationInputError("output_times must not be empty")
+            return grid
+        step = output_step
+        if step is None or step <= 0:
+            default_step = self.model_description.default_experiment.step_size
+            step = default_step if default_step and default_step > 0 else (t1 - t0) / 100.0
+        n = max(2, int(round((t1 - t0) / step)) + 1)
+        return np.linspace(t0, t1, n)
+
+    def terminate(self) -> None:
+        """Mark the instance as terminated (subsequent simulate calls fail)."""
+        self._instantiated = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FmuModel(name={self.model_name!r}, guid={self.guid!r})"
+
+
+def load_fmu(path_or_archive: Union[PathLike, FmuArchive], instance_name: Optional[str] = None) -> FmuModel:
+    """Load an FMU file (or wrap an in-memory archive) into a runtime model.
+
+    Mirrors PyFMI's ``load_fmu`` entry point.
+    """
+    if isinstance(path_or_archive, FmuArchive):
+        return FmuModel(path_or_archive, instance_name=instance_name)
+    return FmuModel(read_fmu(path_or_archive), instance_name=instance_name)

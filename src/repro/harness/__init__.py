@@ -1,0 +1,46 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``table_*`` / ``figure_*`` / ``madlib_*`` function in
+:mod:`repro.harness.experiments` runs the corresponding experiment against
+the library and returns a structured result object that also knows how to
+render itself as a text table (the same rows/series the paper reports).  The
+benchmarks in ``benchmarks/`` and the examples call these functions, so
+everything the paper's evaluation section shows can be reproduced with one
+call per artefact.
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    figure6_threshold_sweep,
+    figure7_mi_scaling,
+    figure8_usability,
+    madlib_damper_experiment,
+    madlib_occupancy_experiment,
+    table1_code_lines,
+    table2_feature_matrix,
+    table3_variables_example,
+    table4_simulate_example,
+    table5_models,
+    table6_dataset_excerpts,
+    table7_si_quality,
+    table8_si_time,
+)
+from repro.harness.reporting import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "table1_code_lines",
+    "table2_feature_matrix",
+    "table3_variables_example",
+    "table4_simulate_example",
+    "table5_models",
+    "table6_dataset_excerpts",
+    "table7_si_quality",
+    "table8_si_time",
+    "figure6_threshold_sweep",
+    "figure7_mi_scaling",
+    "figure8_usability",
+    "madlib_occupancy_experiment",
+    "madlib_damper_experiment",
+]

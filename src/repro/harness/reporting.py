@@ -1,0 +1,38 @@
+"""Plain-text table rendering shared by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return ", ".join(_format_cell(v) for v in value)
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render a fixed-width text table with an optional title line."""
+    header_cells = [str(h) for h in headers]
+    body = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(header_cells)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in body:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(" | ".join(padded))
+    return "\n".join(lines)

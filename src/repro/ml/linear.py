@@ -1,0 +1,66 @@
+"""Ordinary least squares linear regression (MADlib ``linregr_train`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MlError
+
+
+@dataclass
+class LinearRegression:
+    """Multiple linear regression with an intercept term."""
+
+    coefficients: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    r_squared: float = 0.0
+    fitted: bool = False
+
+    def fit(self, features: Sequence[Sequence[float]], targets: Sequence[float]) -> "LinearRegression":
+        """Fit on a feature matrix (rows = samples) and continuous targets."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if x.ndim != 2:
+            raise MlError("feature matrix must be 2-D (samples x features)")
+        if y.ndim != 1 or y.size != x.shape[0]:
+            raise MlError("targets must be a 1-D array matching the number of samples")
+        if x.shape[0] < x.shape[1] + 1:
+            raise MlError("not enough samples to fit the model")
+        design = np.hstack((np.ones((x.shape[0], 1)), x))
+        solution, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+        self.coefficients = solution
+        predictions = design @ solution
+        total = float(np.sum((y - np.mean(y)) ** 2))
+        residual = float(np.sum((y - predictions) ** 2))
+        self.r_squared = 1.0 - residual / total if total > 0 else 1.0
+        self.fitted = True
+        return self
+
+    def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predicted targets for each sample."""
+        if not self.fitted:
+            raise MlError("the linear regression model has not been fitted yet")
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.coefficients.size - 1:
+            raise MlError(
+                f"expected {self.coefficients.size - 1} features, got {x.shape[1]}"
+            )
+        design = np.hstack((np.ones((x.shape[0], 1)), x))
+        return design @ self.coefficients
+
+    def coefficient_map(self, feature_names: Optional[Sequence[str]] = None) -> dict:
+        """Coefficients keyed by feature name (``intercept`` plus features)."""
+        if not self.fitted:
+            raise MlError("the linear regression model has not been fitted yet")
+        names = ["intercept"] + list(
+            feature_names
+            if feature_names is not None
+            else [f"x{i}" for i in range(self.coefficients.size - 1)]
+        )
+        if len(names) != self.coefficients.size:
+            raise MlError("feature_names length does not match the fitted coefficients")
+        return dict(zip(names, self.coefficients.tolist()))

@@ -1,0 +1,134 @@
+"""Logistic regression fitted with iteratively-reweighted least squares."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MlError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        return 1.0 / (1.0 + np.exp(-z))
+
+
+@dataclass
+class LogisticRegression:
+    """Binary logistic regression with an intercept term.
+
+    Parameters
+    ----------
+    max_iterations:
+        IRLS iteration budget.
+    tolerance:
+        Convergence threshold on the coefficient update norm.
+    regularization:
+        Small L2 ridge term keeping the IRLS update well-conditioned when
+        features are collinear or the classes are separable.
+    """
+
+    max_iterations: int = 50
+    tolerance: float = 1e-8
+    regularization: float = 1e-3
+    coefficients: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    feature_means: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    feature_scales: np.ndarray = field(default_factory=lambda: np.ones(0))
+    fitted: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, features: Sequence[Sequence[float]], labels: Sequence[float]) -> "LogisticRegression":
+        """Fit on a feature matrix (rows = samples) and 0/1 labels."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if x.ndim != 2:
+            raise MlError("feature matrix must be 2-D (samples x features)")
+        if y.ndim != 1 or y.size != x.shape[0]:
+            raise MlError("labels must be a 1-D array matching the number of samples")
+        if not np.isin(np.unique(y), (0.0, 1.0)).all():
+            raise MlError("labels must be binary (0/1)")
+        if x.shape[0] < x.shape[1] + 1:
+            raise MlError("not enough samples to fit the model")
+
+        # Standardize features: keeps IRLS well-conditioned when features live
+        # on very different scales (W/m2 vs degC vs occupant counts).
+        self.feature_means = x.mean(axis=0)
+        self.feature_scales = x.std(axis=0)
+        self.feature_scales[self.feature_scales == 0.0] = 1.0
+        x = (x - self.feature_means) / self.feature_scales
+
+        design = np.hstack((np.ones((x.shape[0], 1)), x))
+        beta = np.zeros(design.shape[1])
+        identity = np.eye(design.shape[1])
+
+        for _ in range(self.max_iterations):
+            mu = _sigmoid(design @ beta)
+            weights = np.clip(mu * (1.0 - mu), 1e-10, None)
+            working = design @ beta + (y - mu) / weights
+            weighted_design = design * weights[:, None]
+            normal_matrix = design.T @ weighted_design + self.regularization * identity
+            rhs = design.T @ (weights * working)
+            try:
+                new_beta = np.linalg.solve(normal_matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise MlError(f"IRLS update failed: {exc}") from exc
+            if not np.isfinite(new_beta).all():
+                raise MlError("IRLS diverged (non-finite coefficients)")
+            delta = float(np.linalg.norm(new_beta - beta))
+            beta = new_beta
+            if delta < self.tolerance:
+                break
+
+        self.coefficients = beta
+        self.fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise MlError("the logistic regression model has not been fitted yet")
+
+    def predict_proba(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Probability of the positive class for each sample."""
+        self._require_fitted()
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.coefficients.size - 1:
+            raise MlError(
+                f"expected {self.coefficients.size - 1} features, got {x.shape[1]}"
+            )
+        if self.feature_means.size == x.shape[1]:
+            x = (x - self.feature_means) / self.feature_scales
+        design = np.hstack((np.ones((x.shape[0], 1)), x))
+        return _sigmoid(design @ self.coefficients)
+
+    def predict(self, features: Sequence[Sequence[float]], threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def accuracy(self, features: Sequence[Sequence[float]], labels: Sequence[float]) -> float:
+        """Classification accuracy on a labelled set."""
+        predictions = self.predict(features)
+        y = np.asarray(labels, dtype=float)
+        if y.size == 0:
+            raise MlError("cannot compute accuracy on an empty set")
+        return float(np.mean(predictions == y))
+
+    def coefficient_map(self, feature_names: Optional[Sequence[str]] = None) -> dict:
+        """Coefficients keyed by feature name (``intercept`` plus features)."""
+        self._require_fitted()
+        names = ["intercept"] + list(
+            feature_names
+            if feature_names is not None
+            else [f"x{i}" for i in range(self.coefficients.size - 1)]
+        )
+        if len(names) != self.coefficients.size:
+            raise MlError("feature_names length does not match the fitted coefficients")
+        return dict(zip(names, self.coefficients.tolist()))

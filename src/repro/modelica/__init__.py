@@ -1,0 +1,26 @@
+"""Modelica-subset compiler.
+
+pgFMU's ``fmu_create`` accepts three kinds of model references: a compiled
+``.fmu`` file, a Modelica ``.mo`` file, or inline Modelica source.  The
+latter two require a Modelica compiler (the paper relies on
+JModelica/OpenModelica).  This subpackage implements a small but genuine
+compiler for the subset of Modelica those examples use:
+
+* ``model``/``end`` blocks with component declarations
+  (``parameter``/``input``/``output``/``constant`` prefixes, ``Real`` and
+  ``Integer`` types, attribute modifiers such as ``start``, ``min``, ``max``,
+  and declaration equations),
+* an ``equation`` section with ``der(x) = expr`` state equations and
+  algebraic output equations,
+* arithmetic expressions with the Modelica operator set (including ``^``)
+  and calls to elementary functions.
+
+The entry point :func:`compile_fmu` mirrors PyFMI/JModelica's function of the
+same name and produces a :class:`repro.fmi.FmuArchive`.
+"""
+
+from repro.modelica.compiler import compile_fmu, compile_model
+from repro.modelica.parser import parse_model
+from repro.modelica.flatten import flatten_model
+
+__all__ = ["compile_fmu", "compile_model", "parse_model", "flatten_model"]

@@ -1,0 +1,110 @@
+"""Abstract syntax tree nodes for the Modelica subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+@dataclass
+class NumberLiteral:
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass
+class Identifier:
+    """A reference to a component or built-in constant."""
+
+    name: str
+
+
+@dataclass
+class UnaryOp:
+    """Unary plus/minus."""
+
+    op: str
+    operand: "Expression"
+
+
+@dataclass
+class BinaryOp:
+    """Binary arithmetic operator (``+ - * / ^``)."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass
+class FunctionCall:
+    """A call to a built-in function (``sin``, ``exp``, ...) or ``der``."""
+
+    name: str
+    args: List["Expression"]
+
+
+Expression = Union[NumberLiteral, Identifier, UnaryOp, BinaryOp, FunctionCall]
+
+
+# --------------------------------------------------------------------------- #
+# Declarations and equations
+# --------------------------------------------------------------------------- #
+@dataclass
+class ComponentDeclaration:
+    """A component clause such as ``parameter Real A(min=-10, max=10) = 1.5;``.
+
+    Attributes
+    ----------
+    name:
+        Component name.
+    type_name:
+        Declared type (``Real``, ``Integer``, ...).
+    prefix:
+        One of ``"parameter"``, ``"constant"``, ``"input"``, ``"output"`` or
+        ``""`` for plain (state) variables.
+    modifiers:
+        Attribute modifiers from the parenthesized modification list
+        (``start``, ``min``, ``max``, ``unit``...), as unevaluated expressions
+        except ``unit`` which is a string.
+    value:
+        The declaration equation right-hand side, if present.
+    description:
+        Trailing string comment, if present.
+    """
+
+    name: str
+    type_name: str = "Real"
+    prefix: str = ""
+    modifiers: Dict[str, Expression] = field(default_factory=dict)
+    value: Optional[Expression] = None
+    description: str = ""
+
+
+@dataclass
+class Equation:
+    """An equation ``lhs = rhs`` from the ``equation`` section."""
+
+    lhs: Expression
+    rhs: Expression
+
+
+@dataclass
+class ModelDefinition:
+    """A parsed ``model ... end ...;`` definition."""
+
+    name: str
+    components: List[ComponentDeclaration] = field(default_factory=list)
+    equations: List[Equation] = field(default_factory=list)
+    description: str = ""
+
+    def component(self, name: str) -> Optional[ComponentDeclaration]:
+        """Look up a component declaration by name."""
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        return None

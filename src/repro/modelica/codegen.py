@@ -1,0 +1,126 @@
+"""Expression code generation: Modelica AST -> FMU equation strings.
+
+The FMU equation payload (:mod:`repro.fmi.dynamics`) stores right-hand sides
+as Python-syntax arithmetic strings.  This module renders parsed Modelica
+expressions into that form (mapping ``^`` to ``**`` and validating function
+names) and provides constant folding used to evaluate declaration equations
+and attribute modifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Set
+
+from repro.errors import ModelicaSemanticError
+from repro.fmi.expressions import ALLOWED_CONSTANTS, ALLOWED_FUNCTIONS
+from repro.modelica.ast_nodes import (
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    Identifier,
+    NumberLiteral,
+    UnaryOp,
+)
+
+_BINARY_TEMPLATES = {
+    "+": "({left} + {right})",
+    "-": "({left} - {right})",
+    "*": "({left} * {right})",
+    "/": "({left} / {right})",
+    "^": "({left} ** {right})",
+}
+
+
+def render_expression(expr: Expression, known_names: Optional[Set[str]] = None) -> str:
+    """Render a Modelica expression AST as a Python-syntax string.
+
+    Parameters
+    ----------
+    expr:
+        Parsed expression.
+    known_names:
+        Optional set of declared component names; identifiers outside this
+        set (and outside the built-in constants) raise a semantic error so
+        typos are caught at compile time rather than at simulation time.
+    """
+    if isinstance(expr, NumberLiteral):
+        return repr(expr.value)
+    if isinstance(expr, Identifier):
+        if (
+            known_names is not None
+            and expr.name not in known_names
+            and expr.name not in ALLOWED_CONSTANTS
+            and expr.name != "time"
+        ):
+            raise ModelicaSemanticError(f"undeclared identifier {expr.name!r} in expression")
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        operand = render_expression(expr.operand, known_names)
+        return f"(-{operand})" if expr.op == "-" else f"(+{operand})"
+    if isinstance(expr, BinaryOp):
+        template = _BINARY_TEMPLATES.get(expr.op)
+        if template is None:
+            raise ModelicaSemanticError(f"unsupported operator {expr.op!r}")
+        return template.format(
+            left=render_expression(expr.left, known_names),
+            right=render_expression(expr.right, known_names),
+        )
+    if isinstance(expr, FunctionCall):
+        if expr.name == "der":
+            raise ModelicaSemanticError(
+                "der() may only appear on the left-hand side of an equation"
+            )
+        if expr.name not in ALLOWED_FUNCTIONS:
+            raise ModelicaSemanticError(f"unsupported function {expr.name!r}")
+        args = ", ".join(render_expression(a, known_names) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise ModelicaSemanticError(f"unsupported expression node: {type(expr).__name__}")
+
+
+def evaluate_constant(expr: Expression, bindings: Mapping[str, float]) -> float:
+    """Evaluate an expression that must reduce to a number at compile time.
+
+    Used for declaration equations of parameters/constants and for attribute
+    modifiers (``start``, ``min``, ``max``).  ``bindings`` provides the values
+    of previously evaluated constants and parameters.
+    """
+    if isinstance(expr, NumberLiteral):
+        return float(expr.value)
+    if isinstance(expr, Identifier):
+        if expr.name in bindings:
+            return float(bindings[expr.name])
+        if expr.name in ALLOWED_CONSTANTS:
+            return float(ALLOWED_CONSTANTS[expr.name])
+        raise ModelicaSemanticError(
+            f"cannot evaluate identifier {expr.name!r} at compile time "
+            "(only constants and previously declared parameters are allowed)"
+        )
+    if isinstance(expr, UnaryOp):
+        value = evaluate_constant(expr.operand, bindings)
+        return -value if expr.op == "-" else value
+    if isinstance(expr, BinaryOp):
+        left = evaluate_constant(expr.left, bindings)
+        right = evaluate_constant(expr.right, bindings)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                raise ModelicaSemanticError("division by zero in constant expression")
+            return left / right
+        if expr.op == "^":
+            return left ** right
+        raise ModelicaSemanticError(f"unsupported operator {expr.op!r} in constant expression")
+    if isinstance(expr, FunctionCall):
+        if expr.name not in ALLOWED_FUNCTIONS:
+            raise ModelicaSemanticError(
+                f"unsupported function {expr.name!r} in constant expression"
+            )
+        args = [evaluate_constant(a, bindings) for a in expr.args]
+        return float(ALLOWED_FUNCTIONS[expr.name](*args))
+    raise ModelicaSemanticError(
+        f"unsupported expression node in constant expression: {type(expr).__name__}"
+    )

@@ -1,0 +1,250 @@
+"""Flattening: turn a parsed Modelica model into FMU metadata + equations.
+
+Flattening performs the semantic analysis the real Modelica tools do before
+code generation, restricted to our subset:
+
+* evaluate declaration equations and attribute modifiers of parameters and
+  constants (constant folding),
+* classify components into parameters, inputs, outputs, and states,
+* associate every ``der(x) = ...`` equation with its state and every
+  algebraic equation with its output/local variable,
+* substitute constants into equations so the runtime only sees parameters,
+  states, and inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelicaSemanticError
+from repro.fmi.dynamics import OdeSystem, OutputEquation, StateEquation
+from repro.fmi.model_description import DefaultExperiment, ModelDescription
+from repro.fmi.variables import Causality, ScalarVariable, Variability, VariableType
+from repro.modelica.ast_nodes import (
+    ComponentDeclaration,
+    FunctionCall,
+    Identifier,
+    ModelDefinition,
+)
+from repro.modelica.codegen import evaluate_constant, render_expression
+
+
+@dataclass
+class FlattenedModel:
+    """The result of flattening: FMU metadata plus the ODE equation payload."""
+
+    model_description: ModelDescription
+    ode_system: OdeSystem
+
+
+def _modifier_value(
+    component: ComponentDeclaration, key: str, bindings: Dict[str, float]
+) -> Optional[float]:
+    """Evaluate a numeric attribute modifier such as ``start``/``min``/``max``."""
+    expr = component.modifiers.get(key)
+    if expr is None:
+        return None
+    if isinstance(expr, Identifier) and key == "unit":
+        return None
+    return evaluate_constant(expr, bindings)
+
+
+def _classify(model: ModelDefinition) -> Tuple[list, list, list, list, list]:
+    """Split component declarations by prefix."""
+    parameters, constants, inputs, outputs, plain = [], [], [], [], []
+    for component in model.components:
+        if component.type_name not in ("Real", "Integer"):
+            raise ModelicaSemanticError(
+                f"component {component.name!r}: only Real and Integer components "
+                f"are supported, got {component.type_name}"
+            )
+        if component.prefix == "parameter":
+            parameters.append(component)
+        elif component.prefix == "constant":
+            constants.append(component)
+        elif component.prefix == "input":
+            inputs.append(component)
+        elif component.prefix == "output":
+            outputs.append(component)
+        else:
+            plain.append(component)
+    return parameters, constants, inputs, outputs, plain
+
+
+def flatten_model(
+    model: ModelDefinition,
+    default_experiment: Optional[DefaultExperiment] = None,
+) -> FlattenedModel:
+    """Flatten a parsed model into (:class:`ModelDescription`, :class:`OdeSystem`)."""
+    parameters, constants, inputs, outputs, plain = _classify(model)
+
+    # Evaluate constants and parameter defaults in declaration order so later
+    # declarations may reference earlier ones.
+    bindings: Dict[str, float] = {}
+    constant_values: Dict[str, float] = {}
+    for component in constants:
+        if component.value is None:
+            raise ModelicaSemanticError(
+                f"constant {component.name!r} must have a declaration equation"
+            )
+        value = evaluate_constant(component.value, bindings)
+        bindings[component.name] = value
+        constant_values[component.name] = value
+    parameter_values: Dict[str, float] = {}
+    for component in parameters:
+        if component.value is not None:
+            value = evaluate_constant(component.value, bindings)
+        else:
+            start = _modifier_value(component, "start", bindings)
+            value = start if start is not None else 0.0
+        bindings[component.name] = value
+        parameter_values[component.name] = value
+
+    known_names = {c.name for c in model.components} | {"time"}
+
+    # Partition equations into state equations (der(x) = ...) and algebraic
+    # equations (v = ...).
+    derivative_exprs: Dict[str, str] = {}
+    algebraic_exprs: Dict[str, str] = {}
+    for equation in model.equations:
+        lhs = equation.lhs
+        rhs_text = render_expression(equation.rhs, known_names)
+        if isinstance(lhs, FunctionCall) and lhs.name == "der":
+            if len(lhs.args) != 1 or not isinstance(lhs.args[0], Identifier):
+                raise ModelicaSemanticError("der() must wrap a single variable name")
+            state_name = lhs.args[0].name
+            if state_name in derivative_exprs:
+                raise ModelicaSemanticError(f"duplicate state equation for {state_name!r}")
+            derivative_exprs[state_name] = rhs_text
+        elif isinstance(lhs, Identifier):
+            if lhs.name in algebraic_exprs:
+                raise ModelicaSemanticError(f"duplicate equation for {lhs.name!r}")
+            algebraic_exprs[lhs.name] = rhs_text
+        else:
+            raise ModelicaSemanticError(
+                "equation left-hand sides must be a variable or der(variable)"
+            )
+
+    # Substitute constants into equation texts by treating them as parameters
+    # with fixed values (simpler and equivalent for simulation purposes).
+    all_parameter_values = dict(parameter_values)
+    all_parameter_values.update(constant_values)
+
+    # States: plain variables with a der() equation; also allow outputs with
+    # der() equations (Modelica permits "output Real x; der(x) = ...").
+    state_equations: List[StateEquation] = []
+    state_names = set()
+    for component in plain + outputs:
+        if component.name in derivative_exprs:
+            start = _modifier_value(component, "start", bindings)
+            if start is None and component.value is not None:
+                start = evaluate_constant(component.value, bindings)
+            state_equations.append(
+                StateEquation(
+                    name=component.name,
+                    derivative=derivative_exprs[component.name],
+                    start=start if start is not None else 0.0,
+                )
+            )
+            state_names.add(component.name)
+    missing_states = set(derivative_exprs) - state_names
+    if missing_states:
+        raise ModelicaSemanticError(
+            "der() applied to undeclared variables: " + ", ".join(sorted(missing_states))
+        )
+    if not state_equations:
+        raise ModelicaSemanticError(
+            f"model {model.name!r} has no der() equations; at least one state is required"
+        )
+
+    # Outputs and algebraic locals.
+    output_equations: List[OutputEquation] = []
+    for component in outputs + plain:
+        if component.name in state_names:
+            continue
+        if component.name in algebraic_exprs:
+            output_equations.append(
+                OutputEquation(name=component.name, expression=algebraic_exprs[component.name])
+            )
+        elif component.prefix == "output":
+            raise ModelicaSemanticError(
+                f"output {component.name!r} has no defining equation"
+            )
+
+    unused = set(algebraic_exprs) - {o.name for o in output_equations} - state_names
+    if unused:
+        raise ModelicaSemanticError(
+            "equations defined for undeclared variables: " + ", ".join(sorted(unused))
+        )
+
+    ode = OdeSystem(
+        states=state_equations,
+        outputs=output_equations,
+        inputs=[c.name for c in inputs],
+        parameters=all_parameter_values,
+    )
+
+    # Build the model description.
+    variables: List[ScalarVariable] = []
+    for component in parameters:
+        variables.append(
+            ScalarVariable(
+                name=component.name,
+                causality=Causality.PARAMETER,
+                variability=Variability.TUNABLE,
+                var_type=VariableType.REAL,
+                start=parameter_values[component.name],
+                minimum=_modifier_value(component, "min", bindings),
+                maximum=_modifier_value(component, "max", bindings),
+                description=component.description,
+            )
+        )
+    for component in constants:
+        variables.append(
+            ScalarVariable(
+                name=component.name,
+                causality=Causality.LOCAL,
+                variability=Variability.CONSTANT,
+                var_type=VariableType.REAL,
+                start=constant_values[component.name],
+                description=component.description,
+            )
+        )
+    for component in inputs:
+        variables.append(
+            ScalarVariable(
+                name=component.name,
+                causality=Causality.INPUT,
+                variability=Variability.CONTINUOUS,
+                var_type=VariableType.REAL,
+                start=_modifier_value(component, "start", bindings) or 0.0,
+                minimum=_modifier_value(component, "min", bindings),
+                maximum=_modifier_value(component, "max", bindings),
+                description=component.description,
+            )
+        )
+    for component in outputs + plain:
+        is_state = component.name in state_names
+        causality = Causality.OUTPUT if component.prefix == "output" else Causality.LOCAL
+        start = _modifier_value(component, "start", bindings)
+        variables.append(
+            ScalarVariable(
+                name=component.name,
+                causality=causality,
+                variability=Variability.CONTINUOUS,
+                var_type=VariableType.REAL,
+                start=start if start is not None else (0.0 if is_state else None),
+                minimum=_modifier_value(component, "min", bindings),
+                maximum=_modifier_value(component, "max", bindings),
+                description=component.description,
+            )
+        )
+
+    md = ModelDescription.build(
+        model_name=model.name,
+        variables=variables,
+        default_experiment=default_experiment,
+        description=model.description,
+    )
+    return FlattenedModel(model_description=md, ode_system=ode)

@@ -1,0 +1,260 @@
+"""Recursive-descent parser for the Modelica subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ModelicaSyntaxError
+from repro.modelica.ast_nodes import (
+    BinaryOp,
+    ComponentDeclaration,
+    Equation,
+    Expression,
+    FunctionCall,
+    Identifier,
+    ModelDefinition,
+    NumberLiteral,
+    UnaryOp,
+)
+from repro.modelica.lexer import Token, tokenize
+
+_TYPE_NAMES = {"Real", "Integer", "Boolean", "String"}
+_PREFIXES = {"parameter", "constant", "input", "output"}
+
+
+class Parser:
+    """Parses a token list into a :class:`ModelDefinition`."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ModelicaSyntaxError:
+        token = token or self._peek()
+        return ModelicaSyntaxError(f"line {token.line}, column {token.column}: {message}")
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            raise self._error(f"expected {expected!r}, found {token.value!r}")
+        return self._advance()
+
+    def _match(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Grammar
+    # ------------------------------------------------------------------ #
+    def parse_model(self) -> ModelDefinition:
+        """Parse a single model definition (optionally inside ``within``)."""
+        if self._match("keyword", "within"):
+            # Skip an optional package path terminated by ';'.
+            while self._peek().kind != "eof" and not self._match("op", ";"):
+                self._advance()
+
+        self._expect("keyword", "model")
+        name_token = self._expect("ident") if self._peek().kind == "ident" else self._expect("keyword")
+        model = ModelDefinition(name=name_token.value)
+        if self._peek().kind == "string":
+            model.description = self._advance().value
+
+        while True:
+            token = self._peek()
+            if token.kind == "eof":
+                raise self._error(f"unexpected end of input inside model {model.name!r}")
+            if token.kind == "keyword" and token.value == "equation":
+                self._advance()
+                break
+            if token.kind == "keyword" and token.value == "end":
+                return self._finish_model(model)
+            model.components.append(self._parse_component())
+
+        while True:
+            token = self._peek()
+            if token.kind == "eof":
+                raise self._error(f"unexpected end of input inside model {model.name!r}")
+            if token.kind == "keyword" and token.value == "end":
+                return self._finish_model(model)
+            if token.kind == "keyword" and token.value == "annotation":
+                self._skip_annotation()
+                continue
+            model.equations.append(self._parse_equation())
+
+    def _finish_model(self, model: ModelDefinition) -> ModelDefinition:
+        self._expect("keyword", "end")
+        end_name = self._advance()
+        if end_name.kind not in ("ident", "keyword") or end_name.value != model.name:
+            raise self._error(
+                f"'end {end_name.value}' does not match model name {model.name!r}",
+                end_name,
+            )
+        self._expect("op", ";")
+        return model
+
+    def _skip_annotation(self) -> None:
+        self._expect("keyword", "annotation")
+        self._expect("op", "(")
+        depth = 1
+        while depth > 0:
+            token = self._advance()
+            if token.kind == "eof":
+                raise self._error("unterminated annotation")
+            if token.kind == "op" and token.value == "(":
+                depth += 1
+            elif token.kind == "op" and token.value == ")":
+                depth -= 1
+        self._match("op", ";")
+
+    # ------------------------------------------------------------------ #
+    # Component declarations
+    # ------------------------------------------------------------------ #
+    def _parse_component(self) -> ComponentDeclaration:
+        prefix = ""
+        token = self._peek()
+        if token.kind == "keyword" and token.value in _PREFIXES:
+            prefix = token.value
+            self._advance()
+
+        type_token = self._peek()
+        if type_token.kind == "keyword" and type_token.value in _TYPE_NAMES:
+            self._advance()
+            type_name = type_token.value
+        else:
+            raise self._error(f"expected a type name, found {type_token.value!r}")
+
+        name_token = self._expect("ident")
+        declaration = ComponentDeclaration(
+            name=name_token.value, type_name=type_name, prefix=prefix
+        )
+
+        if self._match("op", "("):
+            self._parse_modifiers(declaration)
+
+        if self._match("op", "="):
+            declaration.value = self._parse_expression()
+
+        if self._peek().kind == "string":
+            declaration.description = self._advance().value
+
+        self._expect("op", ";")
+        return declaration
+
+    def _parse_modifiers(self, declaration: ComponentDeclaration) -> None:
+        while True:
+            key_token = self._expect("ident")
+            self._expect("op", "=")
+            if self._peek().kind == "string":
+                value: Expression = Identifier(self._advance().value)
+            else:
+                value = self._parse_expression()
+            declaration.modifiers[key_token.value] = value
+            if self._match("op", ","):
+                continue
+            self._expect("op", ")")
+            return
+
+    # ------------------------------------------------------------------ #
+    # Equations
+    # ------------------------------------------------------------------ #
+    def _parse_equation(self) -> Equation:
+        lhs = self._parse_expression()
+        self._expect("op", "=")
+        rhs = self._parse_expression()
+        self._expect("op", ";")
+        return Equation(lhs=lhs, rhs=rhs)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self) -> Expression:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Expression:
+        expr = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._advance()
+                expr = BinaryOp(op=token.value, left=expr, right=self._parse_multiplicative())
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> Expression:
+        expr = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                self._advance()
+                expr = BinaryOp(op=token.value, left=expr, right=self._parse_unary())
+            else:
+                return expr
+
+    def _parse_unary(self) -> Expression:
+        token = self._peek()
+        if token.kind == "op" and token.value in ("+", "-"):
+            self._advance()
+            return UnaryOp(op=token.value, operand=self._parse_unary())
+        return self._parse_power()
+
+    def _parse_power(self) -> Expression:
+        base = self._parse_primary()
+        if self._match("op", "^"):
+            exponent = self._parse_unary()
+            return BinaryOp(op="^", left=base, right=exponent)
+        return base
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return NumberLiteral(float(token.value))
+        if token.kind in ("ident", "keyword") and (
+            token.kind == "ident" or token.value == "der"
+        ):
+            self._advance()
+            name = token.value
+            # Dotted names (e.g. Modelica.Constants.pi) collapse to the last part.
+            while self._match("op", "."):
+                part = self._expect("ident")
+                name = part.value
+            if self._match("op", "("):
+                args: List[Expression] = []
+                if not self._match("op", ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self._match("op", ","):
+                            continue
+                        self._expect("op", ")")
+                        break
+                return FunctionCall(name=name, args=args)
+            return Identifier(name)
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+
+def parse_model(source: str) -> ModelDefinition:
+    """Parse Modelica source text into a :class:`ModelDefinition`."""
+    if not source or not source.strip():
+        raise ModelicaSyntaxError("empty Modelica source")
+    return Parser(tokenize(source)).parse_model()

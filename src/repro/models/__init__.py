@@ -1,0 +1,50 @@
+"""FMU model library: the three evaluation models of the paper plus helpers.
+
+The paper evaluates pgFMU on three physical models (Table 5):
+
+* ``HP0`` - a heat-pump-heated house with the heat pump held at a constant
+  power rate (no inputs); parameters: thermal capacitance ``Cp`` and thermal
+  resistance ``R``.
+* ``HP1`` - the running-example heat pump model with the power rating
+  setting ``u`` in [0, 1] as input; same parameters.
+* ``Classroom`` - a thermal network model of a university classroom with
+  five inputs (solar radiation, outdoor temperature, occupancy, damper and
+  radiator valve positions) and four parameters (``shgc``, ``tmass``,
+  ``RExt``, ``occheff``).
+
+In addition, :func:`heat_pump_abcde_source` provides the LTI-SISO form of
+Figure 2 (parameters ``A``..``E``) used in the paper's catalogue examples
+(Table 3).
+"""
+
+from repro.models.heatpump import (
+    HP0_TRUE_PARAMETERS,
+    HP1_TRUE_PARAMETERS,
+    build_hp0_archive,
+    build_hp1_archive,
+    heat_pump_abcde_source,
+    hp0_source,
+    hp1_source,
+)
+from repro.models.classroom import (
+    CLASSROOM_TRUE_PARAMETERS,
+    build_classroom_archive,
+    classroom_source,
+)
+from repro.models.registry import MODEL_REGISTRY, ModelSpec, get_model_spec
+
+__all__ = [
+    "HP0_TRUE_PARAMETERS",
+    "HP1_TRUE_PARAMETERS",
+    "CLASSROOM_TRUE_PARAMETERS",
+    "build_hp0_archive",
+    "build_hp1_archive",
+    "build_classroom_archive",
+    "heat_pump_abcde_source",
+    "hp0_source",
+    "hp1_source",
+    "classroom_source",
+    "MODEL_REGISTRY",
+    "ModelSpec",
+    "get_model_spec",
+]

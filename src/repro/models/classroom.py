@@ -1,0 +1,94 @@
+"""The Classroom thermal network model.
+
+The paper's third evaluation model represents a classroom in an 8500 m2
+university building at the SDU Campus Odense.  It is a single-zone thermal
+network driven by five measured inputs (solar radiation, outdoor temperature,
+number of occupants, ventilation damper position, radiator valve position)
+with four estimable parameters:
+
+* ``shgc`` - solar heat gain coefficient,
+* ``tmass`` - zone thermal mass factor,
+* ``RExt`` - external wall thermal resistance,
+* ``occheff`` - occupant heat generation effectiveness.
+
+The indoor temperature ``t`` is the single state (and the model output):
+
+    der(t) = ( (tout - t) / RExt
+               + shgc * solrad / 1000
+               + occheff * occ * Pocc
+               + Pheat * vpos / 100
+               - Pvent * dpos / 100 ) / tmass
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.fmi.archive import FmuArchive
+from repro.fmi.model_description import DefaultExperiment
+from repro.modelica.compiler import compile_model
+
+#: Per-occupant heat emission [kW] before the effectiveness factor.
+OCCUPANT_HEAT_KW = 0.1
+#: Radiator heating power at fully open valve [kW].
+RADIATOR_POWER_KW = 5.0
+#: Ventilation cooling power at fully open damper [kW].
+VENTILATION_POWER_KW = 2.0
+
+#: Ground-truth parameter values (matching the calibrated values of Table 7).
+CLASSROOM_TRUE_PARAMETERS: Dict[str, float] = {
+    "RExt": 4.0,
+    "occheff": 1.478,
+    "shgc": 3.246,
+    "tmass": 50.0,
+}
+
+#: Nominal (uncalibrated) values embedded in the Modelica source.
+CLASSROOM_NOMINAL_PARAMETERS: Dict[str, float] = {
+    "RExt": 3.0,
+    "occheff": 1.0,
+    "shgc": 2.0,
+    "tmass": 30.0,
+}
+
+
+def classroom_source() -> str:
+    """Modelica source of the Classroom thermal network model."""
+    nominal = CLASSROOM_NOMINAL_PARAMETERS
+    return f"""
+model Classroom "Single-zone thermal network of a university classroom"
+  parameter Real shgc(min=0.1, max=10) = {nominal['shgc']} "solar heat gain coefficient";
+  parameter Real tmass(min=5, max=100) = {nominal['tmass']} "zone thermal mass factor";
+  parameter Real RExt(min=0.5, max=20) = {nominal['RExt']} "external wall thermal resistance";
+  parameter Real occheff(min=0.1, max=5) = {nominal['occheff']} "occupant heat generation effectiveness";
+  constant Real Pocc = {OCCUPANT_HEAT_KW} "heat emission per occupant [kW]";
+  constant Real Pheat = {RADIATOR_POWER_KW} "radiator power at open valve [kW]";
+  constant Real Pvent = {VENTILATION_POWER_KW} "ventilation power at open damper [kW]";
+  input Real solrad(min=0, start=0) "solar radiation [W/m2]";
+  input Real tout(start=10) "outdoor temperature [degC]";
+  input Real occ(min=0, start=0) "number of occupants";
+  input Real dpos(min=0, max=100, start=0) "ventilation damper position [%]";
+  input Real vpos(min=0, max=100, start=0) "radiator valve position [%]";
+  output Real t(start=21.0, min=-10, max=50) "indoor temperature [degC]";
+equation
+  der(t) = ((tout - t) / RExt + shgc * solrad / 1000 + occheff * occ * Pocc
+            + Pheat * vpos / 100 - Pvent * dpos / 100) / tmass;
+end Classroom;
+"""
+
+
+def build_classroom_archive(
+    true_parameters: Optional[Dict[str, float]] = None,
+    default_experiment: Optional[DefaultExperiment] = None,
+) -> FmuArchive:
+    """Compile the Classroom model, optionally overriding parameter values."""
+    experiment = default_experiment or DefaultExperiment(
+        start_time=0.0, stop_time=336.0, tolerance=1e-6, step_size=0.5
+    )
+    archive = compile_model(classroom_source(), default_experiment=experiment)
+    if true_parameters:
+        for name, value in true_parameters.items():
+            variable = archive.model_description.variable(name)
+            variable.start = float(value)
+            archive.ode_system.parameters[name] = float(value)
+    return archive

@@ -1,0 +1,142 @@
+"""Heat pump models HP0 and HP1 (and the LTI-SISO running-example form).
+
+The physical picture (Section 2 of the paper): a house with thermal
+capacitance ``Cp`` [kWh/degC] and thermal resistance ``R`` [degC/kW] is heated
+by a heat pump with rated electrical power ``P`` = 7.8 kW and coefficient of
+performance ``eta`` = 2.65 while the outdoor temperature is ``Ta`` = -10 degC.
+The indoor temperature ``x`` evolves as
+
+    der(x) = (Ta - x) / (R * Cp) + (P * eta / Cp) * u
+
+where ``u`` in [0, 1] is the heat pump power rating setting.  The electrical
+power drawn by the heat pump is ``y = P * u``.
+
+``HP1`` exposes ``u`` as an input; ``HP0`` is the zero-input variant with the
+power rating frozen at a constant 1.38 % (the value the paper uses when
+calibrating HP0 on the same dataset).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.fmi.archive import FmuArchive
+from repro.fmi.model_description import DefaultExperiment
+from repro.modelica.compiler import compile_model
+
+#: Rated electrical power of the heat pump [kW].
+HP_RATED_POWER = 7.8
+#: Coefficient of performance of the heat pump.
+HP_COP = 2.65
+#: Outdoor temperature of the running example [degC].
+HP_OUTDOOR_TEMPERATURE = -10.0
+#: Constant power rating used by the zero-input HP0 variant.
+HP0_CONSTANT_RATING = 0.0138
+
+#: Ground-truth parameter values used by the data generators; chosen to match
+#: the calibrated values the paper reports in Table 7.
+HP0_TRUE_PARAMETERS: Dict[str, float] = {"Cp": 1.53, "R": 1.51}
+HP1_TRUE_PARAMETERS: Dict[str, float] = {"Cp": 1.49, "R": 1.481}
+
+#: Nominal (uncalibrated) parameter values embedded in the Modelica sources.
+HP_NOMINAL_PARAMETERS: Dict[str, float] = {"Cp": 1.5, "R": 1.5}
+
+
+def hp1_source() -> str:
+    """Modelica source of the HP1 model (input ``u``, parameters Cp and R)."""
+    return f"""
+model HP1 "Heat pump heated house, power rating setting as input"
+  parameter Real Cp(min=0.1, max=10) = {HP_NOMINAL_PARAMETERS['Cp']} "thermal capacitance [kWh/degC]";
+  parameter Real R(min=0.1, max=10) = {HP_NOMINAL_PARAMETERS['R']} "thermal resistance [degC/kW]";
+  constant Real P = {HP_RATED_POWER} "rated electrical power [kW]";
+  constant Real eta = {HP_COP} "coefficient of performance";
+  constant Real Ta = {HP_OUTDOOR_TEMPERATURE} "outdoor temperature [degC]";
+  input Real u(min=0, max=1, start=0) "heat pump power rating setting";
+  output Real y "heat pump power consumption [kW]";
+  Real x(start=20.0, min=-30, max=60) "indoor temperature [degC]";
+equation
+  der(x) = (Ta - x) / (R * Cp) + (P * eta / Cp) * u;
+  y = P * u;
+end HP1;
+"""
+
+
+def hp0_source() -> str:
+    """Modelica source of the HP0 model (no inputs, constant power rating)."""
+    return f"""
+model HP0 "Heat pump heated house, constant power rating (no inputs)"
+  parameter Real Cp(min=0.1, max=10) = {HP_NOMINAL_PARAMETERS['Cp']} "thermal capacitance [kWh/degC]";
+  parameter Real R(min=0.1, max=10) = {HP_NOMINAL_PARAMETERS['R']} "thermal resistance [degC/kW]";
+  constant Real P = {HP_RATED_POWER} "rated electrical power [kW]";
+  constant Real eta = {HP_COP} "coefficient of performance";
+  constant Real Ta = {HP_OUTDOOR_TEMPERATURE} "outdoor temperature [degC]";
+  constant Real u0 = {HP0_CONSTANT_RATING} "constant power rating setting";
+  output Real y "heat pump power consumption [kW]";
+  Real x(start=20.0, min=-30, max=60) "indoor temperature [degC]";
+equation
+  der(x) = (Ta - x) / (R * Cp) + (P * eta / Cp) * u0;
+  y = P * u0;
+end HP0;
+"""
+
+
+def heat_pump_abcde_source() -> str:
+    """Modelica source of the LTI-SISO heat pump of the paper's Figure 2.
+
+    Parameters ``A``..``E`` correspond to A = -1/(R*Cp), B = P*eta/Cp, C = P,
+    D = 0, E = Ta/(R*Cp) with the nominal physical values.
+    """
+    return """
+model heatpump "LTI SISO heat pump model (Figure 2 of the paper)"
+  parameter Real A(min=-10, max=10) = -0.4444 "-1/(R*Cp)";
+  parameter Real B(min=-20, max=20) = 13.78 "P*eta/Cp";
+  parameter Real C = 7.8 "rated power P";
+  parameter Real D = 0 "feed-through";
+  parameter Real E(min=-20, max=20) = -4.4444 "Ta/(R*Cp)";
+  input Real u(min=0, max=1, start=0) "heat pump power rating setting";
+  output Real y "heat pump power consumption";
+  Real x(start=20.0) "indoor temperature [degC]";
+equation
+  der(x) = A * x + B * u + E;
+  y = C * x + D * u;
+end heatpump;
+"""
+
+
+def _hourly_experiment(hours: float = 672.0) -> DefaultExperiment:
+    """Default experiment covering four weeks of hourly data."""
+    return DefaultExperiment(start_time=0.0, stop_time=hours, tolerance=1e-6, step_size=1.0)
+
+
+def build_hp1_archive(
+    true_parameters: Optional[Dict[str, float]] = None,
+    default_experiment: Optional[DefaultExperiment] = None,
+) -> FmuArchive:
+    """Compile HP1 into an FMU archive, optionally with given parameter values."""
+    archive = compile_model(
+        hp1_source(), default_experiment=default_experiment or _hourly_experiment()
+    )
+    if true_parameters:
+        _apply_parameters(archive, true_parameters)
+    return archive
+
+
+def build_hp0_archive(
+    true_parameters: Optional[Dict[str, float]] = None,
+    default_experiment: Optional[DefaultExperiment] = None,
+) -> FmuArchive:
+    """Compile HP0 into an FMU archive, optionally with given parameter values."""
+    archive = compile_model(
+        hp0_source(), default_experiment=default_experiment or _hourly_experiment()
+    )
+    if true_parameters:
+        _apply_parameters(archive, true_parameters)
+    return archive
+
+
+def _apply_parameters(archive: FmuArchive, parameters: Dict[str, float]) -> None:
+    """Overwrite parameter start values inside an archive (ground truth models)."""
+    for name, value in parameters.items():
+        variable = archive.model_description.variable(name)
+        variable.start = float(value)
+        archive.ode_system.parameters[name] = float(value)

@@ -1,0 +1,172 @@
+"""Common solver abstractions: problem description, solution container, base class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+
+RhsFunction = Callable[[float, np.ndarray, np.ndarray], np.ndarray]
+InputFunction = Callable[[float], np.ndarray]
+
+
+@dataclass
+class OdeProblem:
+    """An initial value problem ``x' = f(t, x, u(t))`` on ``[t0, t1]``.
+
+    Attributes
+    ----------
+    rhs:
+        Right-hand side callable ``f(t, x, u) -> dx/dt``.
+    x0:
+        Initial state vector at ``t0``.
+    t0, t1:
+        Integration interval.  ``t1`` must be strictly greater than ``t0``.
+    inputs:
+        Optional callable mapping time to the input vector ``u(t)``.  When
+        omitted a zero-length input vector is passed to ``rhs``.
+    """
+
+    rhs: RhsFunction
+    x0: np.ndarray
+    t0: float
+    t1: float
+    inputs: Optional[InputFunction] = None
+
+    def __post_init__(self):
+        self.x0 = np.atleast_1d(np.asarray(self.x0, dtype=float))
+        if not np.isfinite(self.x0).all():
+            raise SolverError("initial state contains non-finite values")
+        if not (self.t1 > self.t0):
+            raise SolverError(
+                f"invalid integration interval: t1={self.t1} must be > t0={self.t0}"
+            )
+
+    def input_at(self, t: float) -> np.ndarray:
+        """Evaluate the input vector at time ``t`` (empty vector if no inputs)."""
+        if self.inputs is None:
+            return np.empty(0)
+        return np.atleast_1d(np.asarray(self.inputs(t), dtype=float))
+
+
+@dataclass
+class OdeSolution:
+    """Dense solver output: state trajectory sampled at ``times``.
+
+    The solution also records solver statistics that the FMI runtime exposes
+    to callers (number of right-hand-side evaluations and accepted/rejected
+    steps) so benchmarks can reason about solver cost.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    n_rhs_evals: int = 0
+    n_steps: int = 0
+    n_rejected: int = 0
+    solver_name: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.times = np.asarray(self.times, dtype=float)
+        self.states = np.asarray(self.states, dtype=float)
+        if self.states.ndim == 1:
+            self.states = self.states.reshape(-1, 1)
+        if len(self.times) != len(self.states):
+            raise SolverError(
+                "solution times and states have mismatched lengths: "
+                f"{len(self.times)} vs {len(self.states)}"
+            )
+
+    @property
+    def final_state(self) -> np.ndarray:
+        """State vector at the final time point."""
+        return self.states[-1]
+
+    def interpolate(self, t: float) -> np.ndarray:
+        """Linearly interpolate the state at an arbitrary time ``t``.
+
+        Times outside the solved interval are clamped to the boundary values,
+        matching how co-simulation masters hold the last known state.
+        """
+        t = float(t)
+        if t <= self.times[0]:
+            return self.states[0].copy()
+        if t >= self.times[-1]:
+            return self.states[-1].copy()
+        idx = int(np.searchsorted(self.times, t))
+        t_lo, t_hi = self.times[idx - 1], self.times[idx]
+        if t_hi == t_lo:
+            return self.states[idx].copy()
+        w = (t - t_lo) / (t_hi - t_lo)
+        return (1.0 - w) * self.states[idx - 1] + w * self.states[idx]
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Interpolate the state trajectory at each of the given times."""
+        return np.vstack([self.interpolate(t) for t in times])
+
+
+class OdeSolver:
+    """Base class for ODE solvers.
+
+    Subclasses implement :meth:`solve` and set :attr:`name`.  Construction
+    options common to all solvers are the output grid control parameters.
+    """
+
+    name = "base"
+
+    def __init__(self, max_step: Optional[float] = None):
+        self.max_step = max_step
+
+    def solve(self, problem: OdeProblem, output_times: Optional[Sequence[float]] = None) -> OdeSolution:
+        """Integrate ``problem`` and return a dense :class:`OdeSolution`.
+
+        Parameters
+        ----------
+        problem:
+            The initial value problem to integrate.
+        output_times:
+            Optional monotone sequence of times at which the solution must be
+            reported.  Solvers always include ``t0`` and ``t1``.
+        """
+        raise NotImplementedError
+
+    def _normalized_output_times(
+        self, problem: OdeProblem, output_times: Optional[Sequence[float]]
+    ) -> np.ndarray:
+        """Validate and normalize the requested output grid."""
+        if output_times is None:
+            return np.array([problem.t0, problem.t1])
+        grid = np.asarray(list(output_times), dtype=float)
+        if grid.size == 0:
+            return np.array([problem.t0, problem.t1])
+        if np.any(np.diff(grid) < 0):
+            raise SolverError("output_times must be non-decreasing")
+        if grid[0] > problem.t0:
+            grid = np.concatenate(([problem.t0], grid))
+        if grid[-1] < problem.t1:
+            grid = np.concatenate((grid, [problem.t1]))
+        return np.clip(grid, problem.t0, problem.t1)
+
+
+def solve_ode(
+    rhs: RhsFunction,
+    x0,
+    t0: float,
+    t1: float,
+    inputs: Optional[InputFunction] = None,
+    solver: str = "rk45",
+    output_times: Optional[Sequence[float]] = None,
+    **options,
+) -> OdeSolution:
+    """Convenience wrapper: build an :class:`OdeProblem` and solve it.
+
+    This is the entry point used by the FMI runtime and by tests that need a
+    one-line integration call.
+    """
+    from repro.solvers import get_solver
+
+    problem = OdeProblem(rhs=rhs, x0=x0, t0=t0, t1=t1, inputs=inputs)
+    return get_solver(solver, **options).solve(problem, output_times=output_times)

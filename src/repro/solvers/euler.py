@@ -1,0 +1,77 @@
+"""Forward Euler fixed-step solver."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solvers.base import OdeProblem, OdeSolution, OdeSolver
+
+
+class EulerSolver(OdeSolver):
+    """Explicit forward Euler with a fixed step size.
+
+    The step size defaults to 1/200 of the integration interval unless
+    ``step`` (or the generic ``max_step``) is given.  Euler is mainly useful
+    as a cheap baseline and for property tests comparing solver accuracy.
+    """
+
+    name = "euler"
+
+    def __init__(self, step: Optional[float] = None, max_step: Optional[float] = None):
+        super().__init__(max_step=max_step)
+        self.step = step
+
+    def _step_size(self, problem: OdeProblem) -> float:
+        span = problem.t1 - problem.t0
+        if self.step is not None:
+            h = float(self.step)
+        elif self.max_step is not None:
+            h = float(self.max_step)
+        else:
+            h = span / 200.0
+        if h <= 0:
+            raise SolverError(f"step size must be positive, got {h}")
+        return min(h, span)
+
+    def solve(self, problem: OdeProblem, output_times: Optional[Sequence[float]] = None) -> OdeSolution:
+        grid = self._normalized_output_times(problem, output_times)
+        h = self._step_size(problem)
+
+        times = [problem.t0]
+        states = [problem.x0.copy()]
+        t = problem.t0
+        x = problem.x0.copy()
+        n_evals = 0
+        n_steps = 0
+        with np.errstate(over="ignore", invalid="ignore"):
+            while t < problem.t1 - 1e-15:
+                h_eff = min(h, problem.t1 - t)
+                u = problem.input_at(t)
+                dx = np.atleast_1d(np.asarray(problem.rhs(t, x, u), dtype=float))
+                n_evals += 1
+                x = x + h_eff * dx
+                t = t + h_eff
+                n_steps += 1
+                if not np.isfinite(x).all():
+                    raise SolverError(f"Euler integration diverged at t={t}")
+                times.append(t)
+                states.append(x.copy())
+
+        dense = OdeSolution(
+            times=np.asarray(times),
+            states=np.vstack(states),
+            n_rhs_evals=n_evals,
+            n_steps=n_steps,
+            solver_name=self.name,
+        )
+        sampled = dense.sample(grid)
+        return OdeSolution(
+            times=grid,
+            states=sampled,
+            n_rhs_evals=n_evals,
+            n_steps=n_steps,
+            solver_name=self.name,
+        )

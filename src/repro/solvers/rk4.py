@@ -1,0 +1,83 @@
+"""Classic fourth-order Runge-Kutta fixed-step solver."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solvers.base import OdeProblem, OdeSolution, OdeSolver
+
+
+class RungeKutta4Solver(OdeSolver):
+    """Classic RK4 with a fixed step size.
+
+    Default step size is 1/100 of the integration interval; override with
+    ``step``.  The solver reports the dense per-step trajectory resampled on
+    the requested output grid.
+    """
+
+    name = "rk4"
+
+    def __init__(self, step: Optional[float] = None, max_step: Optional[float] = None):
+        super().__init__(max_step=max_step)
+        self.step = step
+
+    def _step_size(self, problem: OdeProblem) -> float:
+        span = problem.t1 - problem.t0
+        if self.step is not None:
+            h = float(self.step)
+        elif self.max_step is not None:
+            h = float(self.max_step)
+        else:
+            h = span / 100.0
+        if h <= 0:
+            raise SolverError(f"step size must be positive, got {h}")
+        return min(h, span)
+
+    def solve(self, problem: OdeProblem, output_times: Optional[Sequence[float]] = None) -> OdeSolution:
+        grid = self._normalized_output_times(problem, output_times)
+        h = self._step_size(problem)
+
+        times = [problem.t0]
+        states = [problem.x0.copy()]
+        t = problem.t0
+        x = problem.x0.copy()
+        n_evals = 0
+        n_steps = 0
+
+        def f(tt, xx):
+            return np.atleast_1d(np.asarray(problem.rhs(tt, xx, problem.input_at(tt)), dtype=float))
+
+        with np.errstate(over="ignore", invalid="ignore"):
+            while t < problem.t1 - 1e-15:
+                h_eff = min(h, problem.t1 - t)
+                k1 = f(t, x)
+                k2 = f(t + h_eff / 2.0, x + h_eff / 2.0 * k1)
+                k3 = f(t + h_eff / 2.0, x + h_eff / 2.0 * k2)
+                k4 = f(t + h_eff, x + h_eff * k3)
+                n_evals += 4
+                x = x + (h_eff / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+                t = t + h_eff
+                n_steps += 1
+                if not np.isfinite(x).all():
+                    raise SolverError(f"RK4 integration diverged at t={t}")
+                times.append(t)
+                states.append(x.copy())
+
+        dense = OdeSolution(
+            times=np.asarray(times),
+            states=np.vstack(states),
+            n_rhs_evals=n_evals,
+            n_steps=n_steps,
+            solver_name=self.name,
+        )
+        sampled = dense.sample(grid)
+        return OdeSolution(
+            times=grid,
+            states=sampled,
+            n_rhs_evals=n_evals,
+            n_steps=n_steps,
+            solver_name=self.name,
+        )

@@ -1,0 +1,149 @@
+"""Adaptive Dormand-Prince RK45 solver with dense output.
+
+This is the default solver of the FMI runtime and plays the role that
+Assimulo's CVode plays in the original pgFMU stack: an error-controlled
+integrator that is accurate enough that calibration results are limited by
+the optimizer, not the integrator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solvers.base import OdeProblem, OdeSolution, OdeSolver
+
+# Dormand-Prince Butcher tableau (RK45, FSAL).
+_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+_A = [
+    np.array([]),
+    np.array([1 / 5]),
+    np.array([3 / 40, 9 / 40]),
+    np.array([44 / 45, -56 / 15, 32 / 9]),
+    np.array([19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729]),
+    np.array([9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656]),
+    np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84]),
+]
+_B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0])
+_B4 = np.array(
+    [5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
+)
+
+
+class DormandPrince45Solver(OdeSolver):
+    """Adaptive RK45 (Dormand-Prince) with step-size control.
+
+    Parameters
+    ----------
+    rtol, atol:
+        Relative and absolute local error tolerances.
+    max_step:
+        Optional upper bound on the step size.
+    max_steps:
+        Safety limit on the number of accepted steps before the solver gives
+        up with a :class:`~repro.errors.SolverError`.
+    """
+
+    name = "rk45"
+
+    def __init__(
+        self,
+        rtol: float = 1e-6,
+        atol: float = 1e-8,
+        max_step: Optional[float] = None,
+        max_steps: int = 100_000,
+    ):
+        super().__init__(max_step=max_step)
+        if rtol <= 0 or atol <= 0:
+            raise SolverError("rtol and atol must be positive")
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+        self.max_steps = int(max_steps)
+
+    def solve(self, problem: OdeProblem, output_times: Optional[Sequence[float]] = None) -> OdeSolution:
+        grid = self._normalized_output_times(problem, output_times)
+
+        def f(tt, xx):
+            return np.atleast_1d(np.asarray(problem.rhs(tt, xx, problem.input_at(tt)), dtype=float))
+
+        t = problem.t0
+        x = problem.x0.copy()
+        span = problem.t1 - problem.t0
+        h = span / 100.0
+        if self.max_step is not None:
+            h = min(h, self.max_step)
+
+        times = [t]
+        states = [x.copy()]
+        n_evals = 0
+        n_steps = 0
+        n_rejected = 0
+
+        k_first = f(t, x)
+        n_evals += 1
+
+        with np.errstate(over="ignore", invalid="ignore"):
+            return self._integrate(problem, grid, f, t, x, h, span, k_first, times, states, n_evals)
+
+    def _integrate(self, problem, grid, f, t, x, h, span, k_first, times, states, n_evals):
+        n_steps = 0
+        n_rejected = 0
+        while t < problem.t1 - 1e-14:
+            if n_steps + n_rejected > self.max_steps:
+                raise SolverError(
+                    f"RK45 exceeded {self.max_steps} steps (t={t}, interval ends at {problem.t1})"
+                )
+            h = min(h, problem.t1 - t)
+            if self.max_step is not None:
+                h = min(h, self.max_step)
+
+            k = [k_first]
+            for i in range(1, 7):
+                xi = x + h * sum(a * ki for a, ki in zip(_A[i], k))
+                k.append(f(t + _C[i] * h, xi))
+            n_evals += 6
+
+            x5 = x + h * sum(b * ki for b, ki in zip(_B5, k))
+            x4 = x + h * sum(b * ki for b, ki in zip(_B4, k))
+
+            scale = self.atol + self.rtol * np.maximum(np.abs(x), np.abs(x5))
+            err = np.sqrt(np.mean(((x5 - x4) / scale) ** 2)) if scale.size else 0.0
+
+            if err <= 1.0 or h <= 1e-12 * span:
+                t = t + h
+                x = x5
+                k_first = k[-1]  # FSAL: last stage equals first stage of next step
+                if not np.isfinite(x).all():
+                    raise SolverError(f"RK45 integration diverged at t={t}")
+                times.append(t)
+                states.append(x.copy())
+                n_steps += 1
+            else:
+                n_rejected += 1
+
+            # Standard step-size controller with safety factor and clamps.
+            if err == 0.0:
+                factor = 5.0
+            else:
+                factor = min(5.0, max(0.2, 0.9 * err ** (-0.2)))
+            h = h * factor
+
+        dense = OdeSolution(
+            times=np.asarray(times),
+            states=np.vstack(states),
+            n_rhs_evals=n_evals,
+            n_steps=n_steps,
+            n_rejected=n_rejected,
+            solver_name=self.name,
+        )
+        sampled = dense.sample(grid)
+        return OdeSolution(
+            times=grid,
+            states=sampled,
+            n_rhs_evals=n_evals,
+            n_steps=n_steps,
+            n_rejected=n_rejected,
+            solver_name=self.name,
+        )

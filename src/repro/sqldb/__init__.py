@@ -1,0 +1,42 @@
+"""In-memory relational SQL engine (PostgreSQL substrate).
+
+pgFMU is a PostgreSQL extension; this subpackage provides the database the
+extension plugs into.  It implements, from scratch, the slice of SQL the
+paper's queries and workflows exercise:
+
+* DDL: ``CREATE TABLE`` (with PRIMARY KEY / NOT NULL / REFERENCES), ``DROP TABLE``.
+* DML: ``INSERT`` (VALUES and ``INSERT ... SELECT``), ``UPDATE``, ``DELETE``.
+* Queries: ``SELECT`` with expressions, aliases, ``WHERE``, ``GROUP BY`` +
+  aggregates, ``HAVING``, ``ORDER BY``, ``LIMIT``/``OFFSET``, ``DISTINCT``,
+  cross/inner/left joins, ``LATERAL`` table functions, set-returning
+  functions such as ``generate_series``, scalar subqueries and ``IN`` lists.
+* Types: integers, floats, text, booleans, timestamps and the ``variant``
+  type the pgFMU catalogue uses for heterogeneous variable values.
+* Extensibility: scalar and set-returning user-defined functions (UDFs),
+  which is how the pgFMU core registers ``fmu_create``, ``fmu_parest``,
+  ``fmu_simulate`` and friends, and how the MADlib-like ML routines are
+  exposed.
+* Prepared statements with positional parameters (``$1``, ``$2``, ...).
+
+The engine is deliberately small, but it is a real query processor: SQL text
+is tokenized, parsed into an AST, bound against the catalogue, and executed
+by a pull-based evaluator.
+"""
+
+from repro.sqldb.database import Database
+from repro.sqldb.result import ResultSet
+from repro.sqldb.schema import ColumnDefinition, ForeignKey, TableSchema
+from repro.sqldb.types import SqlType, Variant
+from repro.sqldb.udf import ScalarUdf, TableUdf
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "ColumnDefinition",
+    "ForeignKey",
+    "TableSchema",
+    "SqlType",
+    "Variant",
+    "ScalarUdf",
+    "TableUdf",
+]

@@ -1,0 +1,96 @@
+"""PostgreSQL-style array literal parsing and formatting.
+
+pgFMU's UDFs take list-valued arguments the way PostgreSQL extensions do: as
+text array literals such as ``'{HP1Instance1, HP1Instance2}'`` or
+``'{A, B}'``.  This module parses such literals (honouring quoting and nested
+braces so embedded SQL queries survive) and formats Python lists back into
+the same syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Union
+
+from repro.errors import SqlTypeError
+
+
+def parse_array_literal(value: Union[str, Sequence[Any], None]) -> List[str]:
+    """Parse a PostgreSQL array literal (or pass through an actual sequence).
+
+    Accepted inputs:
+
+    * ``None`` or an empty string -> ``[]``
+    * a Python list/tuple -> its elements as strings
+    * ``'{a, b, c}'`` -> ``['a', 'b', 'c']``
+    * a single unbraced string -> a one-element list (``'A'`` -> ``['A']``)
+
+    Elements may be double-quoted to protect commas (``'{"SELECT a, b", x}'``);
+    nested braces and parentheses also suppress splitting so SQL queries with
+    function calls or ``IN (...)`` lists stay intact.
+    """
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return [str(item) for item in value]
+    if not isinstance(value, str):
+        raise SqlTypeError(f"cannot parse an array literal from {value!r}")
+    text = value.strip()
+    if not text:
+        return []
+    if not (text.startswith("{") and text.endswith("}")):
+        return [text]
+    inner = text[1:-1]
+    if not inner.strip():
+        return []
+
+    elements: List[str] = []
+    current: List[str] = []
+    depth = 0
+    in_quotes = False
+    i = 0
+    while i < len(inner):
+        ch = inner[i]
+        if in_quotes:
+            if ch == '"':
+                if i + 1 < len(inner) and inner[i + 1] == '"':
+                    current.append('"')
+                    i += 2
+                    continue
+                in_quotes = False
+            else:
+                current.append(ch)
+            i += 1
+            continue
+        if ch == '"':
+            in_quotes = True
+            i += 1
+            continue
+        if ch in "({[":
+            depth += 1
+            current.append(ch)
+        elif ch in ")}]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            elements.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if in_quotes:
+        raise SqlTypeError(f"unterminated quote in array literal: {value!r}")
+    elements.append("".join(current).strip())
+    return [e for e in elements if e != ""]
+
+
+def format_array_literal(items: Sequence[Any]) -> str:
+    """Format a Python sequence as a PostgreSQL array literal."""
+    parts = []
+    for item in items:
+        text = str(item)
+        if "," in text or "{" in text or "}" in text or '"' in text:
+            escaped = text.replace('"', '""')
+            parts.append(f'"{escaped}"')
+        else:
+            parts.append(text)
+    return "{" + ", ".join(parts) + "}"

@@ -1,0 +1,214 @@
+"""The database facade: catalogue of tables, UDF registry, query execution."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SqlCatalogError, SqlIntegrityError
+from repro.sqldb.executor import Executor
+from repro.sqldb.parser import parse_sql
+from repro.sqldb.result import ResultSet
+from repro.sqldb.schema import TableSchema
+from repro.sqldb.table import Table
+from repro.sqldb.udf import UdfRegistry
+
+
+class Database:
+    """An in-memory SQL database with UDF extensibility.
+
+    This is the PostgreSQL stand-in that pgFMU plugs into.  Typical use::
+
+        db = Database()
+        db.execute("CREATE TABLE measurements (time double precision, x double precision)")
+        db.execute("INSERT INTO measurements VALUES (0, 20.7)")
+        rows = db.execute("SELECT * FROM measurements WHERE x > $1", [20]).to_dicts()
+
+    Scalar and set-returning UDFs are registered via :meth:`register_scalar_udf`
+    and :meth:`register_table_udf`; the pgFMU core and the MADlib-like ML
+    routines use exactly this mechanism.
+    """
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self.udfs = UdfRegistry()
+        self._executor = Executor(self)
+        self._prepared: Dict[str, Any] = {}
+        self._statement_cache: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Catalogue
+    # ------------------------------------------------------------------ #
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from a schema object (programmatic DDL)."""
+        name = schema.name.lower()
+        if name in self._tables:
+            raise SqlCatalogError(f"table {name!r} already exists")
+        for fk in schema.foreign_keys:
+            if fk.referenced_table not in self._tables and fk.referenced_table != name:
+                raise SqlCatalogError(
+                    f"foreign key of table {name!r} references unknown table "
+                    f"{fk.referenced_table!r}"
+                )
+        table = Table(schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        name = name.lower()
+        if name not in self._tables:
+            raise SqlCatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SqlCatalogError(f"table {name!r} does not exist") from None
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------ #
+    # Constraints
+    # ------------------------------------------------------------------ #
+    def check_foreign_keys(self, table: Table) -> Optional[Callable[[Dict[str, Any]], None]]:
+        """Return a row-level foreign-key checker for ``table`` (or None)."""
+        foreign_keys = table.schema.foreign_keys
+        if not foreign_keys:
+            return None
+
+        def check(row: Dict[str, Any]) -> None:
+            for fk in foreign_keys:
+                values = [row.get(col) for col in fk.columns]
+                if any(v is None for v in values):
+                    continue
+                referenced = self.table(fk.referenced_table)
+                if fk.referenced_columns == referenced.schema.primary_key:
+                    if referenced.lookup_pk(values) is not None:
+                        continue
+                    raise SqlIntegrityError(
+                        f"foreign key violation: {fk.columns} = {values!r} has no match in "
+                        f"{fk.referenced_table!r}"
+                    )
+                matched = any(
+                    all(
+                        candidate.get(ref_col) == value
+                        for ref_col, value in zip(fk.referenced_columns, values)
+                    )
+                    for candidate in referenced.to_dicts()
+                )
+                if not matched:
+                    raise SqlIntegrityError(
+                        f"foreign key violation: {fk.columns} = {values!r} has no match in "
+                        f"{fk.referenced_table!r}"
+                    )
+
+        return check
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
+        """Parse and execute one SQL statement."""
+        statement = self._parse_cached(sql)
+        return self._executor.execute(statement, params=params)
+
+    def execute_statement(
+        self,
+        statement,
+        params: Optional[Sequence[Any]] = None,
+        outer_row: Optional[Dict[str, Any]] = None,
+    ) -> ResultSet:
+        """Execute an already-parsed statement (used for subqueries)."""
+        return self._executor.execute(statement, params=params, outer_row=outer_row)
+
+    def query_dicts(self, sql: str, params: Optional[Sequence[Any]] = None) -> List[Dict[str, Any]]:
+        """Execute a query and return rows as dictionaries."""
+        return self.execute(sql, params).to_dicts()
+
+    def query_scalar(self, sql: str, params: Optional[Sequence[Any]] = None) -> Any:
+        """Execute a query expected to return a single scalar value."""
+        return self.execute(sql, params).scalar()
+
+    def _parse_cached(self, sql: str):
+        key = sql.strip()
+        statement = self._statement_cache.get(key)
+        if statement is None:
+            statement = parse_sql(sql)
+            if len(self._statement_cache) > 512:
+                self._statement_cache.clear()
+            self._statement_cache[key] = statement
+        return statement
+
+    # ------------------------------------------------------------------ #
+    # Prepared statements
+    # ------------------------------------------------------------------ #
+    def prepare(self, name: str, sql: str) -> None:
+        """Prepare a statement under a name (``$1``-style parameters)."""
+        self._prepared[name.lower()] = parse_sql(sql)
+
+    def execute_prepared(self, name: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
+        """Execute a previously prepared statement."""
+        statement = self._prepared.get(name.lower())
+        if statement is None:
+            raise SqlCatalogError(f"prepared statement {name!r} does not exist")
+        return self._executor.execute(statement, params=params)
+
+    def deallocate(self, name: str) -> None:
+        """Drop a prepared statement (no error if absent)."""
+        self._prepared.pop(name.lower(), None)
+
+    # ------------------------------------------------------------------ #
+    # UDF registration
+    # ------------------------------------------------------------------ #
+    def register_scalar_udf(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        min_args: int = 0,
+        max_args: Optional[int] = None,
+        description: str = "",
+    ) -> None:
+        """Register a scalar UDF; ``func(db, *args)`` is called at runtime."""
+        self.udfs.register_scalar(name, func, min_args=min_args, max_args=max_args, description=description)
+
+    def register_table_udf(
+        self,
+        name: str,
+        func: Callable[..., Sequence[Sequence[Any]]],
+        columns: Sequence[str],
+        min_args: int = 0,
+        max_args: Optional[int] = None,
+        description: str = "",
+    ) -> None:
+        """Register a set-returning UDF; ``func(db, *args)`` returns rows."""
+        self.udfs.register_table(
+            name, func, columns, min_args=min_args, max_args=max_args, description=description
+        )
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers
+    # ------------------------------------------------------------------ #
+    def insert_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many positional rows into a table (bypassing SQL parsing)."""
+        table = self.table(table_name)
+        fk_check = self.check_foreign_keys(table)
+        count = 0
+        for row in rows:
+            table.insert(row, fk_check=fk_check)
+            count += 1
+        return count
+
+    def insert_dicts(self, table_name: str, rows: Iterable[Dict[str, Any]]) -> int:
+        """Insert many dict rows (missing columns become NULL/defaults)."""
+        table = self.table(table_name)
+        fk_check = self.check_foreign_keys(table)
+        count = 0
+        for row in rows:
+            columns = list(row)
+            table.insert([row[c] for c in columns], columns, fk_check=fk_check)
+            count += 1
+        return count

@@ -1,0 +1,648 @@
+"""Recursive-descent SQL parser producing the AST of :mod:`repro.sqldb.ast_nodes`."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlSyntaxError
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    Cast,
+    ColumnRef,
+    ColumnSpec,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExistsSubquery,
+    Expression,
+    FromItem,
+    FuncCall,
+    FunctionRef,
+    InList,
+    InsertStatement,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Parameter,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    UpdateStatement,
+    Statement,
+)
+from repro.sqldb.tokenizer import Token, tokenize
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_TYPE_KEYWORD_WORDS = {"double", "precision", "timestamp", "interval"}
+
+
+class Parser:
+    """Parses one SQL statement from a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> SqlSyntaxError:
+        token = token or self._peek()
+        found = token.value if token.kind != "eof" else "end of input"
+        return SqlSyntaxError(f"line {token.line}, column {token.column}: {message} (found {found!r})")
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.matches("keyword", word):
+            raise self._error(f"expected keyword {word.upper()}")
+        return self._advance()
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._peek()
+        if not token.matches("op", op):
+            raise self._error(f"expected {op!r}")
+        return self._advance()
+
+    def _match_keyword(self, *words: str) -> Optional[Token]:
+        token = self._peek()
+        for word in words:
+            if token.matches("keyword", word):
+                return self._advance()
+        return None
+
+    def _match_op(self, op: str) -> Optional[Token]:
+        token = self._peek()
+        if token.matches("op", op):
+            return self._advance()
+        return None
+
+    def _expect_name(self) -> str:
+        """Accept an identifier (or non-reserved keyword) as a name."""
+        token = self._peek()
+        if token.kind in ("ident", "keyword"):
+            self._advance()
+            return token.value
+        raise self._error("expected a name")
+
+    # ------------------------------------------------------------------ #
+    # Statement dispatch
+    # ------------------------------------------------------------------ #
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.matches("keyword", "select") or token.matches("op", "("):
+            statement = self._parse_select()
+        elif token.matches("keyword", "insert"):
+            statement = self._parse_insert()
+        elif token.matches("keyword", "update"):
+            statement = self._parse_update()
+        elif token.matches("keyword", "delete"):
+            statement = self._parse_delete()
+        elif token.matches("keyword", "create"):
+            statement = self._parse_create_table()
+        elif token.matches("keyword", "drop"):
+            statement = self._parse_drop_table()
+        else:
+            raise self._error("expected a SQL statement")
+        self._match_op(";")
+        if self._peek().kind != "eof":
+            raise self._error("unexpected trailing input after statement")
+        return statement
+
+    # ------------------------------------------------------------------ #
+    # SELECT
+    # ------------------------------------------------------------------ #
+    def _parse_select(self) -> SelectStatement:
+        if self._match_op("("):
+            select = self._parse_select()
+            self._expect_op(")")
+            return select
+        self._expect_keyword("select")
+        distinct = bool(self._match_keyword("distinct"))
+        if distinct is False:
+            self._match_keyword("all")
+
+        items = [self._parse_select_item()]
+        while self._match_op(","):
+            items.append(self._parse_select_item())
+
+        from_items: List[FromItem] = []
+        if self._match_keyword("from"):
+            from_items.append(self._parse_from_item())
+            while self._match_op(","):
+                from_items.append(self._parse_from_item())
+
+        where = self._parse_expression() if self._match_keyword("where") else None
+
+        group_by: List[Expression] = []
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expression())
+            while self._match_op(","):
+                group_by.append(self._parse_expression())
+
+        having = self._parse_expression() if self._match_keyword("having") else None
+
+        order_by: List[OrderItem] = []
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._match_op(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        offset = None
+        if self._match_keyword("limit"):
+            limit = self._parse_expression()
+        if self._match_keyword("offset"):
+            offset = self._parse_expression()
+
+        return SelectStatement(
+            items=items,
+            from_items=from_items,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.matches("op", "*"):
+            self._advance()
+            return SelectItem(expr=Star())
+        # alias.* form
+        if token.kind == "ident" and self._peek(1).matches("op", ".") and self._peek(2).matches("op", "*"):
+            self._advance()
+            self._advance()
+            self._advance()
+            return SelectItem(expr=Star(table=token.value.lower()))
+        expr = self._parse_expression()
+        alias = self._parse_optional_alias()
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self._match_keyword("as"):
+            return self._expect_name().lower()
+        token = self._peek()
+        if token.kind == "ident":
+            self._advance()
+            return token.value.lower()
+        return None
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expression()
+        ascending = True
+        if self._match_keyword("desc"):
+            ascending = False
+        else:
+            self._match_keyword("asc")
+        return OrderItem(expr=expr, ascending=ascending)
+
+    # ------------------------------------------------------------------ #
+    # FROM clause
+    # ------------------------------------------------------------------ #
+    def _parse_from_item(self) -> FromItem:
+        item = self._parse_from_primary()
+        while True:
+            if self._match_keyword("cross"):
+                self._expect_keyword("join")
+                right = self._parse_from_primary()
+                item = Join(left=item, right=right, kind="cross")
+                continue
+            kind = None
+            if self._match_keyword("inner"):
+                kind = "inner"
+                self._expect_keyword("join")
+            elif self._match_keyword("left"):
+                kind = "left"
+                self._match_keyword("outer")
+                self._expect_keyword("join")
+            elif self._match_keyword("join"):
+                kind = "inner"
+            if kind is None:
+                return item
+            right = self._parse_from_primary()
+            self._expect_keyword("on")
+            condition = self._parse_expression()
+            item = Join(left=item, right=right, kind=kind, condition=condition)
+
+    def _parse_from_primary(self) -> FromItem:
+        lateral = bool(self._match_keyword("lateral"))
+        token = self._peek()
+
+        if token.matches("op", "("):
+            self._advance()
+            select = self._parse_select()
+            self._expect_op(")")
+            alias = self._parse_optional_alias()
+            return SubqueryRef(select=select, alias=alias, lateral=lateral)
+
+        if token.kind in ("ident", "keyword"):
+            name = self._expect_name()
+            if self._peek().matches("op", "("):
+                call = self._parse_func_call_args(name)
+                alias = None
+                column_aliases: List[str] = []
+                if self._match_keyword("as"):
+                    alias = self._expect_name().lower()
+                elif self._peek().kind == "ident":
+                    alias = self._advance().value.lower()
+                if self._match_op("("):
+                    column_aliases.append(self._expect_name().lower())
+                    while self._match_op(","):
+                        column_aliases.append(self._expect_name().lower())
+                    self._expect_op(")")
+                return FunctionRef(
+                    call=call, alias=alias, lateral=lateral, column_aliases=column_aliases
+                )
+            alias = self._parse_optional_alias()
+            return TableRef(name=name.lower(), alias=alias)
+
+        raise self._error("expected a table, function, or subquery in FROM")
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        expr = self._parse_and()
+        while self._match_keyword("or"):
+            expr = BinaryOp(op="or", left=expr, right=self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expression:
+        expr = self._parse_not()
+        while self._match_keyword("and"):
+            expr = BinaryOp(op="and", left=expr, right=self._parse_not())
+        return expr
+
+    def _parse_not(self) -> Expression:
+        if self._match_keyword("not"):
+            return UnaryOp(op="not", operand=self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        expr = self._parse_additive()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in _COMPARISON_OPS:
+                self._advance()
+                expr = BinaryOp(op=token.value, left=expr, right=self._parse_additive())
+                continue
+            if token.matches("keyword", "is"):
+                self._advance()
+                negated = bool(self._match_keyword("not"))
+                self._expect_keyword("null")
+                expr = IsNull(operand=expr, negated=negated)
+                continue
+            negated = False
+            if token.matches("keyword", "not") and self._peek(1).kind == "keyword" and self._peek(1).value.lower() in ("in", "between", "like"):
+                self._advance()
+                negated = True
+                token = self._peek()
+            if token.matches("keyword", "in"):
+                self._advance()
+                expr = self._parse_in_rhs(expr, negated)
+                continue
+            if token.matches("keyword", "between"):
+                self._advance()
+                low = self._parse_additive()
+                self._expect_keyword("and")
+                high = self._parse_additive()
+                expr = Between(operand=expr, low=low, high=high, negated=negated)
+                continue
+            if token.matches("keyword", "like"):
+                self._advance()
+                pattern = self._parse_additive()
+                expr = Like(operand=expr, pattern=pattern, negated=negated)
+                continue
+            return expr
+
+    def _parse_in_rhs(self, operand: Expression, negated: bool) -> Expression:
+        self._expect_op("(")
+        if self._peek().matches("keyword", "select"):
+            select = self._parse_select()
+            self._expect_op(")")
+            return InList(operand=operand, items=[], negated=negated, subquery=select)
+        items = [self._parse_expression()]
+        while self._match_op(","):
+            items.append(self._parse_expression())
+        self._expect_op(")")
+        return InList(operand=operand, items=items, negated=negated)
+
+    def _parse_additive(self) -> Expression:
+        expr = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-", "||"):
+                self._advance()
+                expr = BinaryOp(op=token.value, left=expr, right=self._parse_multiplicative())
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> Expression:
+        expr = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/", "%"):
+                self._advance()
+                expr = BinaryOp(op=token.value, left=expr, right=self._parse_unary())
+            else:
+                return expr
+
+    def _parse_unary(self) -> Expression:
+        token = self._peek()
+        if token.kind == "op" and token.value in ("-", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            if token.value == "-":
+                return UnaryOp(op="-", operand=operand)
+            return operand
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expression:
+        expr = self._parse_primary()
+        while self._match_op("::"):
+            expr = Cast(operand=expr, type_name=self._parse_type_name())
+        return expr
+
+    def _parse_type_name(self) -> str:
+        words = [self._expect_name().lower()]
+        while self._peek().kind in ("ident", "keyword") and self._peek().value.lower() in _TYPE_KEYWORD_WORDS:
+            words.append(self._advance().value.lower())
+        if self._match_op("("):
+            # length/precision arguments are parsed and discarded
+            self._parse_expression()
+            while self._match_op(","):
+                self._parse_expression()
+            self._expect_op(")")
+        return " ".join(words)
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+
+        if token.kind == "number":
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text.lower()) else int(text)
+            return Literal(value)
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "param":
+            self._advance()
+            return Parameter(index=int(token.value))
+        if token.matches("keyword", "null"):
+            self._advance()
+            return Literal(None)
+        if token.matches("keyword", "true"):
+            self._advance()
+            return Literal(True)
+        if token.matches("keyword", "false"):
+            self._advance()
+            return Literal(False)
+        if token.matches("keyword", "interval"):
+            self._advance()
+            value = self._peek()
+            if value.kind != "string":
+                raise self._error("expected a string literal after INTERVAL")
+            self._advance()
+            return FuncCall(name="interval", args=[Literal(value.value)])
+        if token.matches("keyword", "case"):
+            return self._parse_case()
+        if token.matches("keyword", "cast"):
+            self._advance()
+            self._expect_op("(")
+            operand = self._parse_expression()
+            self._expect_keyword("as")
+            type_name = self._parse_type_name()
+            self._expect_op(")")
+            return Cast(operand=operand, type_name=type_name)
+        if token.matches("keyword", "exists"):
+            self._advance()
+            self._expect_op("(")
+            select = self._parse_select()
+            self._expect_op(")")
+            return ExistsSubquery(select=select)
+        if token.matches("op", "("):
+            self._advance()
+            if self._peek().matches("keyword", "select"):
+                select = self._parse_select()
+                self._expect_op(")")
+                return ScalarSubquery(select=select)
+            expr = self._parse_expression()
+            self._expect_op(")")
+            return expr
+        if token.kind == "ident":
+            name = self._expect_name()
+            if self._peek().matches("op", "("):
+                return self._parse_func_call_args(name)
+            if self._match_op("."):
+                column = self._expect_name()
+                return ColumnRef(name=column.lower(), table=name.lower())
+            return ColumnRef(name=name.lower())
+        raise self._error("expected an expression")
+
+    def _parse_func_call_args(self, name: str) -> FuncCall:
+        self._expect_op("(")
+        if self._match_op(")"):
+            return FuncCall(name=name.lower(), args=[])
+        if self._peek().matches("op", "*"):
+            self._advance()
+            self._expect_op(")")
+            return FuncCall(name=name.lower(), args=[], star_arg=True)
+        distinct = bool(self._match_keyword("distinct"))
+        args = [self._parse_expression()]
+        while self._match_op(","):
+            args.append(self._parse_expression())
+        self._expect_op(")")
+        return FuncCall(name=name.lower(), args=args, distinct=distinct)
+
+    def _parse_case(self) -> Expression:
+        self._expect_keyword("case")
+        whens: List[Tuple[Expression, Expression]] = []
+        while self._match_keyword("when"):
+            condition = self._parse_expression()
+            self._expect_keyword("then")
+            value = self._parse_expression()
+            whens.append((condition, value))
+        default = None
+        if self._match_keyword("else"):
+            default = self._parse_expression()
+        self._expect_keyword("end")
+        if not whens:
+            raise self._error("CASE requires at least one WHEN clause")
+        return CaseExpression(whens=whens, default=default)
+
+    # ------------------------------------------------------------------ #
+    # INSERT / UPDATE / DELETE
+    # ------------------------------------------------------------------ #
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_name().lower()
+        columns: List[str] = []
+        if self._match_op("("):
+            columns.append(self._expect_name().lower())
+            while self._match_op(","):
+                columns.append(self._expect_name().lower())
+            self._expect_op(")")
+        if self._match_keyword("values"):
+            values: List[List[Expression]] = []
+            while True:
+                self._expect_op("(")
+                row = [self._parse_expression()]
+                while self._match_op(","):
+                    row.append(self._parse_expression())
+                self._expect_op(")")
+                values.append(row)
+                if not self._match_op(","):
+                    break
+            return InsertStatement(table=table, columns=columns, values=values)
+        if self._peek().matches("keyword", "select") or self._peek().matches("op", "("):
+            select = self._parse_select()
+            return InsertStatement(table=table, columns=columns, select=select)
+        raise self._error("expected VALUES or SELECT in INSERT")
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("update")
+        table = self._expect_name().lower()
+        self._expect_keyword("set")
+        assignments: List[Tuple[str, Expression]] = []
+        while True:
+            column = self._expect_name().lower()
+            self._expect_op("=")
+            assignments.append((column, self._parse_expression()))
+            if not self._match_op(","):
+                break
+        where = self._parse_expression() if self._match_keyword("where") else None
+        return UpdateStatement(table=table, assignments=assignments, where=where)
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_name().lower()
+        where = self._parse_expression() if self._match_keyword("where") else None
+        return DeleteStatement(table=table, where=where)
+
+    # ------------------------------------------------------------------ #
+    # CREATE / DROP TABLE
+    # ------------------------------------------------------------------ #
+    def _parse_create_table(self) -> CreateTableStatement:
+        self._expect_keyword("create")
+        self._expect_keyword("table")
+        if_not_exists = False
+        if self._match_keyword("if"):
+            self._expect_keyword("not")
+            self._expect_keyword("exists")
+            if_not_exists = True
+        name = self._expect_name().lower()
+        self._expect_op("(")
+
+        columns: List[ColumnSpec] = []
+        primary_key: List[str] = []
+        foreign_keys: List[Tuple[List[str], str, List[str]]] = []
+
+        while True:
+            if self._match_keyword("primary"):
+                self._expect_keyword("key")
+                self._expect_op("(")
+                primary_key.append(self._expect_name().lower())
+                while self._match_op(","):
+                    primary_key.append(self._expect_name().lower())
+                self._expect_op(")")
+            elif self._match_keyword("foreign"):
+                self._expect_keyword("key")
+                self._expect_op("(")
+                local = [self._expect_name().lower()]
+                while self._match_op(","):
+                    local.append(self._expect_name().lower())
+                self._expect_op(")")
+                self._expect_keyword("references")
+                ref_table = self._expect_name().lower()
+                ref_columns: List[str] = []
+                if self._match_op("("):
+                    ref_columns.append(self._expect_name().lower())
+                    while self._match_op(","):
+                        ref_columns.append(self._expect_name().lower())
+                    self._expect_op(")")
+                foreign_keys.append((local, ref_table, ref_columns))
+            else:
+                columns.append(self._parse_column_spec())
+            if self._match_op(","):
+                continue
+            self._expect_op(")")
+            break
+
+        return CreateTableStatement(
+            name=name,
+            columns=columns,
+            primary_key=primary_key,
+            foreign_keys=foreign_keys,
+            if_not_exists=if_not_exists,
+        )
+
+    def _parse_column_spec(self) -> ColumnSpec:
+        name = self._expect_name().lower()
+        type_name = self._parse_type_name()
+        spec = ColumnSpec(name=name, type_name=type_name)
+        while True:
+            if self._match_keyword("not"):
+                self._expect_keyword("null")
+                spec.not_null = True
+            elif self._match_keyword("null"):
+                continue
+            elif self._match_keyword("primary"):
+                self._expect_keyword("key")
+                spec.primary_key = True
+            elif self._match_keyword("default"):
+                spec.default = self._parse_expression()
+            elif self._match_keyword("references"):
+                ref_table = self._expect_name().lower()
+                ref_column = None
+                if self._match_op("("):
+                    ref_column = self._expect_name().lower()
+                    self._expect_op(")")
+                spec.references = (ref_table, ref_column)
+            else:
+                return spec
+
+    def _parse_drop_table(self) -> DropTableStatement:
+        self._expect_keyword("drop")
+        self._expect_keyword("table")
+        if_exists = False
+        if self._match_keyword("if"):
+            self._expect_keyword("exists")
+            if_exists = True
+        name = self._expect_name().lower()
+        return DropTableStatement(name=name, if_exists=if_exists)
+
+
+def parse_sql(text: str) -> Statement:
+    """Parse one SQL statement."""
+    if not text or not text.strip():
+        raise SqlSyntaxError("empty SQL statement")
+    return Parser(tokenize(text)).parse_statement()

@@ -1,0 +1,95 @@
+"""Query result container."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import SqlExecutionError
+
+
+class ResultSet:
+    """Rows and column names returned by a query.
+
+    The container offers the small set of access patterns the pgFMU core and
+    the experiment harness need: positional rows, dict rows, single-scalar
+    extraction, and a column accessor.
+    """
+
+    def __init__(self, columns: Sequence[str], rows: Sequence[Sequence[Any]], rowcount: Optional[int] = None):
+        self.columns: List[str] = [str(c) for c in columns]
+        self.rows: List[List[Any]] = [list(r) for r in rows]
+        #: Number of affected rows for DML statements (INSERT/UPDATE/DELETE).
+        self.rowcount: int = rowcount if rowcount is not None else len(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # Access helpers
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[List[Any]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def first(self) -> Optional[Dict[str, Any]]:
+        """The first row as a dict, or None for an empty result."""
+        if not self.rows:
+            return None
+        return dict(zip(self.columns, self.rows[0]))
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (e.g. ``SELECT fmu_create(...)``)."""
+        if not self.rows:
+            raise SqlExecutionError("query returned no rows; expected a scalar")
+        if len(self.rows[0]) != 1:
+            raise SqlExecutionError(
+                f"query returned {len(self.rows[0])} columns; expected a single scalar"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise SqlExecutionError(
+                f"result has no column {name!r}; columns are {self.columns}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------ #
+    # Pretty printing (used by the experiment harness)
+    # ------------------------------------------------------------------ #
+    def to_text(self, max_rows: int = 50) -> str:
+        """Render the result as a fixed-width text table."""
+        shown = self.rows[:max_rows]
+        cells = [[_format_cell(v) for v in row] for row in shown]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [header, separator]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,139 @@
+"""Table schema definitions: columns, keys and constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import SqlCatalogError, SqlTypeError
+from repro.sqldb.types import SqlType, coerce
+
+
+@dataclass
+class ColumnDefinition:
+    """One column of a table: name, type and column-level constraints."""
+
+    name: str
+    sql_type: SqlType
+    not_null: bool = False
+    default: Any = None
+
+    def __post_init__(self):
+        if isinstance(self.sql_type, str):
+            self.sql_type = SqlType.parse(self.sql_type)
+        self.name = self.name.lower()
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a value to this column's type, honouring NOT NULL."""
+        if value is None:
+            if self.default is not None:
+                value = self.default
+            elif self.not_null:
+                raise SqlTypeError(f"column {self.name!r} is NOT NULL")
+            else:
+                return None
+        return coerce(value, self.sql_type)
+
+
+@dataclass
+class ForeignKey:
+    """A foreign-key constraint referencing columns of another table."""
+
+    columns: List[str]
+    referenced_table: str
+    referenced_columns: List[str]
+
+    def __post_init__(self):
+        self.columns = [c.lower() for c in self.columns]
+        self.referenced_table = self.referenced_table.lower()
+        self.referenced_columns = [c.lower() for c in self.referenced_columns]
+        if len(self.columns) != len(self.referenced_columns):
+            raise SqlCatalogError(
+                "foreign key column count does not match referenced column count"
+            )
+
+
+@dataclass
+class TableSchema:
+    """A table definition: ordered columns plus key constraints."""
+
+    name: str
+    columns: List[ColumnDefinition]
+    primary_key: List[str] = field(default_factory=list)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.name = self.name.lower()
+        self.primary_key = [c.lower() for c in self.primary_key]
+        seen = set()
+        for column in self.columns:
+            if column.name in seen:
+                raise SqlCatalogError(
+                    f"table {self.name!r}: duplicate column {column.name!r}"
+                )
+            seen.add(column.name)
+        for key_col in self.primary_key:
+            if key_col not in seen:
+                raise SqlCatalogError(
+                    f"table {self.name!r}: primary key column {key_col!r} does not exist"
+                )
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in seen:
+                    raise SqlCatalogError(
+                        f"table {self.name!r}: foreign key column {col!r} does not exist"
+                    )
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(self.columns)}
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnDefinition:
+        try:
+            return self.columns[self._index[name.lower()]]
+        except KeyError:
+            raise SqlCatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SqlCatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def coerce_row(self, values: Sequence[Any], column_names: Optional[Sequence[str]] = None) -> list:
+        """Build a full, type-coerced row from supplied values.
+
+        Parameters
+        ----------
+        values:
+            Values in the order of ``column_names`` (or of the table's
+            columns when ``column_names`` is ``None``).
+        column_names:
+            Optional explicit column list, as in ``INSERT INTO t (a, b)``.
+        """
+        if column_names is None:
+            names = self.column_names
+            if len(values) != len(names):
+                raise SqlTypeError(
+                    f"table {self.name!r} expects {len(names)} values, got {len(values)}"
+                )
+            provided = dict(zip(names, values))
+        else:
+            lowered = [c.lower() for c in column_names]
+            for name in lowered:
+                if not self.has_column(name):
+                    raise SqlCatalogError(f"table {self.name!r} has no column {name!r}")
+            if len(values) != len(lowered):
+                raise SqlTypeError(
+                    f"INSERT supplies {len(lowered)} columns but {len(values)} values"
+                )
+            provided = dict(zip(lowered, values))
+        return [column.coerce(provided.get(column.name)) for column in self.columns]

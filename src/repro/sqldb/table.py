@@ -1,0 +1,174 @@
+"""Row storage with primary-key and foreign-key enforcement."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlIntegrityError
+from repro.sqldb.schema import TableSchema
+from repro.sqldb.types import Variant
+
+
+def _key_of(value: Any) -> Any:
+    """Normalize a value for use inside a uniqueness key."""
+    if isinstance(value, Variant):
+        value = value.value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+class Table:
+    """An in-memory heap table with an optional primary-key index.
+
+    The table owns its rows (lists aligned with the schema's column order)
+    and maintains a hash index over the primary key for O(1) uniqueness
+    checks and point lookups — the same role a B-tree PK index plays in
+    PostgreSQL for the model catalogue tables.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: List[list] = []
+        self._pk_index: Dict[Tuple, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.schema.column_names
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[list]:
+        """Iterate over copies of all rows."""
+        for row in self._rows:
+            yield list(row)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All rows as dictionaries keyed by column name."""
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    # ------------------------------------------------------------------ #
+    # Primary key helpers
+    # ------------------------------------------------------------------ #
+    def _pk_positions(self) -> List[int]:
+        return [self.schema.column_position(c) for c in self.schema.primary_key]
+
+    def _pk_key(self, row: Sequence[Any]) -> Optional[Tuple]:
+        positions = self._pk_positions()
+        if not positions:
+            return None
+        return tuple(_key_of(row[i]) for i in positions)
+
+    def _rebuild_pk_index(self) -> None:
+        self._pk_index = {}
+        for i, row in enumerate(self._rows):
+            key = self._pk_key(row)
+            if key is None:
+                continue
+            if key in self._pk_index:
+                raise SqlIntegrityError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._pk_index[key] = i
+
+    def lookup_pk(self, key_values: Sequence[Any]) -> Optional[Dict[str, Any]]:
+        """Point lookup by primary key; returns a dict row or None."""
+        key = tuple(_key_of(v) for v in key_values)
+        index = self._pk_index.get(key)
+        if index is None:
+            return None
+        return dict(zip(self.column_names, self._rows[index]))
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(
+        self,
+        values: Sequence[Any],
+        column_names: Optional[Sequence[str]] = None,
+        fk_check: Optional[Callable[[Any], None]] = None,
+    ) -> list:
+        """Insert one row (after type coercion and constraint checks)."""
+        row = self.schema.coerce_row(values, column_names)
+        key = self._pk_key(row)
+        if key is not None:
+            if any(part is None for part in key):
+                raise SqlIntegrityError(
+                    f"primary key of table {self.name!r} must not contain NULL"
+                )
+            if key in self._pk_index:
+                raise SqlIntegrityError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+        if fk_check is not None:
+            fk_check(dict(zip(self.column_names, row)))
+        self._rows.append(row)
+        if key is not None:
+            self._pk_index[key] = len(self._rows) - 1
+        return list(row)
+
+    def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
+        """Delete all rows matching ``predicate``; returns the count removed."""
+        names = self.column_names
+        kept = []
+        removed = 0
+        for row in self._rows:
+            if predicate(dict(zip(names, row))):
+                removed += 1
+            else:
+                kept.append(row)
+        if removed:
+            self._rows = kept
+            self._rebuild_pk_index()
+        return removed
+
+    def update_where(
+        self,
+        predicate: Callable[[Dict[str, Any]], bool],
+        updater: Callable[[Dict[str, Any]], Dict[str, Any]],
+    ) -> int:
+        """Update all rows matching ``predicate``; returns the count updated.
+
+        ``updater`` receives the current row as a dict and returns a dict of
+        column -> new value for the columns to change.
+        """
+        names = self.column_names
+        updated = 0
+        new_rows: List[list] = []
+        for row in self._rows:
+            row_dict = dict(zip(names, row))
+            if predicate(row_dict):
+                changes = updater(row_dict)
+                for column_name, new_value in changes.items():
+                    column = self.schema.column(column_name)
+                    row_dict[column_name.lower()] = column.coerce(new_value)
+                new_rows.append([row_dict[name] for name in names])
+                updated += 1
+            else:
+                new_rows.append(row)
+        if updated:
+            self._rows = new_rows
+            self._rebuild_pk_index()
+        return updated
+
+    def truncate(self) -> None:
+        """Remove all rows."""
+        self._rows = []
+        self._pk_index = {}
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count

@@ -1,0 +1,193 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "offset", "distinct", "as", "and", "or", "not", "in", "is", "null",
+    "between", "like", "case", "when", "then", "else", "end", "cast",
+    "insert", "into", "values", "update", "set", "delete", "create", "table",
+    "drop", "if", "exists", "primary", "key", "foreign", "references",
+    "default", "asc", "desc", "join", "inner", "left", "right", "full",
+    "outer", "cross", "on", "lateral", "union", "all", "true", "false",
+    "union", "interval", "extract",
+}
+
+#: Multi-character operators first so the scanner prefers the longest match.
+OPERATORS = [
+    "::", "||", "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/",
+    "%", "(", ")", ",", ".", ";",
+]
+
+
+@dataclass
+class Token:
+    """One SQL token with its position (1-based line/column)."""
+
+    kind: str  # 'keyword', 'ident', 'number', 'string', 'op', 'param', 'eof'
+    value: str
+    line: int
+    column: int
+
+    def matches(self, kind: str, value: str = None) -> bool:
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        return self.value.lower() == value.lower()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+class Tokenizer:
+    """Converts SQL text into a token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(f"line {self.line}, column {self.column}: {message}")
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until (and including) an ``eof`` token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                yield Token("eof", "", self.line, self.column)
+                return
+            line, column = self.line, self.column
+            ch = self._peek()
+
+            # Identifiers and keywords.
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self.pos < len(self.text) and (
+                    self._peek().isalnum() or self._peek() == "_"
+                ):
+                    self._advance()
+                word = self.text[start:self.pos]
+                kind = "keyword" if word.lower() in KEYWORDS else "ident"
+                yield Token(kind, word, line, column)
+                continue
+
+            # Quoted identifiers.
+            if ch == '"':
+                self._advance()
+                start = self.pos
+                while self.pos < len(self.text) and self._peek() != '"':
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise self._error("unterminated quoted identifier")
+                word = self.text[start:self.pos]
+                self._advance()
+                yield Token("ident", word, line, column)
+                continue
+
+            # Numbers.
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                start = self.pos
+                seen_dot = False
+                seen_exp = False
+                while self.pos < len(self.text):
+                    c = self._peek()
+                    if c.isdigit():
+                        self._advance()
+                    elif c == "." and not seen_dot and not seen_exp and self._peek(1).isdigit():
+                        seen_dot = True
+                        self._advance()
+                    elif c in "eE" and not seen_exp and (
+                        self._peek(1).isdigit()
+                        or (self._peek(1) in "+-" and self._peek(2).isdigit())
+                    ):
+                        seen_exp = True
+                        self._advance()
+                        if self._peek() in "+-":
+                            self._advance()
+                    else:
+                        break
+                yield Token("number", self.text[start:self.pos], line, column)
+                continue
+
+            # String literals with '' escaping.
+            if ch == "'":
+                self._advance()
+                parts: List[str] = []
+                while True:
+                    if self.pos >= len(self.text):
+                        raise self._error("unterminated string literal")
+                    c = self._peek()
+                    if c == "'":
+                        if self._peek(1) == "'":
+                            parts.append("'")
+                            self._advance(2)
+                            continue
+                        self._advance()
+                        break
+                    parts.append(c)
+                    self._advance()
+                yield Token("string", "".join(parts), line, column)
+                continue
+
+            # Positional parameters $1, $2, ...
+            if ch == "$" and self._peek(1).isdigit():
+                self._advance()
+                start = self.pos
+                while self.pos < len(self.text) and self._peek().isdigit():
+                    self._advance()
+                yield Token("param", self.text[start:self.pos], line, column)
+                continue
+
+            for op in OPERATORS:
+                if self.text.startswith(op, self.pos):
+                    self._advance(len(op))
+                    yield Token("op", op, line, column)
+                    break
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text into a list of tokens (ending with ``eof``)."""
+    return list(Tokenizer(text).tokens())

@@ -1,0 +1,129 @@
+"""User-defined function registry.
+
+pgFMU (like MADlib) integrates with the database by registering functions:
+
+* *scalar UDFs* return one value and can appear anywhere an expression can
+  (``SELECT fmu_create(...)``, nested calls, WHERE clauses);
+* *table UDFs* (set-returning functions) return rows with a fixed output
+  schema and appear in FROM (``SELECT * FROM fmu_variables('HP1Instance1')``),
+  including LATERAL usage.
+
+Both kinds receive the owning :class:`~repro.sqldb.database.Database` as
+their first argument, which is how pgFMU's functions execute the user-supplied
+``input_sql`` queries "in place" without any data export/import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlCatalogError
+
+
+@dataclass
+class ScalarUdf:
+    """A scalar user-defined function."""
+
+    name: str
+    func: Callable[..., Any]
+    min_args: int = 0
+    max_args: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self):
+        self.name = self.name.lower()
+        if self.max_args is not None and self.max_args < self.min_args:
+            raise SqlCatalogError(
+                f"UDF {self.name!r}: max_args must be >= min_args"
+            )
+
+    def check_arity(self, n_args: int) -> None:
+        if n_args < self.min_args or (self.max_args is not None and n_args > self.max_args):
+            expected = (
+                f"{self.min_args}" if self.max_args == self.min_args
+                else f"{self.min_args}..{self.max_args if self.max_args is not None else 'N'}"
+            )
+            raise SqlCatalogError(
+                f"function {self.name!r} expects {expected} arguments, got {n_args}"
+            )
+
+
+@dataclass
+class TableUdf:
+    """A set-returning user-defined function with a fixed output schema."""
+
+    name: str
+    func: Callable[..., Sequence[Sequence[Any]]]
+    columns: List[str]
+    min_args: int = 0
+    max_args: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self):
+        self.name = self.name.lower()
+        self.columns = [c.lower() for c in self.columns]
+        if not self.columns:
+            raise SqlCatalogError(f"table UDF {self.name!r} must declare output columns")
+
+    def check_arity(self, n_args: int) -> None:
+        if n_args < self.min_args or (self.max_args is not None and n_args > self.max_args):
+            expected = (
+                f"{self.min_args}" if self.max_args == self.min_args
+                else f"{self.min_args}..{self.max_args if self.max_args is not None else 'N'}"
+            )
+            raise SqlCatalogError(
+                f"function {self.name!r} expects {expected} arguments, got {n_args}"
+            )
+
+
+@dataclass
+class UdfRegistry:
+    """Holds all registered scalar and table UDFs of a database."""
+
+    scalars: Dict[str, ScalarUdf] = field(default_factory=dict)
+    tables: Dict[str, TableUdf] = field(default_factory=dict)
+
+    def register_scalar(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        min_args: int = 0,
+        max_args: Optional[int] = None,
+        description: str = "",
+    ) -> ScalarUdf:
+        """Register (or replace) a scalar UDF."""
+        udf = ScalarUdf(name=name, func=func, min_args=min_args, max_args=max_args, description=description)
+        self.scalars[udf.name] = udf
+        return udf
+
+    def register_table(
+        self,
+        name: str,
+        func: Callable[..., Sequence[Sequence[Any]]],
+        columns: Sequence[str],
+        min_args: int = 0,
+        max_args: Optional[int] = None,
+        description: str = "",
+    ) -> TableUdf:
+        """Register (or replace) a set-returning UDF."""
+        udf = TableUdf(
+            name=name,
+            func=func,
+            columns=list(columns),
+            min_args=min_args,
+            max_args=max_args,
+            description=description,
+        )
+        self.tables[udf.name] = udf
+        return udf
+
+    def scalar(self, name: str) -> Optional[ScalarUdf]:
+        return self.scalars.get(name.lower())
+
+    def table(self, name: str) -> Optional[TableUdf]:
+        return self.tables.get(name.lower())
+
+    def names(self) -> Tuple[List[str], List[str]]:
+        """Names of (scalar, table) UDFs, sorted."""
+        return sorted(self.scalars), sorted(self.tables)

@@ -1,0 +1,33 @@
+"""High-level workflow runners for the paper's experimental scenarios.
+
+* :mod:`repro.workflows.pgfmu_workflow` - the running-example workflow
+  executed through pgFMU (the in-DBMS counterpart of the traditional
+  baseline), with per-step timing.
+* :mod:`repro.workflows.scenarios` - the single-instance (SI) and
+  multi-instance (MI) scenario runners that compare the three configurations
+  of Section 8: ``Python``, ``pgFMU-`` (no MI optimization) and ``pgFMU+``
+  (with MI optimization).
+* :mod:`repro.workflows.usability` - the simulated usability study behind
+  Figure 8 (documented substitution for the human-participant study).
+"""
+
+from repro.workflows.pgfmu_workflow import PgFmuWorkflow
+from repro.workflows.scenarios import (
+    MiScenarioResult,
+    ScenarioSettings,
+    SiScenarioResult,
+    run_mi_scenario,
+    run_si_scenario,
+)
+from repro.workflows.usability import UsabilityStudy, UserOutcome
+
+__all__ = [
+    "PgFmuWorkflow",
+    "ScenarioSettings",
+    "SiScenarioResult",
+    "MiScenarioResult",
+    "run_si_scenario",
+    "run_mi_scenario",
+    "UsabilityStudy",
+    "UserOutcome",
+]

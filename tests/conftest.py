@@ -1,0 +1,81 @@
+"""Shared fixtures: small models, datasets and sessions sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PgFmu
+from repro.data.loaders import load_dataset
+from repro.data.nist import generate_hp1_dataset
+from repro.fmi import load_fmu
+from repro.models.heatpump import build_hp1_archive, hp1_source
+from repro.sqldb import Database
+
+#: Calibration budget small enough for unit tests (a run takes well under a second).
+FAST_GA_OPTIONS = {"population_size": 8, "generations": 4, "patience": 3}
+FAST_LOCAL_OPTIONS = {"max_iterations": 15}
+
+
+@pytest.fixture(scope="session")
+def hp1_archive():
+    """The HP1 FMU archive with nominal parameter values."""
+    return build_hp1_archive()
+
+
+@pytest.fixture()
+def hp1_model(hp1_archive):
+    """A fresh HP1 runtime model."""
+    return load_fmu(hp1_archive)
+
+
+@pytest.fixture(scope="session")
+def hp1_dataset():
+    """A two-day HP1 measurement dataset (49 hourly rows)."""
+    return generate_hp1_dataset(hours=48, seed=3)
+
+
+@pytest.fixture(scope="session")
+def hp1_week_dataset():
+    """A four-day HP1 measurement dataset used by calibration tests."""
+    return generate_hp1_dataset(hours=96, seed=4)
+
+
+@pytest.fixture()
+def database():
+    """An empty SQL database."""
+    return Database()
+
+
+@pytest.fixture()
+def measurements_db(hp1_dataset):
+    """A database with the HP1 dataset loaded as ``measurements``."""
+    db = Database()
+    load_dataset(db, hp1_dataset, table_name="measurements")
+    return db
+
+
+@pytest.fixture()
+def session(tmp_path):
+    """A pgFMU session with a fast calibration budget."""
+    return PgFmu(
+        storage_dir=str(tmp_path / "fmu_storage"),
+        ga_options=dict(FAST_GA_OPTIONS),
+        local_options=dict(FAST_LOCAL_OPTIONS),
+        seed=2,
+    )
+
+
+@pytest.fixture()
+def session_with_data(session, hp1_week_dataset, tmp_path):
+    """A session with HP1 measurements loaded and an HP1Instance1 created."""
+    load_dataset(session.database, hp1_week_dataset, table_name="measurements")
+    mo_path = tmp_path / "hp1.mo"
+    mo_path.write_text(hp1_source())
+    session.create(str(mo_path), "HP1Instance1")
+    return session
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,320 @@
+"""Tests for the FMI substrate: variables, model description, dynamics, archive, runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    FmuFormatError,
+    FmuStateError,
+    FmuVariableError,
+    SimulationInputError,
+)
+from repro.fmi import (
+    Causality,
+    DefaultExperiment,
+    FmuArchive,
+    ModelDescription,
+    OdeSystem,
+    OutputEquation,
+    ScalarVariable,
+    StateEquation,
+    Variability,
+    VariableType,
+    load_fmu,
+)
+from repro.fmi.expressions import CompiledExpression
+from repro.fmi.results import SimulationResult
+
+
+# --------------------------------------------------------------------------- #
+# Scalar variables
+# --------------------------------------------------------------------------- #
+class TestScalarVariable:
+    def test_string_attributes_are_parsed(self):
+        var = ScalarVariable(name="u", causality="input", variability="continuous", var_type="Real")
+        assert var.causality is Causality.INPUT
+        assert var.variability is Variability.CONTINUOUS
+        assert var.var_type is VariableType.REAL
+
+    def test_invalid_causality_rejected(self):
+        with pytest.raises(FmuVariableError):
+            ScalarVariable(name="u", causality="bogus")
+
+    def test_bounds_validation(self):
+        with pytest.raises(FmuVariableError):
+            ScalarVariable(name="p", minimum=2.0, maximum=1.0)
+
+    def test_start_coercion_by_type(self):
+        assert ScalarVariable(name="n", var_type="Integer", start="3").start == 3
+        assert ScalarVariable(name="b", var_type="Boolean", start="true").start is True
+
+    def test_is_state_classification(self):
+        state = ScalarVariable(name="x", causality="local", variability="continuous")
+        assert state.is_state
+        parameter = ScalarVariable(name="p", causality="parameter", variability="tunable")
+        assert parameter.is_parameter and not parameter.is_state
+
+    def test_round_trip_dict(self):
+        var = ScalarVariable(name="x", causality="output", start=1.5, minimum=0.0, maximum=3.0)
+        clone = ScalarVariable.from_dict(var.to_dict())
+        assert clone.name == var.name
+        assert clone.causality is var.causality
+        assert clone.start == pytest.approx(1.5)
+
+
+# --------------------------------------------------------------------------- #
+# Model description
+# --------------------------------------------------------------------------- #
+def simple_description() -> ModelDescription:
+    return ModelDescription.build(
+        model_name="demo",
+        variables=[
+            ScalarVariable(name="a", causality="parameter", start=1.0, minimum=0.0, maximum=2.0),
+            ScalarVariable(name="u", causality="input", start=0.0),
+            ScalarVariable(name="y", causality="output"),
+            ScalarVariable(name="x", causality="local", variability="continuous", start=0.5),
+        ],
+        default_experiment=DefaultExperiment(start_time=0.0, stop_time=10.0, step_size=1.0),
+    )
+
+
+class TestModelDescription:
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(FmuFormatError):
+            ModelDescription.build("demo", [ScalarVariable(name="x"), ScalarVariable(name="x")])
+
+    def test_lookup_and_causality_filters(self):
+        md = simple_description()
+        assert md.variable("a").is_parameter
+        assert [v.name for v in md.parameters] == ["a"]
+        assert [v.name for v in md.inputs] == ["u"]
+        assert [v.name for v in md.outputs] == ["y"]
+        assert [v.name for v in md.states] == ["x"]
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(FmuVariableError):
+            simple_description().variable("nope")
+
+    def test_xml_round_trip(self):
+        md = simple_description()
+        parsed = ModelDescription.from_xml(md.to_xml())
+        assert parsed.model_name == "demo"
+        assert parsed.guid == md.guid
+        assert [v.name for v in parsed.variables] == ["a", "u", "y", "x"]
+        assert parsed.variable("a").minimum == pytest.approx(0.0)
+        assert parsed.default_experiment.stop_time == pytest.approx(10.0)
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(FmuFormatError):
+            ModelDescription.from_xml("<not-fmi/>")
+
+    def test_invalid_default_experiment(self):
+        with pytest.raises(FmuFormatError):
+            DefaultExperiment(start_time=5.0, stop_time=1.0)
+
+    def test_value_references_are_sequential(self):
+        md = simple_description()
+        assert [v.value_reference for v in md.variables] == [0, 1, 2, 3]
+
+
+# --------------------------------------------------------------------------- #
+# Expressions and ODE payload
+# --------------------------------------------------------------------------- #
+class TestCompiledExpression:
+    def test_basic_arithmetic(self):
+        expr = CompiledExpression("a * x + b")
+        assert expr({"a": 2.0, "x": 3.0, "b": 1.0}) == pytest.approx(7.0)
+
+    def test_math_functions_allowed(self):
+        assert CompiledExpression("exp(0) + sin(0)")({}) == pytest.approx(1.0)
+
+    def test_names_exclude_functions_and_constants(self):
+        expr = CompiledExpression("sin(x) + pi * k")
+        assert expr.names == {"x", "k"}
+
+    def test_disallowed_constructs_rejected(self):
+        with pytest.raises(FmuFormatError):
+            CompiledExpression("__import__('os').system('ls')")
+        with pytest.raises(FmuFormatError):
+            CompiledExpression("[1, 2, 3]")
+        with pytest.raises(FmuFormatError):
+            CompiledExpression("x.y")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(FmuFormatError):
+            CompiledExpression("open('x')")
+
+    def test_validate_names(self):
+        with pytest.raises(FmuFormatError):
+            CompiledExpression("a + b").validate_names(["a"])
+
+
+def simple_system() -> OdeSystem:
+    return OdeSystem(
+        states=[StateEquation(name="x", derivative="a * x + u", start=1.0)],
+        outputs=[OutputEquation(name="y", expression="2 * x")],
+        inputs=["u"],
+        parameters={"a": -1.0},
+    )
+
+
+class TestOdeSystem:
+    def test_requires_at_least_one_state(self):
+        with pytest.raises(FmuFormatError):
+            OdeSystem(states=[], outputs=[], inputs=[], parameters={})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FmuFormatError):
+            OdeSystem(
+                states=[StateEquation(name="x", derivative="-x")],
+                outputs=[OutputEquation(name="x", expression="x")],
+            )
+
+    def test_reserved_time_name_rejected(self):
+        with pytest.raises(FmuFormatError):
+            OdeSystem(states=[StateEquation(name="time", derivative="-time")])
+
+    def test_derivative_and_output_evaluation(self):
+        system = simple_system()
+        dx = system.derivatives(0.0, np.array([2.0]), {"u": 1.0}, {})
+        assert dx[0] == pytest.approx(-1.0)
+        outputs = system.evaluate_outputs(0.0, np.array([2.0]), {"u": 1.0}, {})
+        assert outputs["y"] == pytest.approx(4.0)
+
+    def test_parameter_override(self):
+        system = simple_system()
+        dx = system.derivatives(0.0, np.array([2.0]), {"u": 0.0}, {"a": -2.0})
+        assert dx[0] == pytest.approx(-4.0)
+
+    def test_json_round_trip(self):
+        system = simple_system()
+        clone = OdeSystem.from_json(system.to_json())
+        assert clone.state_names == ["x"]
+        assert clone.output_names == ["y"]
+        assert clone.parameters == {"a": -1.0}
+
+    def test_unknown_equation_variable_rejected(self):
+        with pytest.raises(FmuFormatError):
+            OdeSystem(states=[StateEquation(name="x", derivative="x + missing")])
+
+
+# --------------------------------------------------------------------------- #
+# Archive
+# --------------------------------------------------------------------------- #
+class TestArchive:
+    def _archive(self) -> FmuArchive:
+        return FmuArchive(model_description=simple_description(), ode_system=simple_system())
+
+    def test_bytes_round_trip(self):
+        archive = self._archive()
+        clone = FmuArchive.from_bytes(archive.to_bytes())
+        assert clone.model_name == "demo"
+        assert clone.guid == archive.guid
+        assert clone.ode_system.state_names == ["x"]
+
+    def test_file_round_trip(self, tmp_path):
+        archive = self._archive()
+        path = archive.write(tmp_path / "demo.fmu")
+        clone = FmuArchive.read(path)
+        assert clone.model_description.variable("a").start == pytest.approx(1.0)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FmuFormatError):
+            FmuArchive.read(tmp_path / "missing.fmu")
+
+    def test_invalid_zip_rejected(self):
+        with pytest.raises(FmuFormatError):
+            FmuArchive.from_bytes(b"definitely not a zip")
+
+    def test_cross_check_rejects_inconsistent_payload(self):
+        md = ModelDescription.build("demo", [ScalarVariable(name="only")])
+        with pytest.raises(FmuFormatError):
+            FmuArchive(model_description=md, ode_system=simple_system())
+
+
+# --------------------------------------------------------------------------- #
+# Runtime model
+# --------------------------------------------------------------------------- #
+class TestFmuModel:
+    def test_get_set_reset(self, hp1_archive):
+        model = load_fmu(hp1_archive)
+        assert model.get("Cp") == pytest.approx(1.5)
+        model.set("Cp", 2.5)
+        assert model.get("Cp") == pytest.approx(2.5)
+        model.reset()
+        assert model.get("Cp") == pytest.approx(1.5)
+
+    def test_setting_output_rejected(self, hp1_archive):
+        model = load_fmu(hp1_archive)
+        with pytest.raises(FmuStateError):
+            model.set("y", 1.0)
+
+    def test_unknown_input_series_rejected(self, hp1_model):
+        with pytest.raises(SimulationInputError):
+            hp1_model.simulate(inputs={"nope": ([0, 1], [0, 0])}, stop_time=1.0)
+
+    def test_simulation_window_from_inputs(self, hp1_model):
+        t = np.arange(0.0, 10.0, 1.0)
+        result = hp1_model.simulate(inputs={"u": (t, np.zeros_like(t))}, output_step=1.0)
+        assert result.time[0] == pytest.approx(0.0)
+        assert result.time[-1] == pytest.approx(9.0)
+
+    def test_zero_input_cools_towards_outdoor_temperature(self, hp1_model):
+        t = np.arange(0.0, 48.0, 1.0)
+        result = hp1_model.simulate(inputs={"u": (t, np.zeros_like(t))}, output_step=1.0)
+        assert result.final("x") < 20.0  # cooling towards Ta = -10
+
+    def test_full_power_heats_the_house(self, hp1_model):
+        t = np.arange(0.0, 48.0, 1.0)
+        result = hp1_model.simulate(inputs={"u": (t, np.ones_like(t))}, output_step=1.0)
+        assert result.final("x") > 20.0
+
+    def test_output_equals_power_times_rating(self, hp1_model):
+        t = np.arange(0.0, 5.0, 1.0)
+        result = hp1_model.simulate(inputs={"u": (t, 0.5 * np.ones_like(t))}, output_step=1.0)
+        assert result["y"][-1] == pytest.approx(7.8 * 0.5, rel=1e-6)
+
+    def test_invalid_window_rejected(self, hp1_model):
+        with pytest.raises(SimulationInputError):
+            hp1_model.simulate(start_time=10.0, stop_time=5.0)
+
+    def test_terminated_instance_cannot_simulate(self, hp1_archive):
+        model = load_fmu(hp1_archive)
+        model.terminate()
+        with pytest.raises(FmuStateError):
+            model.simulate(stop_time=1.0)
+
+    def test_get_model_variables_shape(self, hp1_model):
+        variables = hp1_model.get_model_variables()
+        assert set(variables) >= {"Cp", "R", "u", "y", "x"}
+        assert variables["Cp"].is_parameter
+
+    @settings(max_examples=15, deadline=None)
+    @given(rating=st.floats(min_value=0.0, max_value=1.0))
+    def test_steady_state_matches_energy_balance(self, hp1_archive, rating):
+        """At steady state, (Ta - x)/R + P*eta*u = 0 -> x = Ta + R*P*eta*u."""
+        model = load_fmu(hp1_archive)
+        t = np.arange(0.0, 400.0, 4.0)
+        result = model.simulate(inputs={"u": (t, np.full_like(t, rating))}, output_step=4.0)
+        expected = -10.0 + 1.5 * 7.8 * 2.65 * rating
+        assert result.final("x") == pytest.approx(expected, abs=0.05)
+
+
+class TestSimulationResult:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(FmuVariableError):
+            SimulationResult(time=[0.0, 1.0], trajectories={"x": [1.0]})
+
+    def test_rows_long_format(self):
+        result = SimulationResult(time=[0.0, 1.0], trajectories={"x": [1.0, 2.0]})
+        rows = list(result.rows())
+        assert rows == [(0.0, "x", 1.0), (1.0, "x", 2.0)]
+
+    def test_unknown_variable_raises(self):
+        result = SimulationResult(time=[0.0], trajectories={"x": [1.0]})
+        with pytest.raises(FmuVariableError):
+            result["nope"]

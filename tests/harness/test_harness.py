@@ -1,0 +1,62 @@
+"""Tests for the experiment harness (fast experiments only) and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    figure8_usability,
+    format_table,
+    table1_code_lines,
+    table2_feature_matrix,
+    table3_variables_example,
+    table5_models,
+    table6_dataset_excerpts,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [None, True]], title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "a" in lines[2] and "bbb" in lines[2]
+        assert set(lines[3]) <= {"-", "+"}
+        assert "yes" in text and "2.5" in text
+
+
+class TestFastExperiments:
+    def test_table1_headline_matches_paper_shape(self):
+        result = table1_code_lines()
+        assert result.meta["python_total_lines"] > 80
+        assert result.meta["pgfmu_total_lines"] <= 6
+        assert result.meta["code_reduction_factor"] > 10
+        assert result.rows[-1][0] == "Total"
+        assert "Table 1" in result.to_text()
+
+    def test_table2_is_static_feature_matrix(self):
+        result = table2_feature_matrix()
+        assert len(result.rows) == 7
+        pgfmu_column = [row[3] for row in result.rows]
+        assert pgfmu_column[3:] == [True, True, True, True]
+
+    def test_table3_lists_abcde_parameters(self):
+        result = table3_variables_example()
+        names = sorted(row[1] for row in result.rows)
+        assert names == ["A", "B", "C", "D", "E"]
+
+    def test_table5_covers_three_models(self):
+        result = table5_models()
+        assert [row[0] for row in result.rows] == ["HP0", "HP1", "Classroom"]
+
+    def test_table6_shows_both_datasets(self):
+        result = table6_dataset_excerpts(n_rows=2)
+        datasets = {row[0] for row in result.rows}
+        assert datasets == {"HP", "Classroom"}
+        assert len(result.rows) == 4
+
+    def test_figure8_summary(self):
+        result = figure8_usability(n_participants=12, seed=3)
+        assert len(result.rows) == 12
+        assert result.meta["all_faster_with_pgfmu"] is True
+        assert result.meta["mean_speedup"] == pytest.approx(11.74, rel=0.05)

@@ -1,0 +1,118 @@
+"""Tests for the model library (HP0, HP1, Classroom) and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.fmi import load_fmu
+from repro.models import (
+    CLASSROOM_TRUE_PARAMETERS,
+    HP0_TRUE_PARAMETERS,
+    HP1_TRUE_PARAMETERS,
+    MODEL_REGISTRY,
+    build_classroom_archive,
+    build_hp0_archive,
+    build_hp1_archive,
+    get_model_spec,
+    heat_pump_abcde_source,
+)
+from repro.modelica import compile_model
+
+
+class TestHeatPumpModels:
+    def test_hp1_interface_matches_table5(self):
+        model = load_fmu(build_hp1_archive())
+        assert model.input_names() == ["u"]
+        assert model.output_names() == ["y"]
+        assert set(model.parameter_names()) == {"Cp", "R"}
+        assert model.state_names() == ["x"]
+
+    def test_hp0_has_no_inputs(self):
+        model = load_fmu(build_hp0_archive())
+        assert model.input_names() == []
+        assert set(model.parameter_names()) == {"Cp", "R"}
+
+    def test_true_parameter_override(self):
+        archive = build_hp1_archive(true_parameters=HP1_TRUE_PARAMETERS)
+        model = load_fmu(archive)
+        assert model.get("Cp") == pytest.approx(1.49)
+        assert model.get("R") == pytest.approx(1.481)
+
+    def test_hp0_steady_state_is_physical(self):
+        """With a 1.38% rating and Ta=-10 degC the house settles near Ta + R*P*eta*u."""
+        model = load_fmu(build_hp0_archive(true_parameters=HP0_TRUE_PARAMETERS))
+        result = model.simulate(start_time=0.0, stop_time=300.0, output_step=2.0)
+        expected = -10.0 + HP0_TRUE_PARAMETERS["R"] * 7.8 * 2.65 * 0.0138
+        assert result.final("x") == pytest.approx(expected, abs=0.1)
+
+    def test_abcde_running_example_compiles(self):
+        archive = compile_model(heat_pump_abcde_source())
+        model = load_fmu(archive)
+        assert set(model.parameter_names()) == {"A", "B", "C", "D", "E"}
+        assert model.model_name == "heatpump"
+
+
+class TestClassroomModel:
+    def test_interface_matches_table5(self):
+        model = load_fmu(build_classroom_archive())
+        assert set(model.input_names()) == {"solrad", "tout", "occ", "dpos", "vpos"}
+        assert set(model.parameter_names()) == {"shgc", "tmass", "RExt", "occheff"}
+        assert model.state_names() == ["t"]
+
+    def test_occupants_warm_the_room(self):
+        model = load_fmu(build_classroom_archive(true_parameters=CLASSROOM_TRUE_PARAMETERS))
+        t = np.arange(0.0, 24.0, 0.5)
+        base_inputs = {
+            "solrad": (t, np.zeros_like(t)),
+            "tout": (t, np.full_like(t, 21.0)),
+            "dpos": (t, np.zeros_like(t)),
+            "vpos": (t, np.zeros_like(t)),
+        }
+        empty = model.simulate(inputs={**base_inputs, "occ": (t, np.zeros_like(t))}, output_times=t)
+        model.reset()
+        crowded = model.simulate(inputs={**base_inputs, "occ": (t, np.full_like(t, 25.0))}, output_times=t)
+        assert crowded.final("t") > empty.final("t") + 1.0
+
+    def test_ventilation_cools_the_room(self):
+        model = load_fmu(build_classroom_archive(true_parameters=CLASSROOM_TRUE_PARAMETERS))
+        t = np.arange(0.0, 24.0, 0.5)
+        base_inputs = {
+            "solrad": (t, np.zeros_like(t)),
+            "tout": (t, np.full_like(t, 21.0)),
+            "occ": (t, np.zeros_like(t)),
+            "vpos": (t, np.zeros_like(t)),
+        }
+        closed = model.simulate(inputs={**base_inputs, "dpos": (t, np.zeros_like(t))}, output_times=t)
+        model.reset()
+        open_damper = model.simulate(
+            inputs={**base_inputs, "dpos": (t, np.full_like(t, 100.0))}, output_times=t
+        )
+        assert open_damper.final("t") < closed.final("t")
+
+
+class TestRegistry:
+    def test_registry_contains_paper_models(self):
+        assert set(MODEL_REGISTRY) == {"HP0", "HP1", "Classroom"}
+
+    def test_specs_are_consistent_with_models(self):
+        for spec in MODEL_REGISTRY.values():
+            model = load_fmu(spec.builder())
+            assert set(spec.estimated_parameters) <= set(model.parameter_names())
+            assert set(spec.inputs) == set(model.input_names())
+            for observed in spec.observed:
+                assert observed in model.state_names() or observed in model.output_names()
+
+    def test_true_builder_applies_true_parameters(self):
+        for spec in MODEL_REGISTRY.values():
+            model = load_fmu(spec.true_builder())
+            for name, value in spec.true_parameters.items():
+                assert model.get(name) == pytest.approx(value)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model_spec("classroom").name == "Classroom"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ReproError):
+            get_model_spec("Windmill")
