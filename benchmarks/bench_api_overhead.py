@@ -1,0 +1,108 @@
+"""Dispatch overhead of the three public API layers (not a paper table).
+
+Compares, on the same fleet of HP1 instances:
+
+* one ``fmu_simulate`` invocation through raw SQL (parser + executor + UDF
+  dispatch) vs. one through the handle API (direct method dispatch);
+* simulating N instances with N sequential ``InstanceHandle.simulate`` calls
+  (the measurement query re-executes every time) vs. one
+  ``Session.simulate_many`` batch (one shared executor pass).
+
+Emits a ``BENCH_api_overhead.json`` record next to this file so CI can track
+the per-call overhead and the batching speedup over time.
+
+Run with:  pytest benchmarks/bench_api_overhead.py  (or python benchmarks/bench_api_overhead.py)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import Session
+from repro.data import generate_hp1_dataset, load_dataset
+from repro.models import build_hp1_archive
+
+N_INSTANCES = 8
+ROUNDS = 3
+#: A long measurement campaign from which each simulation reads one window -
+#: the shape where re-running the input query per instance actually hurts.
+CAMPAIGN_HOURS = 4000
+INPUT_SQL = "SELECT * FROM measurements WHERE time <= 48 ORDER BY time"
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_api_overhead.json"
+
+
+def _session_with_fleet():
+    session = Session(register_ml=False)
+    load_dataset(
+        session.database,
+        generate_hp1_dataset(hours=CAMPAIGN_HOURS, seed=5),
+        table_name="measurements",
+    )
+    archive_path = session.catalog.storage_dir / "hp1_api_bench.fmu"
+    build_hp1_archive().write(archive_path)
+    first = session.create(str(archive_path), "Fleet1")
+    handles = [first] + [
+        first.copy(f"Fleet{i}") for i in range(2, N_INSTANCES + 1)
+    ]
+    return session, handles
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    """Best-of-N wall time: robust against scheduler noise for short calls."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_api_overhead() -> dict:
+    session, handles = _session_with_fleet()
+    first = handles[0]
+
+    raw_sql = _best_of(
+        lambda: session.execute(
+            f"SELECT count(*) FROM fmu_simulate('Fleet1', '{INPUT_SQL}')"
+        )
+    )
+    handle_api = _best_of(lambda: first.simulate_rows(INPUT_SQL))
+    sequential = _best_of(lambda: [h.simulate(INPUT_SQL) for h in handles])
+    batched = _best_of(lambda: session.simulate_many(handles, INPUT_SQL))
+
+    return {
+        "benchmark": "api_overhead",
+        "n_instances": N_INSTANCES,
+        "rounds": ROUNDS,
+        "input_rows": session.execute("SELECT count(*) FROM measurements").scalar(),
+        "raw_sql_single_call_s": round(raw_sql, 6),
+        "handle_single_call_s": round(handle_api, 6),
+        "sql_dispatch_overhead_s": round(raw_sql - handle_api, 6),
+        "sequential_simulate_s": round(sequential, 6),
+        "simulate_many_s": round(batched, 6),
+        "batch_speedup": round(sequential / batched, 4) if batched > 0 else None,
+    }
+
+
+def write_record(record: dict) -> Path:
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return RECORD_PATH
+
+
+def test_api_overhead():
+    record = measure_api_overhead()
+    write_record(record)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    # One shared executor pass must beat N sequential passes over the fleet.
+    assert record["simulate_many_s"] < record["sequential_simulate_s"]
+    # The handle API skips SQL parsing/dispatch, so it should not be slower
+    # than raw SQL; the wide margin only guards against a pathological
+    # dispatch regression, not scheduler noise on a loaded machine.
+    assert record["handle_single_call_s"] <= record["raw_sql_single_call_s"] * 2.0
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure_api_overhead(), indent=2, sort_keys=True))

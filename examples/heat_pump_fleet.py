@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core import PgFmu
+import repro
 from repro.data import generate_hp1_dataset, load_dataset, synthetic_family
 from repro.models import build_hp1_archive
 from repro.sqldb.arrays import format_array_literal
@@ -22,7 +22,8 @@ FLEET_SIZE = 4
 
 
 def main() -> None:
-    session = PgFmu(ga_options={"population_size": 16, "generations": 10}, seed=1)
+    conn = repro.connect(ga_options={"population_size": 16, "generations": 10}, seed=1)
+    session = conn.session
 
     # One synthetic dataset per house, obtained by delta-scaling the measured
     # series by up to 20% (the paper's MI construction).
@@ -36,33 +37,40 @@ def main() -> None:
     # Store the FMU once; every house becomes an instance of the same model.
     archive_path = session.catalog.storage_dir / "hp1_fleet.fmu"
     build_hp1_archive().write(archive_path)
-    session.sql(f"SELECT fmu_create('{archive_path}', 'HP1Instance1')")
-    for i in range(2, FLEET_SIZE + 1):
-        session.sql(f"SELECT fmu_copy('HP1Instance1', 'HP1Instance{i}')")
+    first = session.create(str(archive_path), "HP1Instance1")
+    fleet = [first] + [first.copy(f"HP1Instance{i}") for i in range(2, FLEET_SIZE + 1)]
 
     # Calibrate the whole fleet in a single fmu_parest call.  Instance 1 runs
     # the full global+local search; similar instances are warm-started.
-    instance_ids = [f"HP1Instance{i + 1}" for i in range(FLEET_SIZE)]
     input_sqls = [f"SELECT * FROM {table}" for table in tables]
     started = time.perf_counter()
-    errors = session.sql(
+    errors = conn.execute(
         "SELECT fmu_parest($1, $2, '{Cp, R}')",
-        [format_array_literal(instance_ids), format_array_literal(input_sqls)],
-    ).scalar()
+        [format_array_literal(fleet), format_array_literal(input_sqls)],
+    ).result.scalar()
     elapsed = time.perf_counter() - started
     print(f"fleet calibration errors: {errors}  ({elapsed:.1f} s for {FLEET_SIZE} houses)")
-    for instance_id in instance_ids:
-        print(f"  {instance_id}: {session.instance_parameters(instance_id)}")
+    for instance in fleet:
+        print(f"  {instance}: {instance.parameters}")
 
     # Simulate every house with one LATERAL query and compare mean indoor
     # temperatures across the fleet.
-    comparison = session.sql(
+    comparison = session.execute(
         "SELECT 'HP1Instance' || id::text AS house, round(avg(f.value), 2) AS mean_temperature "
         f"FROM generate_series(1, {FLEET_SIZE}) AS id, "
         "LATERAL fmu_simulate('HP1Instance' || id::text, 'SELECT * FROM measurements_1') AS f "
         "WHERE f.varname = 'x' GROUP BY 1 ORDER BY 1"
     )
     print(comparison.to_text())
+
+    # The batch endpoint does the same fleet sweep through one shared input
+    # pass (the array-literal overload of fmu_simulate is its SQL spelling).
+    started = time.perf_counter()
+    results = session.simulate_many(fleet, "SELECT * FROM measurements_1")
+    elapsed = time.perf_counter() - started
+    means = {house: float(result["x"].mean()) for house, result in results.items()}
+    print(f"simulate_many over {len(fleet)} houses took {elapsed:.2f} s: "
+          + ", ".join(f"{house}={mean:.2f}" for house, mean in sorted(means.items())))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,86 @@
+"""Tour of the three public API layers: driver, handles, extensions.
+
+The same heat-pump workflow as the quickstart, expressed once per layer:
+
+1. the PEP-249-style driver (``repro.connect()``, cursors, transactions),
+2. the fluent object handles (``session.create(...).set_initial(...)...``),
+3. the extension registry (``install_extension``, ``fmu_extensions()``).
+
+Run with:  python examples/layered_api.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.data import generate_hp1_dataset, load_dataset
+from repro.models import hp1_source
+from repro.sqldb import Database, Extension, scalar_udf
+
+
+def driver_layer(conn: repro.Connection) -> None:
+    print("== 1. driver layer ==")
+    cur = conn.cursor()
+    cur.execute("SELECT fmu_create($1, 'HP1Instance1')", [hp1_source()])
+    print(f"fmu_create -> {cur.fetchone()[0]}")
+
+    # Cursors iterate and bind $1-style parameters.
+    cur.execute(
+        "SELECT varname, vartype FROM fmu_variables($1) AS f "
+        "WHERE f.vartype IN ('parameter', 'state') ORDER BY varname",
+        ["HP1Instance1"],
+    )
+    for varname, vartype in cur:
+        print(f"  {varname}: {vartype}")
+
+    # Transactions delegate to the engine's snapshot transactions.
+    conn.begin()
+    cur.execute("DELETE FROM measurements")
+    conn.rollback()
+    cur.execute("SELECT count(*) FROM measurements")
+    print(f"measurements survive the rollback: {cur.fetchone()[0]} rows")
+
+
+def object_layer(conn: repro.Connection) -> None:
+    print("== 2. object layer ==")
+    session = conn.session
+    inst = session.instance("HP1Instance1")
+
+    # Chainable configuration, then calibration and simulation.
+    inst.set_initial("Cp", 2.0).set_bounds("R", 0.1, 10.0)
+    inst.calibrate(measurements="SELECT * FROM measurements", parameters=["Cp", "R"])
+    print(f"calibrated: rmse={inst.last_calibration.error:.4f} parameters={inst.parameters}")
+
+    # Handles are str subclasses - they drop into SQL or dict keys unchanged.
+    fleet = [inst, inst.copy("HP1Instance2"), inst.copy("HP1Instance3")]
+    results = session.simulate_many(fleet, "SELECT * FROM measurements")
+    for house in fleet:
+        print(f"  {house}: mean x = {float(results[house]['x'].mean()):.2f}")
+
+
+def extension_layer(conn: repro.Connection) -> None:
+    print("== 3. extension layer ==")
+    print(conn.execute("SELECT * FROM fmu_extensions()").result.to_text())
+
+    # Custom packs install through the same mechanism as pgfmu/madlib.
+    @scalar_udf(min_args=2, max_args=2, description="Celsius comfort-band check")
+    def in_comfort_band(_db, value, width):
+        return abs(float(value) - 21.0) <= float(width)
+
+    fresh = Database()
+    fresh.install_extension(Extension.from_functions("comfort", (in_comfort_band,)))
+    verdict = fresh.execute("SELECT in_comfort_band(20.6, 0.5)").scalar()
+    print(f"custom extension UDF says 20.6 degC is comfortable: {verdict}")
+
+
+def main() -> None:
+    with repro.connect(
+        ga_options={"population_size": 12, "generations": 8}, seed=1
+    ) as conn:
+        load_dataset(conn.database, generate_hp1_dataset(hours=96), table_name="measurements")
+        driver_layer(conn)
+        object_layer(conn)
+        extension_layer(conn)
+
+
+if __name__ == "__main__":
+    main()

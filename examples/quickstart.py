@@ -5,52 +5,60 @@ house, measurements stored in the DBMS, and a single pgFMU session that
 creates the model instance, calibrates it, and simulates indoor temperatures
 under different heating scenarios - without any data export or import.
 
+The paper's SQL runs through the driver layer (``repro.connect()`` and a
+cursor); the fluent handle equivalent of each step is shown alongside.
+
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import PgFmu
+import repro
 from repro.data import generate_hp1_dataset, load_dataset
 from repro.models import hp1_source
 
 
 def main() -> None:
-    # A pgFMU session = database + model catalogue + fmu_* UDFs.
-    session = PgFmu(ga_options={"population_size": 16, "generations": 10}, seed=1)
+    # A pgFMU connection = database + model catalogue + fmu_* extensions.
+    conn = repro.connect(ga_options={"population_size": 16, "generations": 10}, seed=1)
+    cur = conn.cursor()
 
     # 1. Measurements live in the DBMS (here: a synthetic NIST-like dataset).
     dataset = generate_hp1_dataset(hours=168)
-    load_dataset(session.database, dataset, table_name="measurements")
-    count = session.sql("SELECT count(*) FROM measurements").scalar()
-    print(f"measurements table loaded: {count} hourly rows")
+    load_dataset(conn.database, dataset, table_name="measurements")
+    cur.execute("SELECT count(*) FROM measurements")
+    print(f"measurements table loaded: {cur.fetchone()[0]} hourly rows")
 
     # 2. fmu_create: compile the Modelica model and register an instance.
-    instance = session.sql(
-        "SELECT fmu_create($1, 'HP1Instance1')", [hp1_source()]
-    ).scalar()
-    print(f"created model instance: {instance}")
+    cur.execute("SELECT fmu_create($1, 'HP1Instance1')", [hp1_source()])
+    instance_id = cur.fetchone()[0]
+    print(f"created model instance: {instance_id}")
 
     # 3. Inspect the model's parameters straight from SQL.
-    print(session.sql(
+    cur.execute(
         "SELECT * FROM fmu_variables('HP1Instance1') AS f WHERE f.vartype = 'parameter'"
-    ).to_text())
+    )
+    print(cur.result.to_text())
 
-    # 4. fmu_parest: calibrate Cp and R against the measurements.
-    errors = session.sql(
+    # 4. fmu_parest: calibrate Cp and R against the measurements.  The fluent
+    #    equivalent is inst.calibrate(measurements=..., parameters=["Cp", "R"]).
+    cur.execute(
         "SELECT fmu_parest('{HP1Instance1}', '{SELECT * FROM measurements}', '{Cp, R}')"
-    ).scalar()
-    print(f"calibration RMSE: {errors}")
-    print(f"calibrated parameters: {session.instance_parameters('HP1Instance1')}")
+    )
+    print(f"calibration RMSE: {cur.fetchone()[0]}")
+    inst = conn.session.instance(instance_id)
+    print(f"calibrated parameters: {inst.parameters}")
 
     # 5. fmu_simulate: predict indoor temperatures, then analyze them in SQL.
-    summary = session.sql(
+    cur.execute(
         "SELECT varname, round(avg(value), 3) AS mean, round(min(value), 3) AS lowest, "
         "round(max(value), 3) AS highest "
         "FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements') "
         "WHERE varname IN ('x', 'y') GROUP BY varname ORDER BY varname"
     )
-    print(summary.to_text())
+    print(cur.result.to_text())
+
+    conn.close()
 
 
 if __name__ == "__main__":

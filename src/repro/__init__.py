@@ -2,10 +2,21 @@
 
 This package reproduces the system described in "pgFMU: Integrating Data
 Management with Physical System Modelling" (EDBT 2020) as a self-contained
-Python library.  The most common entry points:
+Python library.  The public API is layered like a real database system:
 
-* :class:`repro.core.PgFmu` - a pgFMU session (database + model catalogue +
-  ``fmu_*`` SQL UDFs + MADlib-style ML UDFs).
+* :func:`repro.connect` - the **driver layer**: a PEP-249-style
+  :class:`~repro.sqldb.connection.Connection` / Cursor pair with parameter
+  binding, ``executemany`` and transactions, plus ``conn.session`` for the
+  object layer.
+* :class:`repro.core.Session` - the **object layer**: ``session.create(...)``
+  returns fluent :class:`~repro.core.handles.InstanceHandle` objects
+  (``inst.set_initial(...).simulate(...)``) and ``session.simulate_many``
+  batches a fleet through one shared input pass.
+* ``database.install_extension("pgfmu" | "madlib")`` - the **extension
+  layer**: UDF packs are declared with decorators and installed like
+  PostgreSQL extensions; ``SELECT * FROM fmu_extensions()`` lists them.
+* :class:`repro.core.PgFmu` - the original monolithic facade, kept as thin
+  deprecated shims over the layers above.
 * :class:`repro.sqldb.Database` - the in-memory SQL engine on its own.
 * :func:`repro.modelica.compile_fmu` / :func:`repro.fmi.load_fmu` - the
   Modelica compiler and FMU runtime.
@@ -14,16 +25,57 @@ Python library.  The most common entry points:
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
-from repro.core import PgFmu
+from typing import Optional
+
+from repro.core import InstanceHandle, ModelHandle, PgFmu, Session
 from repro.fmi import FmuArchive, FmuModel, load_fmu
 from repro.modelica import compile_fmu
-from repro.sqldb import Database
+from repro.sqldb import Connection, Cursor, Database, Extension
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def connect(
+    database: Optional[Database] = None,
+    storage_dir: Optional[str] = None,
+    register_ml: bool = True,
+    **session_options,
+) -> Connection:
+    """Open a pgFMU connection (the application-level driver entry point).
+
+    Boots a :class:`~repro.core.Session` (installing the ``pgfmu`` extension
+    and, with ``register_ml=True``, ``madlib``) and returns a DB-API-style
+    :class:`~repro.sqldb.Connection` over its database.  The object layer
+    stays reachable through ``conn.session``::
+
+        with repro.connect() as conn:
+            cur = conn.cursor()
+            cur.execute("SELECT fmu_create($1, 'HP1Instance1')", [hp1_source()])
+            inst = conn.session.instance(cur.fetchone()[0])
+            inst.calibrate(measurements="SELECT * FROM measurements")
+
+    ``session_options`` are forwarded to :class:`~repro.core.Session`
+    (``ga_options``, ``local_options``, ``seed``).
+    """
+    session = Session(
+        database=database,
+        storage_dir=storage_dir,
+        register_ml=register_ml,
+        **session_options,
+    )
+    return session.connection()
+
 
 __all__ = [
+    "connect",
+    "Session",
     "PgFmu",
+    "InstanceHandle",
+    "ModelHandle",
+    "Connection",
+    "Cursor",
     "Database",
+    "Extension",
     "FmuArchive",
     "FmuModel",
     "load_fmu",

@@ -13,24 +13,38 @@ estimation stack (:mod:`repro.estimation`):
   ``fmu_delete_instance``, ``fmu_delete_model``.
 * :mod:`repro.core.parest` - parameter estimation (Algorithms 2 and 3),
   including the multi-instance (MI) optimization.
-* :mod:`repro.core.simulate` - model simulation (Algorithm 4).
-* :mod:`repro.core.session` - the :class:`PgFmu` facade owning the database
-  and wiring everything together.
-* :mod:`repro.core.udfs` - registration of all ``fmu_*`` functions as SQL
-  UDFs so every query from the paper runs against the engine.
+* :mod:`repro.core.simulate` - model simulation (Algorithm 4), including the
+  shared-input-pass batch path behind ``simulate_many``.
+* :mod:`repro.core.session` - :class:`Session` (the modern layered surface)
+  and :class:`PgFmu` (the original facade, kept as deprecated shims).
+* :mod:`repro.core.handles` - :class:`ModelHandle` / :class:`InstanceHandle`,
+  the fluent object layer returned by ``session.create(...)``.
+* :mod:`repro.core.udfs` - the ``pgfmu`` extension: every ``fmu_*`` function
+  declared with the UDF decorators and installed via
+  ``database.install_extension``.
 
 Typical use::
 
-    from repro.core import PgFmu
+    import repro
 
-    pg = PgFmu()
-    pg.database.execute("CREATE TABLE measurements (...)")
-    instance = pg.sql("SELECT fmu_create('/tmp/hp1.fmu', 'HP1Instance1')").scalar()
-    pg.sql("SELECT fmu_parest('{HP1Instance1}', '{SELECT * FROM measurements}', '{Cp, R}')")
-    rows = pg.sql("SELECT * FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')")
+    conn = repro.connect()
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE measurements (...)")
+    inst = conn.session.create("/tmp/hp1.fmu", "HP1Instance1")
+    inst.calibrate(measurements="SELECT * FROM measurements", parameters=["Cp", "R"])
+    cur.execute("SELECT * FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')")
 """
 
 from repro.core.catalog import ModelCatalog
-from repro.core.session import PgFmu
+from repro.core.handles import InstanceHandle, ModelHandle
+from repro.core.session import PgFmu, Session
+from repro.core.udfs import pgfmu_extension
 
-__all__ = ["ModelCatalog", "PgFmu"]
+__all__ = [
+    "ModelCatalog",
+    "Session",
+    "PgFmu",
+    "InstanceHandle",
+    "ModelHandle",
+    "pgfmu_extension",
+]

@@ -129,11 +129,24 @@ class ModelCatalog:
         return self._storage_dir
 
     def store_archive(self, archive: FmuArchive) -> Path:
-        """Write an FMU archive into FMU storage (idempotent per GUID)."""
+        """Write an FMU archive into FMU storage (idempotent per GUID).
+
+        A file written inside a transaction is removed again on rollback
+        (together with its cache entry), mirroring how :meth:`remove_archive`
+        defers its unlink to commit.
+        """
         path = self._storage_dir / f"{archive.guid}.fmu"
+        guid = archive.guid
         if not path.exists():
             archive.write(path)
-        self._archive_cache[archive.guid] = archive
+
+            def undo_store() -> None:
+                self._archive_cache.pop(guid, None)
+                if path.exists():
+                    path.unlink()
+
+            self.database.on_rollback(undo_store)
+        self._archive_cache[guid] = archive
         return path
 
     def load_archive(self, model_id: str) -> FmuArchive:
@@ -148,11 +161,28 @@ class ModelCatalog:
         return archive
 
     def remove_archive(self, model_id: str) -> None:
-        """Remove a stored FMU archive and its cached runtimes."""
+        """Remove a stored FMU archive and its cached runtimes.
+
+        The cache evictions are immediate (caches rebuild from the file),
+        but the file unlink is deferred to transaction commit: a rolled-back
+        ``fmu_delete_model`` restores the catalogue rows, so the archive must
+        still be loadable afterwards.
+        """
         self._archive_cache.pop(model_id, None)
         path = self._storage_dir / f"{model_id}.fmu"
-        if path.exists():
-            path.unlink()
+
+        def unlink_archive() -> None:
+            # The model may have been re-created between the (transactional)
+            # delete and the commit; the archive then belongs to the new
+            # registration and must survive.
+            if self.database.has_table(MODEL_TABLE) and (
+                self.database.table(MODEL_TABLE).lookup_pk([model_id]) is not None
+            ):
+                return
+            if path.exists():
+                path.unlink()
+
+        self.database.on_commit(unlink_archive)
         stale = [key for key, model in self._runtime_cache.items() if model.guid == model_id]
         for key in stale:
             del self._runtime_cache[key]

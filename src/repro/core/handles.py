@@ -1,0 +1,198 @@
+"""Fluent object handles: the middle layer of the public API.
+
+:class:`ModelHandle` and :class:`InstanceHandle` wrap the stringly-typed
+catalogue identifiers in first-class objects with chainable methods::
+
+    inst = session.create(hp1_source(), "HP1Instance1")
+    result = (
+        inst.set_initial("Cp", 2.0)
+            .set_bounds("R", 0.1, 10.0)
+            .simulate("SELECT * FROM measurements")
+    )
+    inst.calibrate(measurements="SELECT * FROM measurements", parameters=["Cp", "R"])
+    print(inst.last_calibration.error, inst.parameters)
+
+Both handles subclass :class:`str` and compare equal to the raw catalogue
+identifier, so they are drop-in replacements wherever an id string was
+expected before: they format into SQL literals, key dictionaries, and pass
+through the UDF layer unchanged.  All catalogue state stays in the
+database, so stale handles simply raise the usual catalogue errors.  The one
+piece of handle-local state is :attr:`InstanceHandle.last_calibration`: it
+lives on the specific handle object ``calibrate`` was called on, not in the
+catalogue - a fresh ``session.instance(...)`` lookup starts at ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.parest import DEFAULT_SIMILARITY_THRESHOLD, ParestOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import Session
+    from repro.fmi.results import SimulationResult
+
+
+class _Handle(str):
+    """Base: a catalogue identifier bound to the session that owns it."""
+
+    _session: "Session"
+
+    def __new__(cls, identifier: str, session: "Session"):
+        handle = super().__new__(cls, identifier)
+        handle._session = session
+        return handle
+
+    @property
+    def session(self) -> "Session":
+        return self._session
+
+    @property
+    def id(self) -> str:
+        """The raw catalogue identifier as a plain string."""
+        return str(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+
+class ModelHandle(_Handle):
+    """A handle to one row of the ``Model`` catalogue table."""
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def row(self) -> Dict[str, Any]:
+        """The model's catalogue row (name, reference, default experiment)."""
+        return self._session.catalog.model_row(self.id)
+
+    @property
+    def name(self) -> str:
+        return self.row()["modelname"]
+
+    def instances(self) -> List["InstanceHandle"]:
+        """Handles for every instance of this model."""
+        return [
+            InstanceHandle(instance_id, self._session)
+            for instance_id in self._session.catalog.instances_of(self.id)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def new_instance(self, instance_id: Optional[str] = None) -> "InstanceHandle":
+        """Register another instance of this model."""
+        created = self._session.instances.new_instance(self.id, instance_id)
+        return InstanceHandle(created, self._session)
+
+    def delete(self) -> str:
+        """Delete the model and all of its instances; returns the model id."""
+        return self._session.instances.delete_model(self.id)
+
+
+class InstanceHandle(_Handle):
+    """A handle to one model instance, with fluent catalogue operations.
+
+    Mutating methods (``set_initial``, ``set_bounds``, ``reset``, ...) return
+    the handle itself so calls chain; computing methods (``simulate``,
+    ``variables``, ``get``) return their results.  ``calibrate`` is fluent
+    too - the most recent :class:`~repro.core.parest.ParestOutcome` is kept
+    on :attr:`last_calibration`.
+    """
+
+    last_calibration: Optional[ParestOutcome] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> ModelHandle:
+        """Handle to the parent model."""
+        return ModelHandle(self._session.instances.model_id_of(self.id), self._session)
+
+    def variables(self) -> List[Dict[str, Any]]:
+        """Per-instance variable rows (the ``fmu_variables`` shape)."""
+        return self._session.instances.variables(self.id)
+
+    def get(self, var_name: str) -> Dict[str, Any]:
+        """Initial/min/max values of one variable (the ``fmu_get`` shape)."""
+        return self._session.instances.get(self.id, var_name)
+
+    @property
+    def parameters(self) -> Dict[str, float]:
+        """Current values of the instance's estimable parameters."""
+        return self._session.instance_parameters(self.id)
+
+    # ------------------------------------------------------------------ #
+    # Fluent mutation
+    # ------------------------------------------------------------------ #
+    def set_initial(self, var_name: str, value: Any) -> "InstanceHandle":
+        self._session.instances.set_initial(self.id, var_name, value)
+        return self
+
+    def set_minimum(self, var_name: str, value: Any) -> "InstanceHandle":
+        self._session.instances.set_minimum(self.id, var_name, value)
+        return self
+
+    def set_maximum(self, var_name: str, value: Any) -> "InstanceHandle":
+        self._session.instances.set_maximum(self.id, var_name, value)
+        return self
+
+    def set_bounds(self, var_name: str, minimum: Any, maximum: Any) -> "InstanceHandle":
+        """Set both estimation bounds of a variable in one call."""
+        return self.set_minimum(var_name, minimum).set_maximum(var_name, maximum)
+
+    def reset(self) -> "InstanceHandle":
+        """Restore the model's initial values for this instance."""
+        self._session.instances.reset(self.id)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Simulation and calibration
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> "SimulationResult":
+        """Simulate the instance and return the trajectory object."""
+        return self._session.simulator.simulate_result(self.id, input_sql, time_from, time_to)
+
+    def simulate_rows(
+        self,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> List[List[Any]]:
+        """Simulate and return long-format rows (the SQL UDF shape)."""
+        return self._session.simulator.simulate_rows(self.id, input_sql, time_from, time_to)
+
+    def calibrate(
+        self,
+        measurements: str,
+        parameters: Optional[Sequence[str]] = None,
+        threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+    ) -> "InstanceHandle":
+        """Calibrate against a measurement query; chainable.
+
+        The detailed outcome (error, per-parameter estimates, timings) is
+        stored on :attr:`last_calibration`.
+        """
+        outcomes = self._session.estimator.estimate(
+            [self.id], [measurements], parameters=parameters, threshold=threshold
+        )
+        self.last_calibration = outcomes[0]
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def copy(self, new_instance_id: Optional[str] = None) -> "InstanceHandle":
+        """Duplicate the instance (values included); returns the new handle."""
+        created = self._session.instances.copy(self.id, new_instance_id)
+        return InstanceHandle(created, self._session)
+
+    def delete(self) -> str:
+        """Delete the instance from the catalogue; returns its id."""
+        return self._session.instances.delete_instance(self.id)

@@ -137,6 +137,11 @@ class InstanceManager:
             )
         return model_id
 
+    def new_instance(self, model_id: str, instance_id: Optional[str] = None) -> str:
+        """Register another instance of an already-registered model."""
+        self.catalog.model_row(model_id)  # raises if unknown
+        return self._register_instance(model_id, instance_id)
+
     def _register_instance(self, model_id: str, instance_id: Optional[str]) -> str:
         if instance_id is None or not str(instance_id).strip():
             instance_id = f"{self.catalog.model_row(model_id)['modelname']}Instance{uuid.uuid4().hex[:8]}"

@@ -1,28 +1,49 @@
-"""The :class:`PgFmu` session facade.
+"""The pgFMU session: owner of the database, catalogue, and API layers.
 
-A ``PgFmu`` object owns (or wraps) a :class:`~repro.sqldb.database.Database`,
-creates the model catalogue, registers all ``fmu_*`` UDFs (and, optionally,
-the MADlib-style ML UDFs), and exposes the same operations as plain Python
-methods for callers that prefer an API over SQL.
+The public API is layered like a real database system (this is the seam the
+scaling roadmap plugs into - async sessions, multi-backend, caching):
+
+1. **Driver layer** - :func:`repro.connect` returns a PEP-249-style
+   :class:`~repro.sqldb.connection.Connection` with cursors, parameter
+   binding, ``executemany``, and transactions, all delegated to the SQL
+   engine.  :meth:`PgFmu.sql` is a deprecated shim over this layer.
+2. **Object layer** - :meth:`Session.create` returns a fluent
+   :class:`~repro.core.handles.InstanceHandle`
+   (``inst.set_initial(...).set_bounds(...).simulate(...)``), and
+   :meth:`Session.simulate_many` batches a fleet through one shared input
+   pass.  Handles subclass :class:`str`, so they remain valid wherever a raw
+   instance id was accepted before.
+3. **Extension layer** - the ``fmu_*`` UDFs are packaged as the ``pgfmu``
+   :class:`~repro.sqldb.udf.Extension` and the MADlib-style ML UDFs as
+   ``"madlib"``; both are installed with
+   :meth:`~repro.sqldb.database.Database.install_extension` and listed by
+   the ``fmu_extensions()`` set-returning function.
+
+:class:`Session` is the modern surface.  :class:`PgFmu` extends it with the
+original stringly-typed methods, kept as thin deprecated shims (each warns
+once per session) so the paper's scripts and the seed tests run unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+import functools
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.catalog import ModelCatalog
+from repro.core.handles import InstanceHandle, ModelHandle
 from repro.core.instances import InstanceManager
 from repro.core.parest import DEFAULT_SIMILARITY_THRESHOLD, ParameterEstimator, ParestOutcome
 from repro.core.simulate import Simulator
-from repro.core.udfs import register_pgfmu_udfs
+from repro.core.udfs import pgfmu_extension
 from repro.fmi.results import SimulationResult
-from repro.ml.udfs import register_ml_udfs
+from repro.sqldb.connection import Connection
 from repro.sqldb.database import Database
 from repro.sqldb.result import ResultSet
 
 
-class PgFmu:
-    """A pgFMU session: database + model catalogue + UDFs.
+class Session:
+    """A pgFMU session: database + model catalogue + installed extensions.
 
     Parameters
     ----------
@@ -36,7 +57,7 @@ class PgFmu:
     seed:
         Seed for the calibration global search.
     register_ml:
-        Also register the MADlib-style ML UDFs (``arima_train`` etc.).
+        Also install the ``"madlib"`` extension (``arima_train`` etc.).
     """
 
     def __init__(
@@ -48,6 +69,7 @@ class PgFmu:
         seed: int = 1,
         register_ml: bool = True,
     ):
+        self._warned_shims: set = set()
         self.database = database if database is not None else Database()
         self.catalog = ModelCatalog(self.database, storage_dir=storage_dir)
         self.instances = InstanceManager(self.catalog)
@@ -59,59 +81,55 @@ class PgFmu:
             seed=seed,
         )
         self.simulator = Simulator(catalog=self.catalog, instances=self.instances)
-        register_pgfmu_udfs(self)
+        self._connection = Connection(self.database, session=self)
+        self.database.install_extension(pgfmu_extension(self))
         if register_ml:
-            register_ml_udfs(self.database)
+            self.database.install_extension("madlib")
 
     # ------------------------------------------------------------------ #
-    # SQL passthrough
+    # Driver layer
     # ------------------------------------------------------------------ #
-    def sql(self, query: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
-        """Execute a SQL statement against the session's database."""
-        return self.database.execute(query, params)
+    def connection(self) -> Connection:
+        """The session's driver-layer connection.
+
+        Long-lived, but not load-bearing: closing it (e.g. leaving a
+        ``with repro.connect() as conn:`` block) only invalidates that
+        handle - the next call here mints a fresh connection over the same
+        database, so the session itself stays usable.
+        """
+        if self._connection.closed:
+            self._connection = Connection(self.database, session=self)
+        return self._connection
+
+    def cursor(self):
+        """A fresh cursor on the session's connection."""
+        return self.connection().cursor()
+
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
+        """Execute a SQL statement and return its result set."""
+        return self.connection().execute(sql, params).result
 
     # ------------------------------------------------------------------ #
-    # Model / instance management
+    # Object layer: models and instances
     # ------------------------------------------------------------------ #
-    def create(self, model_ref: str, instance_id: Optional[str] = None) -> str:
-        """``fmu_create``: load/compile a model and create an instance."""
-        return self.instances.create(model_ref, instance_id)
+    def create(self, model_ref: str, instance_id: Optional[str] = None) -> InstanceHandle:
+        """``fmu_create``: load/compile a model and return an instance handle."""
+        created = self.instances.create(model_ref, instance_id)
+        return InstanceHandle(created, self)
 
-    def copy(self, instance_id: str, new_instance_id: Optional[str] = None) -> str:
-        """``fmu_copy``: duplicate an instance including its values."""
-        return self.instances.copy(instance_id, new_instance_id)
+    def instance(self, instance_id: str) -> InstanceHandle:
+        """Handle for an existing instance (raises if unknown)."""
+        self.catalog.instance_row(str(instance_id))
+        return InstanceHandle(str(instance_id), self)
 
-    def delete_instance(self, instance_id: str) -> str:
-        """``fmu_delete_instance``."""
-        return self.instances.delete_instance(instance_id)
+    def model(self, model_id: str) -> ModelHandle:
+        """Handle for an existing model (raises if unknown)."""
+        self.catalog.model_row(str(model_id))
+        return ModelHandle(str(model_id), self)
 
-    def delete_model(self, model_id: str) -> str:
-        """``fmu_delete_model`` (cascades to all instances)."""
-        return self.instances.delete_model(model_id)
-
-    def variables(self, instance_id: str) -> List[Dict[str, Any]]:
-        """``fmu_variables`` as a list of dict rows."""
-        return self.instances.variables(instance_id)
-
-    def get(self, instance_id: str, var_name: str) -> Dict[str, Any]:
-        """``fmu_get``: initial/min/max values of one variable."""
-        return self.instances.get(instance_id, var_name)
-
-    def set_initial(self, instance_id: str, var_name: str, value: Any) -> str:
-        """``fmu_set_initial``."""
-        return self.instances.set_initial(instance_id, var_name, value)
-
-    def set_minimum(self, instance_id: str, var_name: str, value: Any) -> str:
-        """``fmu_set_minimum``."""
-        return self.instances.set_minimum(instance_id, var_name, value)
-
-    def set_maximum(self, instance_id: str, var_name: str, value: Any) -> str:
-        """``fmu_set_maximum``."""
-        return self.instances.set_maximum(instance_id, var_name, value)
-
-    def reset(self, instance_id: str) -> str:
-        """``fmu_reset``: restore the model's initial values for an instance."""
-        return self.instances.reset(instance_id)
+    def models(self) -> List[ModelHandle]:
+        """Handles for every model in the catalogue."""
+        return [ModelHandle(model_id, self) for model_id in self.model_ids()]
 
     # ------------------------------------------------------------------ #
     # Calibration and simulation
@@ -143,15 +161,19 @@ class PgFmu:
         """``fmu_simulate`` returning the trajectory object (Python API)."""
         return self.simulator.simulate_result(instance_id, input_sql, time_from, time_to)
 
-    def simulate_rows(
+    def simulate_many(
         self,
-        instance_id: str,
+        instance_ids: Sequence[str],
         input_sql: Optional[str] = None,
         time_from: Optional[float] = None,
         time_to: Optional[float] = None,
-    ) -> List[List[Any]]:
-        """``fmu_simulate`` returning long-format rows (the SQL UDF shape)."""
-        return self.simulator.simulate_rows(instance_id, input_sql, time_from, time_to)
+    ) -> Dict[str, SimulationResult]:
+        """Batch ``fmu_simulate``: one shared input pass for a whole fleet.
+
+        The measurement query executes once (instead of once per instance);
+        results are keyed by instance id.
+        """
+        return self.simulator.simulate_many(instance_ids, input_sql, time_from, time_to)
 
     # ------------------------------------------------------------------ #
     # Introspection helpers
@@ -174,3 +196,112 @@ class PgFmu:
     def instance_ids(self) -> List[str]:
         """All instance identifiers present in the catalogue."""
         return [row["instanceid"] for row in self.database.table("modelinstance").to_dicts()]
+
+    def extensions(self) -> List[str]:
+        """Names of the extensions installed on the session's database."""
+        return [ext.name for ext in self.database.extensions()]
+
+
+def _deprecated_shim(replacement: str) -> Callable:
+    """Mark a :class:`PgFmu` method as a shim over the layered API.
+
+    The first call per session emits a :class:`DeprecationWarning` naming the
+    replacement; the shim then delegates, so results stay identical to the
+    new API.
+    """
+
+    def decorator(method: Callable) -> Callable:
+        name = method.__name__
+
+        @functools.wraps(method)
+        def wrapper(self, *args, **kwargs):
+            if name not in self._warned_shims:
+                self._warned_shims.add(name)
+                warnings.warn(
+                    f"PgFmu.{name}() is deprecated; use {replacement} instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return method(self, *args, **kwargs)
+
+        wrapper.__deprecated_replacement__ = replacement
+        return wrapper
+
+    return decorator
+
+
+class PgFmu(Session):
+    """The original monolithic facade, kept as deprecated shims.
+
+    Every method below delegates to the layered API (driver connection or
+    instance/model handles) and emits a :class:`DeprecationWarning` once per
+    session.  Because handles subclass :class:`str`, each shim returns a
+    value equal to what the pre-redesign facade returned.
+    """
+
+    # ------------------------------------------------------------------ #
+    # SQL passthrough (driver layer shim)
+    # ------------------------------------------------------------------ #
+    @_deprecated_shim("Session.execute() or repro.connect()/Cursor")
+    def sql(self, query: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
+        """Execute a SQL statement against the session's database."""
+        return self.execute(query, params)
+
+    # ------------------------------------------------------------------ #
+    # Model / instance management (object layer shims)
+    # ------------------------------------------------------------------ #
+    @_deprecated_shim("InstanceHandle.copy()")
+    def copy(self, instance_id: str, new_instance_id: Optional[str] = None) -> str:
+        """``fmu_copy``: duplicate an instance including its values."""
+        return self.instance(instance_id).copy(new_instance_id)
+
+    @_deprecated_shim("InstanceHandle.delete()")
+    def delete_instance(self, instance_id: str) -> str:
+        """``fmu_delete_instance``."""
+        return self.instance(instance_id).delete()
+
+    @_deprecated_shim("ModelHandle.delete()")
+    def delete_model(self, model_id: str) -> str:
+        """``fmu_delete_model`` (cascades to all instances)."""
+        return self.model(model_id).delete()
+
+    @_deprecated_shim("InstanceHandle.variables()")
+    def variables(self, instance_id: str) -> List[Dict[str, Any]]:
+        """``fmu_variables`` as a list of dict rows."""
+        return self.instance(instance_id).variables()
+
+    @_deprecated_shim("InstanceHandle.get()")
+    def get(self, instance_id: str, var_name: str) -> Dict[str, Any]:
+        """``fmu_get``: initial/min/max values of one variable."""
+        return self.instance(instance_id).get(var_name)
+
+    @_deprecated_shim("InstanceHandle.set_initial()")
+    def set_initial(self, instance_id: str, var_name: str, value: Any) -> str:
+        """``fmu_set_initial``."""
+        return self.instance(instance_id).set_initial(var_name, value)
+
+    @_deprecated_shim("InstanceHandle.set_minimum()")
+    def set_minimum(self, instance_id: str, var_name: str, value: Any) -> str:
+        """``fmu_set_minimum``."""
+        return self.instance(instance_id).set_minimum(var_name, value)
+
+    @_deprecated_shim("InstanceHandle.set_maximum()")
+    def set_maximum(self, instance_id: str, var_name: str, value: Any) -> str:
+        """``fmu_set_maximum``."""
+        return self.instance(instance_id).set_maximum(var_name, value)
+
+    @_deprecated_shim("InstanceHandle.reset()")
+    def reset(self, instance_id: str) -> str:
+        """``fmu_reset``: restore the model's initial values for an instance."""
+        return self.instance(instance_id).reset()
+
+    @_deprecated_shim("InstanceHandle.simulate_rows() or Session.simulate_many()")
+    def simulate_rows(
+        self,
+        instance_id: str,
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> List[List[Any]]:
+        """``fmu_simulate`` returning long-format rows (the SQL UDF shape)."""
+        return self.instance(instance_id).simulate_rows(input_sql, time_from, time_to)

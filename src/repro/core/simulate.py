@@ -6,12 +6,18 @@ model's input variables using the catalogue metadata (Challenge 2), resolves
 the simulation window, integrates the model, and emits the results as a long
 table ``(simulationTime, instanceId, varName, value)`` - one row per time
 step and variable, the shape the paper's Table 4 shows.
+
+For fleets, :meth:`Simulator.simulate_many` amortizes the per-call overhead:
+the ``input_sql`` query is executed and its series bound **once**, then every
+instance is integrated against the shared prepared inputs - this backs both
+``Session.simulate_many`` and the array-literal overload of the
+``fmu_simulate`` UDF.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +25,33 @@ from repro.core.catalog import ModelCatalog
 from repro.core.instances import InstanceManager
 from repro.errors import SimulationInputError
 from repro.fmi.results import SimulationResult
+
+
+class _PreparedInputs:
+    """The result of executing an ``input_sql`` query, shareable across
+    instances: raw rows plus a cache of per-input-set bindings."""
+
+    __slots__ = ("rows", "_bindings")
+
+    def __init__(self, rows: Optional[List[Dict[str, Any]]]):
+        self.rows = rows
+        self._bindings: Dict[frozenset, tuple] = {}
+
+    def bind(self, input_names: set) -> tuple:
+        """Bound ``(inputs, measured_time)`` for a model's input-name set.
+
+        Keyed by the exact names: the bound dict is looked up by the model's
+        own spelling, so two models whose input names differ only in case
+        must not share a binding.
+        """
+        if self.rows is None:
+            return {}, None
+        key = frozenset(input_names)
+        bound = self._bindings.get(key)
+        if bound is None:
+            bound = Simulator._bind_inputs(self.rows, input_names)
+            self._bindings[key] = bound
+        return bound
 
 
 @dataclass
@@ -34,6 +67,15 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # Core simulation
     # ------------------------------------------------------------------ #
+    def prepare_inputs(self, input_sql: Optional[str]) -> _PreparedInputs:
+        """Execute an input query once for reuse across many simulations."""
+        if input_sql is None or not str(input_sql).strip():
+            return _PreparedInputs(None)
+        rows = self.catalog.database.query_dicts(str(input_sql))
+        if not rows:
+            raise SimulationInputError(f"input query returned no rows: {input_sql!r}")
+        return _PreparedInputs(rows)
+
     def simulate_result(
         self,
         instance_id: str,
@@ -43,19 +85,23 @@ class Simulator:
         output_step: Optional[float] = None,
     ) -> SimulationResult:
         """Simulate an instance and return the full trajectory object."""
+        return self._simulate_prepared(
+            instance_id, self.prepare_inputs(input_sql), time_from, time_to, output_step
+        )
+
+    def _simulate_prepared(
+        self,
+        instance_id: str,
+        prepared: _PreparedInputs,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+        output_step: Optional[float] = None,
+    ) -> SimulationResult:
         model = self.catalog.runtime_model(instance_id)
         input_names = set(model.input_names())
 
-        inputs: Dict[str, tuple] = {}
-        measured_time: Optional[np.ndarray] = None
-        if input_sql is not None and str(input_sql).strip():
-            rows = self.catalog.database.query_dicts(str(input_sql))
-            if not rows:
-                raise SimulationInputError(
-                    f"input query returned no rows: {input_sql!r}"
-                )
-            inputs, measured_time = self._bind_inputs(rows, input_names)
-        elif input_names:
+        inputs, measured_time = prepared.bind(input_names)
+        if prepared.rows is None and input_names:
             raise SimulationInputError(
                 f"model instance {instance_id!r} declares input variables "
                 f"({', '.join(sorted(input_names))}) but no input query was supplied"
@@ -79,6 +125,28 @@ class Simulator:
             solver=self.solver,
         )
 
+    def simulate_many(
+        self,
+        instance_ids: Sequence[str],
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> Dict[str, SimulationResult]:
+        """Simulate many instances against one shared input pass.
+
+        The measurement query runs once and each distinct input-variable set
+        is bound once, instead of once per instance as N sequential
+        ``simulate`` calls would; results are keyed by instance id in input
+        order.  Duplicate ids are simulated (and returned) once.
+        """
+        prepared = self.prepare_inputs(input_sql)
+        return {
+            instance_id: self._simulate_prepared(
+                instance_id, prepared, time_from, time_to
+            )
+            for instance_id in dict.fromkeys(str(i) for i in instance_ids)
+        }
+
     def simulate_rows(
         self,
         instance_id: str,
@@ -87,15 +155,30 @@ class Simulator:
         time_to: Optional[float] = None,
     ) -> List[List[Any]]:
         """Simulate and emit long-format rows for the ``fmu_simulate`` UDF."""
-        model = self.catalog.runtime_model(instance_id)
-        result = self.simulate_result(instance_id, input_sql, time_from, time_to)
-        reported = list(model.state_names()) + [
-            name for name in model.output_names() if name not in model.state_names()
-        ]
+        return self.simulate_rows_many([instance_id], input_sql, time_from, time_to)
+
+    def simulate_rows_many(
+        self,
+        instance_ids: Sequence[str],
+        input_sql: Optional[str] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+    ) -> List[List[Any]]:
+        """Long-format rows for one or more instances (one shared input pass).
+
+        Duplicate ids contribute rows once, matching :meth:`simulate_many`.
+        """
+        prepared = self.prepare_inputs(input_sql)
         rows: List[List[Any]] = []
-        for i, t in enumerate(result.time):
-            for name in reported:
-                rows.append([float(t), instance_id, name, float(result[name][i])])
+        for instance_id in dict.fromkeys(str(i) for i in instance_ids):
+            model = self.catalog.runtime_model(instance_id)
+            result = self._simulate_prepared(instance_id, prepared, time_from, time_to)
+            reported = list(model.state_names()) + [
+                name for name in model.output_names() if name not in model.state_names()
+            ]
+            for i, t in enumerate(result.time):
+                for name in reported:
+                    rows.append([float(t), instance_id, name, float(result[name][i])])
         return rows
 
     # ------------------------------------------------------------------ #

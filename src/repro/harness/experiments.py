@@ -115,7 +115,7 @@ def table3_variables_example() -> ExperimentResult:
     """``fmu_variables`` output for the running-example heat pump instance."""
     session = PgFmu(register_ml=False)
     session.create(heat_pump_abcde_source(), "HP1Instance1")
-    result = session.sql(
+    result = session.execute(
         "SELECT * FROM fmu_variables('HP1Instance1') AS f WHERE f.vartype = 'parameter'"
     )
     return ExperimentResult(
@@ -135,7 +135,7 @@ def table4_simulate_example(hours: float = 48.0) -> ExperimentResult:
     archive_path = session.catalog.storage_dir / "hp1_table4.fmu"
     get_model_spec("HP1").builder().write(archive_path)
     session.create(str(archive_path), "HP1Instance1")
-    result = session.sql(
+    result = session.execute(
         "SELECT simulationtime, instanceid, varname, value "
         "FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements') "
         "WHERE varname IN ('y', 'x') ORDER BY simulationtime LIMIT 10"
@@ -317,15 +317,14 @@ def figure6_threshold_sweep(
 
         # Full G+LaG calibration on a fresh instance.
         full_id = f"HP1Full{i}"
-        session.copy("HP1Reference", full_id)
-        session.reset(full_id)
+        session.instance("HP1Reference").copy(full_id).reset()
         started = time.perf_counter()
         full = session.estimator.estimate_single(full_id, input_sql, spec.estimated_parameters)
         full_seconds = time.perf_counter() - started
 
         # LO calibration warm-started from the reference optimum.
         lo_id = f"HP1Lo{i}"
-        session.copy("HP1Reference", lo_id)
+        session.instance("HP1Reference").copy(lo_id)
         started = time.perf_counter()
         lo = session.estimator.estimate_single(
             lo_id,
@@ -474,9 +473,9 @@ def madlib_occupancy_experiment(
     # Occupancy prediction with the MADlib-style ARIMA UDFs: the model is
     # trained on the stored occupancy series and its forecast over the
     # validation window stands in for the unknown occupancy.
-    session.sql("SELECT arima_train('classroom', 'occ_model', 'time', 'occ', $1, $2, $3)",
+    session.execute("SELECT arima_train('classroom', 'occ_model', 'time', 'occ', $1, $2, $3)",
                 [int(arima_order[0]), int(arima_order[1]), int(arima_order[2])])
-    forecast_rows = session.sql(
+    forecast_rows = session.execute(
         "SELECT * FROM arima_forecast('occ_model', $1)", [n_validation]
     ).rows
     predicted_occupancy = np.clip(
@@ -540,7 +539,7 @@ def madlib_damper_experiment(hours: float = 168.0, seed: int = 6) -> ExperimentR
     result = session.simulate("ClassroomTrue", "SELECT * FROM classroom")
     simulated_temperature = result["t"]
 
-    session.sql(
+    session.execute(
         "CREATE TABLE damper_features (time double precision PRIMARY KEY, "
         "solrad double precision, tout double precision, occ double precision, "
         "t_fmu double precision, damper_open integer)"
@@ -566,9 +565,9 @@ def madlib_damper_experiment(hours: float = 168.0, seed: int = 6) -> ExperimentR
     # split keeps the two sets distributionally comparable (a purely temporal
     # split would confound the comparison with the building's slow thermal
     # drift over the measurement campaign).
-    session.sql("CREATE TABLE damper_train (time double precision, solrad double precision, "
+    session.execute("CREATE TABLE damper_train (time double precision, solrad double precision, "
                 "tout double precision, occ double precision, t_fmu double precision, damper_open integer)")
-    session.sql("CREATE TABLE damper_validation (time double precision, solrad double precision, "
+    session.execute("CREATE TABLE damper_validation (time double precision, solrad double precision, "
                 "tout double precision, occ double precision, t_fmu double precision, damper_open integer)")
     session.database.insert_rows(
         "damper_train", [row for i, row in enumerate(rows) if i % 5 != 4]
@@ -597,12 +596,12 @@ def madlib_damper_experiment(hours: float = 168.0, seed: int = 6) -> ExperimentR
 
 
 def _train_and_score(session: PgFmu, model_table: str, features: str) -> float:
-    session.sql(
+    session.execute(
         "SELECT logregr_train('damper_train', $1, 'damper_open', $2)",
         [model_table, features],
     )
     return float(
-        session.sql(
+        session.execute(
             "SELECT logregr_accuracy($1, 'damper_validation', 'damper_open')",
             [model_table],
         ).scalar()

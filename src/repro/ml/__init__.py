@@ -18,18 +18,21 @@ algorithms from scratch and exposes them through the same kind of SQL UDFs:
   iteratively-reweighted least squares (IRLS).
 * :mod:`repro.ml.linear` - ordinary least squares linear regression.
 * :mod:`repro.ml.udfs` - ``arima_train`` / ``arima_forecast`` /
-  ``logregr_train`` / ``logregr_predict`` / ``linregr_train`` UDFs.
+  ``logregr_train`` / ``logregr_predict`` / ``linregr_train`` UDFs, bundled
+  as the ``"madlib"`` extension
+  (``database.install_extension("madlib")`` registers them all).
 """
 
 from repro.ml.arima import ArimaModel, ArimaOrder
 from repro.ml.linear import LinearRegression
 from repro.ml.logistic import LogisticRegression
-from repro.ml.udfs import register_ml_udfs
+from repro.ml.udfs import MADLIB_EXTENSION, register_ml_udfs
 
 __all__ = [
     "ArimaModel",
     "ArimaOrder",
     "LinearRegression",
     "LogisticRegression",
+    "MADLIB_EXTENSION",
     "register_ml_udfs",
 ]

@@ -1,5 +1,12 @@
 """SQL UDFs exposing the ML routines (the MADlib-style interface).
 
+The routines are packaged as the ``"madlib"`` extension
+(:data:`MADLIB_EXTENSION`) and installed with
+``database.install_extension("madlib")`` - exactly how a PostgreSQL
+deployment would ``CREATE EXTENSION madlib``.  ``Session(register_ml=True)``
+is shimmed onto that call, and the legacy :func:`register_ml_udfs` is a
+deprecated alias for it.
+
 Registered functions (all callable from plain SQL):
 
 * ``arima_train(source_table, output_table, time_column, value_column
@@ -25,11 +32,12 @@ model catalogue remains inspectable with plain SQL, mirroring MADlib.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import MlError
+from repro.errors import MlError, SqlCatalogError
 from repro.ml.arima import ArimaModel, ArimaOrder
 from repro.ml.linear import LinearRegression
 from repro.ml.logistic import LogisticRegression
@@ -37,6 +45,7 @@ from repro.sqldb.arrays import parse_array_literal
 from repro.sqldb.database import Database
 from repro.sqldb.schema import ColumnDefinition, TableSchema
 from repro.sqldb.types import SqlType
+from repro.sqldb.udf import Extension, register_extension_factory, scalar_udf, table_udf
 
 
 # --------------------------------------------------------------------------- #
@@ -99,6 +108,8 @@ def _feature_matrix(database: Database, table: str, columns: Sequence[str]) -> n
 # --------------------------------------------------------------------------- #
 # ARIMA UDFs
 # --------------------------------------------------------------------------- #
+@scalar_udf(name="arima_train", min_args=4, max_args=7,
+            description="Fit an ARIMA model on a stored time series")
 def _arima_train(
     database: Database,
     source_table: str,
@@ -152,6 +163,8 @@ def _rebuild_arima(database: Database, output_table: str) -> ArimaModel:
     return model
 
 
+@table_udf(name="arima_forecast", columns=["step", "value"], min_args=2, max_args=2,
+           description="Forecast future values from a trained ARIMA model")
 def _arima_forecast(database: Database, output_table: str, steps: int) -> List[List[Any]]:
     """Forecast ``steps`` values from a trained ARIMA model."""
     model = _rebuild_arima(database, output_table)
@@ -159,6 +172,8 @@ def _arima_forecast(database: Database, output_table: str, steps: int) -> List[L
     return [[i + 1, float(value)] for i, value in enumerate(forecast)]
 
 
+@table_udf(name="arima_predict", columns=["row_index", "value"], min_args=1, max_args=1,
+           description="In-sample predictions of a trained ARIMA model")
 def _arima_predict(database: Database, output_table: str) -> List[List[Any]]:
     """In-sample one-step-ahead predictions of a trained ARIMA model."""
     model = _rebuild_arima(database, output_table)
@@ -169,6 +184,8 @@ def _arima_predict(database: Database, output_table: str) -> List[List[Any]]:
 # --------------------------------------------------------------------------- #
 # Logistic / linear regression UDFs
 # --------------------------------------------------------------------------- #
+@scalar_udf(name="logregr_train", min_args=4, max_args=4,
+            description="Fit a binary logistic regression")
 def _logregr_train(
     database: Database,
     source_table: str,
@@ -214,6 +231,9 @@ def _rebuild_logregr(database: Database, output_table: str) -> tuple:
     return model, feature_names, entries
 
 
+@table_udf(name="logregr_predict", columns=["row_index", "probability", "prediction"],
+           min_args=2, max_args=2,
+           description="Predict class probabilities with a trained logistic regression")
 def _logregr_predict(database: Database, output_table: str, source_table: str) -> List[List[Any]]:
     """Per-row probability and hard prediction for a source table."""
     model, feature_names, _ = _rebuild_logregr(database, output_table)
@@ -225,6 +245,8 @@ def _logregr_predict(database: Database, output_table: str, source_table: str) -
     ]
 
 
+@scalar_udf(name="logregr_accuracy", min_args=3, max_args=3,
+            description="Accuracy of a trained logistic regression on a labelled table")
 def _logregr_accuracy(
     database: Database, output_table: str, source_table: str, dependent_column: str
 ) -> float:
@@ -235,6 +257,8 @@ def _logregr_accuracy(
     return model.accuracy(features, labels)
 
 
+@scalar_udf(name="linregr_train", min_args=4, max_args=4,
+            description="Fit an ordinary least squares regression")
 def _linregr_train(
     database: Database,
     source_table: str,
@@ -265,36 +289,42 @@ def _linregr_train(
 
 
 # --------------------------------------------------------------------------- #
-# Registration
+# The extension bundle
 # --------------------------------------------------------------------------- #
+#: The MADlib-style ML pack.  Unlike the ``pgfmu`` extension its UDFs close
+#: over nothing (the database arrives as the first call argument), so a single
+#: module-level bundle serves every database.
+MADLIB_EXTENSION = Extension.from_functions(
+    "madlib",
+    (
+        _arima_train,
+        _arima_forecast,
+        _arima_predict,
+        _logregr_train,
+        _logregr_predict,
+        _logregr_accuracy,
+        _linregr_train,
+    ),
+    version="1.1",
+    description="MADlib-style in-DBMS machine learning (ARIMA, logistic, OLS)",
+)
+
+def _madlib_factory(database: Database, **options: Any) -> Extension:
+    if options:
+        raise SqlCatalogError(
+            f"the madlib extension accepts no install options; got {sorted(options)}"
+        )
+    return MADLIB_EXTENSION
+
+
+register_extension_factory("madlib", _madlib_factory)
+
+
 def register_ml_udfs(database: Database) -> None:
-    """Register all MADlib-style UDFs on a database."""
-    database.register_scalar_udf(
-        "arima_train", _arima_train, min_args=4, max_args=7,
-        description="Fit an ARIMA model on a stored time series",
+    """Deprecated: use ``database.install_extension("madlib")`` instead."""
+    warnings.warn(
+        'register_ml_udfs() is deprecated; use database.install_extension("madlib") instead',
+        DeprecationWarning,
+        stacklevel=2,
     )
-    database.register_table_udf(
-        "arima_forecast", _arima_forecast, columns=["step", "value"], min_args=2, max_args=2,
-        description="Forecast future values from a trained ARIMA model",
-    )
-    database.register_table_udf(
-        "arima_predict", _arima_predict, columns=["row_index", "value"], min_args=1, max_args=1,
-        description="In-sample predictions of a trained ARIMA model",
-    )
-    database.register_scalar_udf(
-        "logregr_train", _logregr_train, min_args=4, max_args=4,
-        description="Fit a binary logistic regression",
-    )
-    database.register_table_udf(
-        "logregr_predict", _logregr_predict,
-        columns=["row_index", "probability", "prediction"], min_args=2, max_args=2,
-        description="Predict class probabilities with a trained logistic regression",
-    )
-    database.register_scalar_udf(
-        "logregr_accuracy", _logregr_accuracy, min_args=3, max_args=3,
-        description="Accuracy of a trained logistic regression on a labelled table",
-    )
-    database.register_scalar_udf(
-        "linregr_train", _linregr_train, min_args=4, max_args=4,
-        description="Fit an ordinary least squares regression",
-    )
+    database.install_extension("madlib")

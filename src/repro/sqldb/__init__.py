@@ -17,20 +17,39 @@ paper's queries and workflows exercise:
   ``fmu_simulate`` and friends, and how the MADlib-like ML routines are
   exposed.
 * Prepared statements with positional parameters (``$1``, ``$2``, ...).
+* A PEP-249-style driver layer (:func:`connect`, :class:`Connection`,
+  :class:`Cursor`) with snapshot-based transactions.
+* An extension mechanism (:func:`scalar_udf` / :func:`table_udf` decorators,
+  :class:`Extension`, :meth:`Database.install_extension`) mirroring
+  ``CREATE EXTENSION`` - the pgFMU core and the MADlib-like ML routines are
+  both packaged and installed this way.
 
 The engine is deliberately small, but it is a real query processor: SQL text
 is tokenized, parsed into an AST, bound against the catalogue, and executed
 by a pull-based evaluator.
 """
 
+from repro.sqldb.connection import Connection, Cursor, connect
 from repro.sqldb.database import Database
 from repro.sqldb.result import ResultSet
 from repro.sqldb.schema import ColumnDefinition, ForeignKey, TableSchema
 from repro.sqldb.types import SqlType, Variant
-from repro.sqldb.udf import ScalarUdf, TableUdf
+from repro.sqldb.udf import (
+    Extension,
+    ScalarUdf,
+    TableUdf,
+    UdfSpec,
+    available_extensions,
+    register_extension_factory,
+    scalar_udf,
+    table_udf,
+)
 
 __all__ = [
     "Database",
+    "Connection",
+    "Cursor",
+    "connect",
     "ResultSet",
     "ColumnDefinition",
     "ForeignKey",
@@ -39,4 +58,10 @@ __all__ = [
     "Variant",
     "ScalarUdf",
     "TableUdf",
+    "UdfSpec",
+    "Extension",
+    "scalar_udf",
+    "table_udf",
+    "register_extension_factory",
+    "available_extensions",
 ]

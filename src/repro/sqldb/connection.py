@@ -1,0 +1,285 @@
+"""PEP-249-style driver layer over the in-memory SQL engine.
+
+This is the lowest of the three public API layers: a DB-API-like
+:class:`Connection` / :class:`Cursor` pair so that callers (and tooling)
+can talk to the engine the way they would talk to any Python database
+driver::
+
+    import repro
+
+    with repro.connect() as conn:
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE m (time double precision, x double precision)")
+        cur.executemany("INSERT INTO m VALUES ($1, $2)", [[0.0, 20.7], [1.0, 20.9]])
+        cur.execute("SELECT * FROM m WHERE x > $1", [20.8])
+        for row in cur:
+            print(row)
+
+Differences from a networked driver, all deliberate:
+
+* parameters use PostgreSQL's positional ``$1`` placeholders (declared as
+  ``paramstyle = "numeric_dollar"``, the de-facto extension style newer
+  drivers use; PEP-249's plain ``numeric`` ``:1`` form is NOT accepted);
+* the connection is in autocommit mode until :meth:`Connection.begin` starts
+  an explicit transaction; ``commit``/``rollback`` delegate to the engine's
+  snapshot-based transactions (:meth:`repro.sqldb.database.Database.begin`);
+* closing the connection is cheap and only invalidates the handle - the
+  underlying :class:`~repro.sqldb.database.Database` object stays usable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlExecutionError
+from repro.sqldb.database import Database
+from repro.sqldb.result import ResultSet
+
+#: PEP-249 module attributes.
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "numeric_dollar"  # positional placeholders, PostgreSQL-style: $1, $2, ...
+
+
+class Cursor:
+    """A DB-API-style cursor bound to a :class:`Connection`.
+
+    Supports ``execute``/``executemany``, the ``fetchone``/``fetchmany``/
+    ``fetchall`` family, iteration, and a PEP-249 ``description``/
+    ``rowcount`` pair.  Cursors are cheap; create one per logical statement
+    stream.
+    """
+
+    def __init__(self, connection: "Connection"):
+        self._connection = connection
+        self._result: Optional[ResultSet] = None
+        self._position = 0
+        self._rowcount = -1
+        self._closed = False
+        self.arraysize = 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def connection(self) -> "Connection":
+        return self._connection
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        """PEP-249 column descriptions (name first, remaining fields None)."""
+        if self._result is None or not self._result.columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._result.columns]
+
+    @property
+    def rowcount(self) -> int:
+        return self._rowcount
+
+    @property
+    def result(self) -> Optional[ResultSet]:
+        """The :class:`ResultSet` of the last ``execute`` (driver extension)."""
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> "Cursor":
+        """Execute one statement; returns the cursor for chaining."""
+        self._check_open()
+        # Drop the previous result first: a failing statement must leave the
+        # cursor empty, not silently serving the prior query's rows.
+        self._result = None
+        self._position = 0
+        self._rowcount = -1
+        self._result = self._connection.database.execute(sql, params)
+        self._rowcount = self._result.rowcount
+        return self
+
+    def executemany(self, sql: str, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
+        """Execute the same statement once per parameter set.
+
+        ``rowcount`` accumulates across all executions (the DB-API contract
+        for batched DML); the result rows exposed afterwards are those of the
+        last execution.  An empty parameter sequence executes nothing and
+        leaves an empty result (not a "never executed" cursor).
+        """
+        self._check_open()
+        total = 0
+        self._result = ResultSet([], [], rowcount=0)
+        self._position = 0
+        self._rowcount = 0
+        try:
+            for params in seq_of_params:
+                self._result = self._connection.database.execute(sql, params)
+                total += self._result.rowcount
+                self._rowcount = total
+        except Exception:
+            # Same invariant as execute(): a failure leaves the cursor empty.
+            # (Effects of the parameter sets before the failing one persist -
+            # autocommit - unless an explicit transaction is rolled back.)
+            self._result = None
+            self._rowcount = -1
+            raise
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Fetching
+    # ------------------------------------------------------------------ #
+    def fetchone(self) -> Optional[List[Any]]:
+        self._check_result()
+        if self._position >= len(self._result.rows):
+            return None
+        row = self._result.rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[List[Any]]:
+        self._check_result()
+        count = self.arraysize if size is None else int(size)
+        rows = self._result.rows[self._position : self._position + count]
+        self._position += len(rows)
+        return rows
+
+    def fetchall(self) -> List[List[Any]]:
+        self._check_result()
+        rows = self._result.rows[self._position :]
+        self._position = len(self._result.rows)
+        return rows
+
+    def __iter__(self) -> Iterator[List[Any]]:
+        return self
+
+    def __next__(self) -> List[Any]:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlExecutionError("cursor is closed")
+        self._connection._check_open()
+
+    def _check_result(self) -> None:
+        self._check_open()
+        if self._result is None:
+            raise SqlExecutionError("no query has been executed on this cursor")
+
+
+class Connection:
+    """A DB-API-style connection over a :class:`~repro.sqldb.database.Database`.
+
+    ``session`` optionally carries the pgFMU object layer
+    (:class:`repro.core.session.Session`) so driver users can reach handles:
+    ``conn.session.create(...)``.  Connections created by
+    :func:`repro.connect` always have it; bare engine connections
+    (``sqldb.connect()``) leave it ``None``.
+    """
+
+    def __init__(self, database: Optional[Database] = None, session: Any = None):
+        self.database = database if database is not None else Database()
+        self.session = session
+        self._closed = False
+        self._began = False
+
+    # ------------------------------------------------------------------ #
+    # Cursors and execution
+    # ------------------------------------------------------------------ #
+    def cursor(self) -> Cursor:
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> Cursor:
+        """Convenience: create a cursor and execute one statement on it."""
+        return self.cursor().execute(sql, params)
+
+    # ------------------------------------------------------------------ #
+    # Transactions (delegated to the engine's snapshot transactions)
+    # ------------------------------------------------------------------ #
+    def begin(self) -> None:
+        """Leave autocommit: start an explicit transaction."""
+        self._check_open()
+        self.database.begin()
+        self._began = True
+
+    def commit(self) -> None:
+        """Commit the transaction this connection began (no-op otherwise -
+        like :meth:`close`, it never touches a transaction another connection
+        on the shared database owns)."""
+        self._check_open()
+        if self._began:
+            self.database.commit()
+            self._began = False
+
+    def rollback(self) -> None:
+        """Roll back the transaction this connection began (no-op otherwise)."""
+        self._check_open()
+        if self._began:
+            self.database.rollback()
+            self._began = False
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.database.in_transaction
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the connection; a transaction *this connection* started is
+        rolled back (one begun by another connection on the shared database
+        is left untouched)."""
+        if self._closed:
+            return
+        if self._began and self.database.in_transaction:
+            self.database.rollback()
+        self._began = False
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed and self._began and self.database.in_transaction:
+            if exc_type is None:
+                self.database.commit()
+            else:
+                self.database.rollback()
+            self._began = False
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlExecutionError("connection is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"Connection({state}, tables={len(self.database.table_names())})"
+
+
+def connect(database: Optional[Database] = None) -> Connection:
+    """Open a driver-layer connection to a (possibly fresh) bare database.
+
+    This is the engine-level entry point; :func:`repro.connect` is the
+    application-level one that also boots the pgFMU session and extensions.
+    """
+    return Connection(database)

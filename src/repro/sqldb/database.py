@@ -1,16 +1,30 @@
-"""The database facade: catalogue of tables, UDF registry, query execution."""
+"""The database facade: tables, UDF registry, extensions, transactions.
+
+Beyond plain query execution the facade offers the two integration surfaces
+the layered public API builds on:
+
+* **extensions** - :meth:`Database.install_extension` installs a named or
+  literal :class:`~repro.sqldb.udf.Extension` (``"pgfmu"``, ``"madlib"``)
+  the way PostgreSQL runs ``CREATE EXTENSION``; installed bundles are
+  introspectable from SQL via the built-in ``installed_extensions()``
+  set-returning function (aliased as ``fmu_extensions()`` by the ``pgfmu``
+  extension).
+* **transactions** - :meth:`begin` / :meth:`commit` / :meth:`rollback`
+  provide snapshot-based transactions that the driver layer
+  (:mod:`repro.sqldb.connection`) delegates to.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.errors import SqlCatalogError, SqlIntegrityError
+from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse_sql
 from repro.sqldb.result import ResultSet
 from repro.sqldb.schema import TableSchema
 from repro.sqldb.table import Table
-from repro.sqldb.udf import UdfRegistry
+from repro.sqldb.udf import Extension, UdfRegistry, extension_factory
 
 
 class Database:
@@ -34,6 +48,19 @@ class Database:
         self._executor = Executor(self)
         self._prepared: Dict[str, Any] = {}
         self._statement_cache: Dict[str, Any] = {}
+        self._extensions: Dict[str, Extension] = {}
+        self._snapshot: Optional[Dict[str, Any]] = None
+        self._registry_snapshot: Optional[tuple] = None
+        self._commit_hooks: List[Callable[[], None]] = []
+        self._rollback_hooks: List[Callable[[], None]] = []
+        self.udfs.register_table(
+            "installed_extensions",
+            _installed_extensions,
+            columns=["extname", "extversion", "n_udfs", "description"],
+            min_args=0,
+            max_args=0,
+            description="All extensions installed on this database",
+        )
 
     # ------------------------------------------------------------------ #
     # Catalogue
@@ -162,6 +189,132 @@ class Database:
         self._prepared.pop(name.lower(), None)
 
     # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+    @property
+    def in_transaction(self) -> bool:
+        return self._snapshot is not None
+
+    def begin(self) -> None:
+        """Start a transaction by snapshotting all table contents.
+
+        The UDF and extension registries are snapshotted too, so a rolled-back
+        ``install_extension`` disappears together with the tables it created.
+        """
+        if self._snapshot is not None:
+            raise SqlExecutionError("a transaction is already in progress")
+        self._snapshot = {
+            name: table.snapshot() for name, table in self._tables.items()
+        }
+        self._registry_snapshot = (
+            dict(self._extensions),
+            dict(self.udfs.scalars),
+            dict(self.udfs.tables),
+        )
+
+    def commit(self) -> None:
+        """Make the changes since :meth:`begin` permanent (no-op outside one)."""
+        self._snapshot = None
+        self._registry_snapshot = None
+        self._rollback_hooks.clear()
+        hooks, self._commit_hooks = self._commit_hooks, []
+        for hook in hooks:
+            hook()
+
+    def rollback(self) -> None:
+        """Restore the snapshot taken by :meth:`begin` (no-op outside one)."""
+        self._commit_hooks.clear()
+        hooks, self._rollback_hooks = self._rollback_hooks, []
+        for hook in hooks:
+            hook()
+        if self._snapshot is None:
+            return
+        extensions, scalars, table_udfs = self._registry_snapshot
+        self._extensions = extensions
+        self.udfs.scalars = scalars
+        self.udfs.tables = table_udfs
+        self._registry_snapshot = None
+        snapshot, self._snapshot = self._snapshot, None
+        # Tables created inside the transaction disappear; dropped ones return.
+        self._tables = {name: table for name, table in self._tables.items() if name in snapshot}
+        for name, state in snapshot.items():
+            table = self._tables.get(name)
+            if table is None:
+                table = Table(state.schema)
+                self._tables[name] = table
+            table.restore(state)
+
+    def on_commit(self, callback: Callable[[], None]) -> None:
+        """Defer an irreversible side effect (e.g. deleting a file) to commit.
+
+        Inside a transaction the callback runs at :meth:`commit` and is
+        discarded on :meth:`rollback`; outside one it runs immediately.  The
+        snapshot mechanism can only restore table contents, so anything it
+        cannot undo must go through here.
+        """
+        if self._snapshot is None:
+            callback()
+        else:
+            self._commit_hooks.append(callback)
+
+    def on_rollback(self, callback: Callable[[], None]) -> None:
+        """Register an undo action for a side effect applied mid-transaction.
+
+        The counterpart of :meth:`on_commit` for effects that happen eagerly
+        (e.g. writing a file): the callback runs at :meth:`rollback` and is
+        discarded at :meth:`commit`.  Outside a transaction it is discarded
+        immediately - there is nothing to undo to.
+        """
+        if self._snapshot is not None:
+            self._rollback_hooks.append(callback)
+
+    # ------------------------------------------------------------------ #
+    # Extensions
+    # ------------------------------------------------------------------ #
+    def install_extension(self, extension: Union[str, Extension], **options: Any) -> Extension:
+        """Install an extension (``CREATE EXTENSION`` for this engine).
+
+        ``extension`` is either an :class:`~repro.sqldb.udf.Extension` bundle
+        or the name of one registered via
+        :func:`~repro.sqldb.udf.register_extension_factory` (``"pgfmu"``,
+        ``"madlib"``).  Installing by name is idempotent; installing a bundle
+        re-registers its UDFs (rebinding them to fresh closures).  ``options``
+        are forwarded to the named extension's factory.
+        """
+        if isinstance(extension, str):
+            existing = self._extensions.get(extension.lower())
+            if existing is not None:
+                if options:
+                    raise SqlCatalogError(
+                        f"extension {extension!r} is already installed; the "
+                        f"options {sorted(options)} would be ignored"
+                    )
+                return existing
+            extension = extension_factory(extension)(self, **options)
+        elif options:
+            raise SqlCatalogError(
+                f"options {sorted(options)} only apply when installing by "
+                f"name; the literal bundle {extension.name!r} is already built"
+            )
+        # Registration is idempotent, so a factory that already installed its
+        # bundle while building it (pgfmu boots a whole session) is fine.
+        for spec in extension.udfs:
+            self.udfs.register_spec(spec)
+        self._extensions[extension.name] = extension
+        return extension
+
+    def extensions(self) -> List[Extension]:
+        """All installed extensions, sorted by name."""
+        return [self._extensions[name] for name in sorted(self._extensions)]
+
+    def has_extension(self, name: str) -> bool:
+        return name.lower() in self._extensions
+
+    def extension(self, name: str) -> Optional[Extension]:
+        """The installed extension of that name, or None."""
+        return self._extensions.get(name.lower())
+
+    # ------------------------------------------------------------------ #
     # UDF registration
     # ------------------------------------------------------------------ #
     def register_scalar_udf(
@@ -212,3 +365,12 @@ class Database:
             table.insert([row[c] for c in columns], columns, fk_check=fk_check)
             count += 1
         return count
+
+
+def _installed_extensions(database: Database) -> List[List[Any]]:
+    """Rows for the built-in ``installed_extensions()`` set-returning function
+    (the ``pgfmu`` extension aliases it as ``fmu_extensions()``)."""
+    return [
+        [ext.name, ext.version, len(ext.udfs), ext.description]
+        for ext in database.extensions()
+    ]

@@ -165,6 +165,23 @@ class Table:
         self._rows = []
         self._pk_index = {}
 
+    # ------------------------------------------------------------------ #
+    # Transaction support
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> "TableState":
+        """Capture the current contents for transaction rollback."""
+        return TableState(
+            schema=self.schema,
+            rows=[list(row) for row in self._rows],
+            pk_index=dict(self._pk_index),
+        )
+
+    def restore(self, state: "TableState") -> None:
+        """Restore contents captured by :meth:`snapshot`."""
+        self.schema = state.schema
+        self._rows = [list(row) for row in state.rows]
+        self._pk_index = dict(state.pk_index)
+
     def extend(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows inserted."""
         count = 0
@@ -172,3 +189,14 @@ class Table:
             self.insert(row)
             count += 1
         return count
+
+
+class TableState:
+    """Frozen copy of a table's contents, used for transaction rollback."""
+
+    __slots__ = ("schema", "rows", "pk_index")
+
+    def __init__(self, schema: TableSchema, rows: List[list], pk_index: Dict[Tuple, int]):
+        self.schema = schema
+        self.rows = rows
+        self.pk_index = pk_index

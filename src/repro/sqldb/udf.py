@@ -1,4 +1,4 @@
-"""User-defined function registry.
+"""User-defined function registry and the extension packaging layer.
 
 pgFMU (like MADlib) integrates with the database by registering functions:
 
@@ -11,14 +11,180 @@ pgFMU (like MADlib) integrates with the database by registering functions:
 Both kinds receive the owning :class:`~repro.sqldb.database.Database` as
 their first argument, which is how pgFMU's functions execute the user-supplied
 ``input_sql`` queries "in place" without any data export/import.
+
+UDFs are packaged and installed the way PostgreSQL installs pgFMU or MADlib:
+a function is declared with the :func:`scalar_udf` / :func:`table_udf`
+decorators (which attach an immutable :class:`UdfSpec`), a set of declared
+functions is bundled into an :class:`Extension`, and the bundle is installed
+with :meth:`Database.install_extension`.  Extensions installable by name
+(``install_extension("madlib")``) register a factory here via
+:func:`register_extension_factory`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlCatalogError
+
+
+def _first_docstring_line(func: Callable) -> str:
+    doc = (func.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+@dataclass(frozen=True)
+class UdfSpec:
+    """Immutable declaration of one UDF, as attached by the decorators.
+
+    ``kind`` is ``"scalar"`` or ``"table"``; table UDFs carry their fixed
+    output ``columns``.  The spec is pure data - it binds to a concrete
+    database only when an :class:`Extension` containing it is installed.
+    """
+
+    name: str
+    kind: str
+    func: Callable[..., Any]
+    columns: Tuple[str, ...] = ()
+    min_args: int = 0
+    max_args: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("scalar", "table"):
+            raise SqlCatalogError(f"UDF {self.name!r}: unknown kind {self.kind!r}")
+        if self.kind == "table" and not self.columns:
+            raise SqlCatalogError(f"table UDF {self.name!r} must declare output columns")
+
+
+def scalar_udf(
+    name: Optional[str] = None,
+    min_args: int = 0,
+    max_args: Optional[int] = None,
+    description: str = "",
+) -> Callable[[Callable], Callable]:
+    """Declare a function as a scalar UDF (``func.__udf_spec__`` is attached).
+
+    The decorated function is returned unchanged, so it stays directly
+    callable (and testable) as plain Python.
+    """
+
+    def decorator(func: Callable) -> Callable:
+        func.__udf_spec__ = UdfSpec(
+            name=(name or func.__name__).lower(),
+            kind="scalar",
+            func=func,
+            min_args=min_args,
+            max_args=max_args,
+            description=description or _first_docstring_line(func),
+        )
+        return func
+
+    return decorator
+
+
+def table_udf(
+    name: Optional[str] = None,
+    columns: Sequence[str] = (),
+    min_args: int = 0,
+    max_args: Optional[int] = None,
+    description: str = "",
+) -> Callable[[Callable], Callable]:
+    """Declare a function as a set-returning UDF with a fixed output schema."""
+
+    def decorator(func: Callable) -> Callable:
+        func.__udf_spec__ = UdfSpec(
+            name=(name or func.__name__).lower(),
+            kind="table",
+            func=func,
+            columns=tuple(c.lower() for c in columns),
+            min_args=min_args,
+            max_args=max_args,
+            description=description or _first_docstring_line(func),
+        )
+        return func
+
+    return decorator
+
+
+@dataclass(frozen=True)
+class Extension:
+    """A named, versioned bundle of UDFs - the unit of installation.
+
+    Mirrors PostgreSQL's ``CREATE EXTENSION``: installing an extension
+    registers every UDF it declares on the target database, and the
+    installation is recorded so ``fmu_extensions()`` can report it.
+    """
+
+    name: str
+    version: str = "1.0"
+    description: str = ""
+    udfs: Tuple[UdfSpec, ...] = ()
+
+    def __post_init__(self):
+        # Extension names are case-insensitive everywhere (installation,
+        # lookup, idempotency), so normalize once at construction.
+        object.__setattr__(self, "name", self.name.lower())
+
+    @classmethod
+    def from_functions(
+        cls,
+        name: str,
+        functions: Iterable[Callable],
+        version: str = "1.0",
+        description: str = "",
+    ) -> "Extension":
+        """Bundle functions declared with ``@scalar_udf`` / ``@table_udf``."""
+        specs = []
+        for func in functions:
+            spec = getattr(func, "__udf_spec__", None)
+            if spec is None:
+                raise SqlCatalogError(
+                    f"{func!r} is not a declared UDF; decorate it with "
+                    f"@scalar_udf(...) or @table_udf(...)"
+                )
+            specs.append(spec)
+        return cls(name=name.lower(), version=version, description=description, udfs=tuple(specs))
+
+
+#: Factories for extensions installable by name: name -> factory(database, **options).
+_EXTENSION_FACTORIES: Dict[str, Callable[..., Extension]] = {}
+
+#: Built-in packs are registered on import of their module; the lazy table
+#: lets ``install_extension("madlib")`` work before anything imported them.
+_BUILTIN_EXTENSION_MODULES: Dict[str, str] = {
+    "pgfmu": "repro.core.udfs",
+    "madlib": "repro.ml.udfs",
+}
+
+
+def register_extension_factory(name: str, factory: Callable[..., Extension]) -> None:
+    """Make ``Database.install_extension(name)`` able to build this extension."""
+    _EXTENSION_FACTORIES[name.lower()] = factory
+
+
+def extension_factory(name: str) -> Callable[..., Extension]:
+    """Look up a registered extension factory by name (lazily importing
+    the providing module for the built-in packs)."""
+    key = name.lower()
+    factory = _EXTENSION_FACTORIES.get(key)
+    if factory is None and key in _BUILTIN_EXTENSION_MODULES:
+        import importlib
+
+        importlib.import_module(_BUILTIN_EXTENSION_MODULES[key])
+        factory = _EXTENSION_FACTORIES.get(key)
+    if factory is None:
+        known = ", ".join(sorted(set(_EXTENSION_FACTORIES) | set(_BUILTIN_EXTENSION_MODULES)))
+        raise SqlCatalogError(
+            f"unknown extension {name!r}; known extensions: {known}"
+        )
+    return factory
+
+
+def available_extensions() -> List[str]:
+    """Names of all extensions installable by name."""
+    return sorted(set(_EXTENSION_FACTORIES) | set(_BUILTIN_EXTENSION_MODULES))
 
 
 @dataclass
@@ -117,6 +283,26 @@ class UdfRegistry:
         )
         self.tables[udf.name] = udf
         return udf
+
+    def register_spec(self, spec: UdfSpec) -> None:
+        """Register a declarative :class:`UdfSpec` (from the decorators)."""
+        if spec.kind == "scalar":
+            self.register_scalar(
+                spec.name,
+                spec.func,
+                min_args=spec.min_args,
+                max_args=spec.max_args,
+                description=spec.description,
+            )
+        else:
+            self.register_table(
+                spec.name,
+                spec.func,
+                spec.columns,
+                min_args=spec.min_args,
+                max_args=spec.max_args,
+                description=spec.description,
+            )
 
     def scalar(self, name: str) -> Optional[ScalarUdf]:
         return self.scalars.get(name.lower())

@@ -84,7 +84,7 @@ class PgFmuWorkflow:
         fmu_path = self.session.catalog.storage_dir / f"workflow_{self.archive.model_name}.fmu"
         if not Path(fmu_path).exists():
             self.archive.write(fmu_path)
-        self.session.create(str(fmu_path), self.instance_id)
+        instance = self.session.create(str(fmu_path), self.instance_id)
         steps.append(StepTiming("load_fmu", time.perf_counter() - started))
 
         # Step 2: read measurements - nothing to do, the data is already in
@@ -126,8 +126,8 @@ class PgFmuWorkflow:
 
         # Step 5: simulate the calibrated model over the full window.
         started = time.perf_counter()
-        simulation_rows = self.session.simulate_rows(
-            self.instance_id, f"SELECT * FROM {self.measurements_table}"
+        simulation_rows = instance.simulate_rows(
+            f"SELECT * FROM {self.measurements_table}"
         )
         steps.append(StepTiming("simulate", time.perf_counter() - started))
 

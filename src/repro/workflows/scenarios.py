@@ -231,7 +231,7 @@ def run_mi_scenario(settings: Optional[ScenarioSettings] = None) -> MiScenarioRe
             if i == 0:
                 session.create(str(archive_path), instance_id)
             else:
-                session.copy(f"{spec.name}Instance1", instance_id)
+                session.instance(f"{spec.name}Instance1").copy(instance_id)
             instance_ids.append(instance_id)
         input_sqls = [f"SELECT * FROM {table}" for table in member_tables]
         outcomes = session.parest(

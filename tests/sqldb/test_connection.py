@@ -1,0 +1,215 @@
+"""Tests for the PEP-249-style driver layer (Connection / Cursor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlExecutionError
+from repro.sqldb import Database, connect
+
+
+@pytest.fixture()
+def conn():
+    connection = connect()
+    connection.execute(
+        "CREATE TABLE points (id integer PRIMARY KEY, x double precision)"
+    )
+    return connection
+
+
+class TestCursorExecution:
+    def test_execute_returns_cursor_for_chaining(self, conn):
+        cur = conn.cursor()
+        assert cur.execute("SELECT 1") is cur
+        assert cur.fetchone() == [1]
+
+    def test_parameter_binding(self, conn):
+        cur = conn.cursor()
+        cur.execute("INSERT INTO points VALUES ($1, $2)", [1, 2.5])
+        cur.execute("SELECT x FROM points WHERE id = $1", [1])
+        assert cur.fetchone() == [2.5]
+
+    def test_executemany_with_empty_sequence_leaves_empty_result(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO points VALUES ($1, $2)", [])
+        assert cur.rowcount == 0
+        assert cur.fetchall() == []
+
+    def test_executemany_accumulates_rowcount(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO points VALUES ($1, $2)", [[i, float(i)] for i in range(5)])
+        assert cur.rowcount == 5
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 5
+
+    def test_description_and_rowcount(self, conn):
+        cur = conn.execute("SELECT id, x FROM points")
+        assert [d[0] for d in cur.description] == ["id", "x"]
+        assert cur.rowcount == 0
+
+    def test_fetch_family(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO points VALUES ($1, $2)", [[i, float(i)] for i in range(4)])
+        cur.execute("SELECT id FROM points ORDER BY id")
+        assert cur.fetchone() == [0]
+        assert cur.fetchmany(2) == [[1], [2]]
+        assert cur.fetchall() == [[3]]
+        assert cur.fetchone() is None
+
+    def test_cursor_iteration(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO points VALUES ($1, $2)", [[i, float(i)] for i in range(3)])
+        cur.execute("SELECT id FROM points ORDER BY id")
+        assert [row[0] for row in cur] == [0, 1, 2]
+
+    def test_fetch_without_execute_rejected(self, conn):
+        with pytest.raises(SqlExecutionError):
+            conn.cursor().fetchall()
+
+    def test_failed_execute_clears_previous_result(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO points VALUES ($1, $2)", [[i, float(i)] for i in range(3)])
+        cur.execute("SELECT id FROM points ORDER BY id")
+        assert cur.fetchone() == [0]
+        with pytest.raises(Exception):
+            cur.execute("SELECT bogus FROM points")
+        # The stale rows of the first query must not leak through.
+        with pytest.raises(SqlExecutionError):
+            cur.fetchall()
+
+
+class TestLifecycle:
+    def test_closed_cursor_rejected(self, conn):
+        cur = conn.cursor()
+        cur.close()
+        with pytest.raises(SqlExecutionError):
+            cur.execute("SELECT 1")
+
+    def test_closed_connection_rejects_cursors_and_queries(self, conn):
+        conn.close()
+        assert conn.closed
+        with pytest.raises(SqlExecutionError):
+            conn.cursor()
+        with pytest.raises(SqlExecutionError):
+            conn.execute("SELECT 1")
+
+    def test_context_manager_closes(self):
+        with connect() as connection:
+            connection.execute("CREATE TABLE t (a integer)")
+            assert not connection.closed
+        assert connection.closed
+
+    def test_close_is_idempotent(self, conn):
+        conn.close()
+        conn.close()
+        assert conn.closed
+
+    def test_database_survives_connection_close(self, conn):
+        db = conn.database
+        conn.close()
+        assert db.execute("SELECT count(*) FROM points").scalar() == 0
+
+
+class TestTransactions:
+    def test_rollback_restores_rows(self, conn):
+        conn.execute("INSERT INTO points VALUES (1, 1.0)")
+        conn.begin()
+        conn.execute("INSERT INTO points VALUES (2, 2.0)")
+        conn.execute("UPDATE points SET x = 9.0 WHERE id = 1")
+        conn.rollback()
+        rows = conn.execute("SELECT id, x FROM points ORDER BY id").fetchall()
+        assert rows == [[1, 1.0]]
+
+    def test_commit_keeps_changes(self, conn):
+        conn.begin()
+        conn.execute("INSERT INTO points VALUES (1, 1.0)")
+        conn.commit()
+        assert not conn.in_transaction
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 1
+
+    def test_rollback_undoes_create_table(self, conn):
+        conn.begin()
+        conn.execute("CREATE TABLE scratch (a integer)")
+        conn.rollback()
+        assert not conn.database.has_table("scratch")
+
+    def test_rollback_restores_dropped_table(self, conn):
+        conn.execute("INSERT INTO points VALUES (1, 1.0)")
+        conn.begin()
+        conn.execute("DROP TABLE points")
+        conn.rollback()
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 1
+
+    def test_exception_in_context_manager_rolls_back(self):
+        database = Database()
+        database.execute("CREATE TABLE t (a integer)")
+        with pytest.raises(RuntimeError):
+            with connect(database) as connection:
+                connection.begin()
+                connection.execute("INSERT INTO t VALUES (1)")
+                raise RuntimeError("boom")
+        assert database.execute("SELECT count(*) FROM t").scalar() == 0
+
+    def test_clean_context_manager_exit_commits_open_transaction(self):
+        database = Database()
+        database.execute("CREATE TABLE t (a integer)")
+        with connect(database) as connection:
+            connection.begin()
+            connection.execute("INSERT INTO t VALUES (1)")
+        assert database.execute("SELECT count(*) FROM t").scalar() == 1
+
+    def test_nested_begin_rejected(self, conn):
+        conn.begin()
+        with pytest.raises(SqlExecutionError):
+            conn.begin()
+        conn.rollback()
+
+    def test_commit_and_rollback_ignore_foreign_transactions(self, conn):
+        bystander = connect(conn.database)
+        conn.begin()
+        conn.execute("INSERT INTO points VALUES (1, 1.0)")
+        bystander.rollback()  # no-op: it did not begin the transaction
+        assert conn.in_transaction
+        bystander.commit()  # likewise a no-op
+        assert conn.in_transaction
+        conn.rollback()
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 0
+
+    def test_failed_executemany_clears_cursor_state(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(Exception):
+            cur.executemany("INSERT INTO points VALUES ($1, $2)", [[1, 1.0], [1, 2.0]])
+        with pytest.raises(SqlExecutionError):
+            cur.fetchall()
+        assert cur.rowcount == -1
+        # The set before the failing one persisted (autocommit semantics).
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 1
+
+    def test_closing_another_connection_leaves_foreign_transaction_alone(self, conn):
+        bystander = connect(conn.database)
+        conn.begin()
+        conn.execute("INSERT INTO points VALUES (1, 1.0)")
+        bystander.close()  # did not begin the transaction; must not roll it back
+        assert conn.in_transaction
+        conn.commit()
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 1
+
+    def test_context_manager_does_not_commit_foreign_transaction(self, conn):
+        conn.begin()
+        conn.execute("INSERT INTO points VALUES (1, 1.0)")
+        with connect(conn.database):
+            pass  # clean exit of a bystander must not commit conn's transaction
+        assert conn.in_transaction
+        conn.rollback()
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 0
+
+    def test_on_commit_defers_side_effects(self, conn):
+        fired = []
+        conn.database.on_commit(lambda: fired.append("immediate"))
+        assert fired == ["immediate"]  # no transaction: runs at once
+        conn.begin()
+        conn.database.on_commit(lambda: fired.append("rolled back"))
+        conn.rollback()
+        conn.begin()
+        conn.database.on_commit(lambda: fired.append("committed"))
+        conn.commit()
+        assert fired == ["immediate", "committed"]
