@@ -2,7 +2,8 @@
 
 The same heat-pump workflow as the quickstart, expressed once per layer:
 
-1. the PEP-249-style driver (``repro.connect()``, cursors, transactions),
+1. the PEP-249-style driver (``repro.connect()``, cursors, transactions,
+   ``CREATE INDEX``/``EXPLAIN`` through the query planner),
 2. the fluent object handles (``session.create(...).set_initial(...)...``),
 3. the extension registry (``install_extension``, ``fmu_extensions()``).
 
@@ -38,6 +39,25 @@ def driver_layer(conn: repro.Connection) -> None:
     conn.rollback()
     cur.execute("SELECT count(*) FROM measurements")
     print(f"measurements survive the rollback: {cur.fetchone()[0]} rows")
+
+    # Store simulation output in a table, index it by instance id, and let
+    # EXPLAIN show the planner turning the filter into an index point lookup.
+    cur.execute(
+        "CREATE TABLE sims (simulation_time double precision, instance_id text, "
+        "var_name text, value double precision)"
+    )
+    cur.execute(
+        "INSERT INTO sims SELECT * FROM "
+        "fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')"
+    )
+    cur.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+    cur.execute(
+        "EXPLAIN SELECT count(*) FROM sims "
+        "WHERE instance_id = $1 AND var_name = 'x'"
+    )
+    print("EXPLAIN through the Cursor API:")
+    for (line,) in cur:
+        print(f"  {line}")
 
 
 def object_layer(conn: repro.Connection) -> None:

@@ -4,7 +4,8 @@ pgFMU is a PostgreSQL extension; this subpackage provides the database the
 extension plugs into.  It implements, from scratch, the slice of SQL the
 paper's queries and workflows exercise:
 
-* DDL: ``CREATE TABLE`` (with PRIMARY KEY / NOT NULL / REFERENCES), ``DROP TABLE``.
+* DDL: ``CREATE TABLE`` (with PRIMARY KEY / NOT NULL / REFERENCES), ``DROP
+  TABLE``, ``CREATE INDEX`` / ``DROP INDEX`` (secondary hash indexes).
 * DML: ``INSERT`` (VALUES and ``INSERT ... SELECT``), ``UPDATE``, ``DELETE``.
 * Queries: ``SELECT`` with expressions, aliases, ``WHERE``, ``GROUP BY`` +
   aggregates, ``HAVING``, ``ORDER BY``, ``LIMIT``/``OFFSET``, ``DISTINCT``,
@@ -25,8 +26,10 @@ paper's queries and workflows exercise:
   both packaged and installed this way.
 
 The engine is deliberately small, but it is a real query processor: SQL text
-is tokenized, parsed into an AST, bound against the catalogue, and executed
-by a pull-based evaluator.
+is tokenized, parsed into an AST, bound against the catalogue, planned by a
+rule-based optimizer (:mod:`repro.sqldb.planner` - predicate pushdown, index
+point lookups, hash joins, top-k sorts; inspect plans with ``EXPLAIN``), and
+executed over the chosen plan tree.
 """
 
 from repro.sqldb.connection import Connection, Cursor, connect

@@ -265,6 +265,31 @@ class DropTableStatement:
 
 
 @dataclass
+class CreateIndexStatement:
+    """``CREATE INDEX [IF NOT EXISTS] name ON table (col, ...)``."""
+
+    name: str
+    table: str
+    columns: List[str]
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropIndexStatement:
+    """``DROP INDEX [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class ExplainStatement:
+    """``EXPLAIN <statement>`` - render the chosen plan instead of running it."""
+
+    statement: "Statement"
+
+
+@dataclass
 class InsertStatement:
     """``INSERT INTO name [(cols)] VALUES (...), ... | SELECT ...``."""
 
@@ -295,6 +320,9 @@ Statement = Union[
     SelectStatement,
     CreateTableStatement,
     DropTableStatement,
+    CreateIndexStatement,
+    DropIndexStatement,
+    ExplainStatement,
     InsertStatement,
     UpdateStatement,
     DeleteStatement,

@@ -22,7 +22,9 @@ Differences from a networked driver, all deliberate:
   drivers use; PEP-249's plain ``numeric`` ``:1`` form is NOT accepted);
 * the connection is in autocommit mode until :meth:`Connection.begin` starts
   an explicit transaction; ``commit``/``rollback`` delegate to the engine's
-  snapshot-based transactions (:meth:`repro.sqldb.database.Database.begin`);
+  copy-on-write snapshot transactions
+  (:meth:`repro.sqldb.database.Database.begin`) - a rollback also restores
+  secondary indexes and the index catalogue to their pre-BEGIN state;
 * closing the connection is cheap and only invalidates the handle - the
   underlying :class:`~repro.sqldb.database.Database` object stays usable.
 """
@@ -206,6 +208,15 @@ class Connection:
     def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> Cursor:
         """Convenience: create a cursor and execute one statement on it."""
         return self.cursor().execute(sql, params)
+
+    def explain(self, sql: str, params: Optional[Sequence[Any]] = None) -> str:
+        """The query plan the engine would use, as rendered text.
+
+        Equivalent to ``cur.execute("EXPLAIN <sql>")`` and joining the
+        returned rows; a driver extension mirroring ``EXPLAIN`` in psql.
+        """
+        self._check_open()
+        return self.database.explain(sql, params)
 
     # ------------------------------------------------------------------ #
     # Transactions (delegated to the engine's snapshot transactions)

@@ -11,20 +11,44 @@ the layered public API builds on:
   extension).
 * **transactions** - :meth:`begin` / :meth:`commit` / :meth:`rollback`
   provide snapshot-based transactions that the driver layer
-  (:mod:`repro.sqldb.connection`) delegates to.
+  (:mod:`repro.sqldb.connection`) delegates to.  Snapshots are taken
+  **copy-on-write**: :meth:`begin` records nothing; the first mutation of
+  each table (through :attr:`Table.write_hook`) captures that table's
+  pre-image, so a transaction costs O(tables written), not O(database size).
+
+The facade also owns the query-planning machinery: a secondary-index
+catalogue (``CREATE INDEX``/``DROP INDEX``), and a plan cache - plans hang
+off the statement objects of the SQL-text statement cache and are
+invalidated by bumping :attr:`catalog_version` on any DDL or rollback.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse_sql
 from repro.sqldb.result import ResultSet
 from repro.sqldb.schema import TableSchema
-from repro.sqldb.table import Table
+from repro.sqldb.table import Table, TableState
 from repro.sqldb.udf import Extension, UdfRegistry, extension_factory
+
+
+class _TransactionState:
+    """Book-keeping for one open copy-on-write transaction.
+
+    ``tables_before`` maps a table name to its pre-transaction
+    :class:`TableState` (captured lazily on first write), or ``None`` when
+    the table did not exist when the transaction began.
+    """
+
+    __slots__ = ("tables_before", "index_catalog", "registry")
+
+    def __init__(self, index_catalog: Dict[str, str], registry: tuple):
+        self.tables_before: Dict[str, Optional[TableState]] = {}
+        self.index_catalog = index_catalog
+        self.registry = registry
 
 
 class Database:
@@ -49,10 +73,17 @@ class Database:
         self._prepared: Dict[str, Any] = {}
         self._statement_cache: Dict[str, Any] = {}
         self._extensions: Dict[str, Extension] = {}
-        self._snapshot: Optional[Dict[str, Any]] = None
-        self._registry_snapshot: Optional[tuple] = None
+        self._txn: Optional[_TransactionState] = None
         self._commit_hooks: List[Callable[[], None]] = []
         self._rollback_hooks: List[Callable[[], None]] = []
+        #: Secondary-index catalogue: index name -> owning table name.
+        self._indexes: Dict[str, str] = {}
+        #: Bumped on every catalogue change (DDL, index DDL, rollback);
+        #: cached plans are revalidated against it.
+        self.catalog_version: int = 0
+        #: When False, SELECT runs through the pre-planner naive pipeline
+        #: (used by equivalence tests and the query-planner benchmark).
+        self.planner_enabled: bool = True
         self.udfs.register_table(
             "installed_extensions",
             _installed_extensions,
@@ -77,14 +108,24 @@ class Database:
                     f"{fk.referenced_table!r}"
                 )
         table = Table(schema)
+        table.write_hook = self._table_write_hook
         self._tables[name] = table
+        if self._txn is not None and name not in self._txn.tables_before:
+            self._txn.tables_before[name] = None  # did not exist before BEGIN
+        self._bump_catalog_version()
         return table
 
     def drop_table(self, name: str) -> None:
         name = name.lower()
         if name not in self._tables:
             raise SqlCatalogError(f"table {name!r} does not exist")
+        table = self._tables[name]
+        if self._txn is not None and name not in self._txn.tables_before:
+            self._txn.tables_before[name] = table.snapshot()
         del self._tables[name]
+        for index_name in [i for i, t in self._indexes.items() if t == name]:
+            del self._indexes[index_name]
+        self._bump_catalog_version()
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -97,6 +138,83 @@ class Database:
 
     def table_names(self) -> List[str]:
         return sorted(self._tables)
+
+    # ------------------------------------------------------------------ #
+    # Secondary indexes
+    # ------------------------------------------------------------------ #
+    def create_index(self, name: str, table_name: str, columns: Sequence[str]) -> None:
+        """Create a secondary hash index (``CREATE INDEX name ON table (cols)``)."""
+        name = name.lower()
+        if name in self._indexes:
+            raise SqlCatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        table.add_index(name, columns)
+        self._indexes[name] = table.schema.name
+        self._bump_catalog_version()
+
+    def drop_index(self, name: str) -> None:
+        name = name.lower()
+        table_name = self._indexes.get(name)
+        if table_name is None:
+            raise SqlCatalogError(f"index {name!r} does not exist")
+        self.table(table_name).remove_index(name)
+        del self._indexes[name]
+        self._bump_catalog_version()
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self._indexes
+
+    def index_names(self) -> List[str]:
+        """All secondary index names, sorted."""
+        return sorted(self._indexes)
+
+    # ------------------------------------------------------------------ #
+    # Query planning
+    # ------------------------------------------------------------------ #
+    def _bump_catalog_version(self) -> None:
+        self.catalog_version += 1
+
+    def plan_select(self, statement) -> Any:
+        """The (cached) plan for a parsed SELECT statement.
+
+        Statements are cached by SQL text (:meth:`_parse_cached`), and each
+        statement object carries its plan tagged with the database identity
+        and :attr:`catalog_version` - so plans are effectively keyed on SQL
+        text and invalidated by any DDL, index change, or rollback.  The
+        per-statement attachment also makes correlated subqueries (planned
+        once, executed per outer row) cheap.
+        """
+        from repro.sqldb.planner.builder import build_select_plan
+
+        cached = getattr(statement, "plan_cache_entry", None)
+        if (
+            cached is not None
+            and cached[0] is self
+            and cached[1] == self.catalog_version
+        ):
+            return cached[2]
+        plan = build_select_plan(statement, self)
+        statement.plan_cache_entry = (self, self.catalog_version, plan)
+        return plan
+
+    def explain(self, sql: str, params: Optional[Sequence[Any]] = None) -> str:
+        """The EXPLAIN plan of a statement as one newline-joined string."""
+        stripped = sql.strip()
+        if stripped.lower().startswith("explain"):
+            result = self.execute(stripped, params)
+        else:
+            result = self.execute(f"EXPLAIN {stripped}", params)
+        return "\n".join(row[0] for row in result.rows)
+
+    def _table_write_hook(self, table: Table) -> None:
+        """First-write hook installed on every table: lazily snapshot the
+        table's pre-image when a transaction is open (copy-on-write)."""
+        txn = self._txn
+        if txn is None:
+            return
+        name = table.schema.name
+        if name not in txn.tables_before and self._tables.get(name) is table:
+            txn.tables_before[name] = table.snapshot()
 
     # ------------------------------------------------------------------ #
     # Constraints
@@ -193,56 +311,68 @@ class Database:
     # ------------------------------------------------------------------ #
     @property
     def in_transaction(self) -> bool:
-        return self._snapshot is not None
+        return self._txn is not None
 
     def begin(self) -> None:
-        """Start a transaction by snapshotting all table contents.
+        """Start a copy-on-write transaction.
 
-        The UDF and extension registries are snapshotted too, so a rolled-back
-        ``install_extension`` disappears together with the tables it created.
+        Nothing is copied here: each table captures its pre-image lazily on
+        first write (via :meth:`_table_write_hook`), so the transaction costs
+        O(tables written) instead of O(database size).  The UDF and extension
+        registries are snapshotted eagerly (they are small dicts), so a
+        rolled-back ``install_extension`` disappears together with the
+        tables it created.
         """
-        if self._snapshot is not None:
+        if self._txn is not None:
             raise SqlExecutionError("a transaction is already in progress")
-        self._snapshot = {
-            name: table.snapshot() for name, table in self._tables.items()
-        }
-        self._registry_snapshot = (
-            dict(self._extensions),
-            dict(self.udfs.scalars),
-            dict(self.udfs.tables),
+        self._txn = _TransactionState(
+            index_catalog=dict(self._indexes),
+            registry=(
+                dict(self._extensions),
+                dict(self.udfs.scalars),
+                dict(self.udfs.tables),
+            ),
         )
 
     def commit(self) -> None:
         """Make the changes since :meth:`begin` permanent (no-op outside one)."""
-        self._snapshot = None
-        self._registry_snapshot = None
+        self._txn = None
         self._rollback_hooks.clear()
         hooks, self._commit_hooks = self._commit_hooks, []
         for hook in hooks:
             hook()
 
     def rollback(self) -> None:
-        """Restore the snapshot taken by :meth:`begin` (no-op outside one)."""
+        """Undo every change since :meth:`begin` (no-op outside one).
+
+        Only tables recorded as written (or created/dropped) are touched:
+        written and dropped tables are restored from their pre-images
+        (secondary indexes rebuilt), tables created inside the transaction
+        disappear, and the index catalogue reverts.
+        """
         self._commit_hooks.clear()
         hooks, self._rollback_hooks = self._rollback_hooks, []
         for hook in hooks:
             hook()
-        if self._snapshot is None:
+        txn, self._txn = self._txn, None
+        if txn is None:
             return
-        extensions, scalars, table_udfs = self._registry_snapshot
+        extensions, scalars, table_udfs = txn.registry
         self._extensions = extensions
         self.udfs.scalars = scalars
         self.udfs.tables = table_udfs
-        self._registry_snapshot = None
-        snapshot, self._snapshot = self._snapshot, None
-        # Tables created inside the transaction disappear; dropped ones return.
-        self._tables = {name: table for name, table in self._tables.items() if name in snapshot}
-        for name, state in snapshot.items():
+        for name, before in txn.tables_before.items():
+            if before is None:
+                self._tables.pop(name, None)
+                continue
             table = self._tables.get(name)
             if table is None:
-                table = Table(state.schema)
+                table = Table(before.schema)
+                table.write_hook = self._table_write_hook
                 self._tables[name] = table
-            table.restore(state)
+            table.restore(before)
+        self._indexes = txn.index_catalog
+        self._bump_catalog_version()
 
     def on_commit(self, callback: Callable[[], None]) -> None:
         """Defer an irreversible side effect (e.g. deleting a file) to commit.
@@ -252,7 +382,7 @@ class Database:
         snapshot mechanism can only restore table contents, so anything it
         cannot undo must go through here.
         """
-        if self._snapshot is None:
+        if self._txn is None:
             callback()
         else:
             self._commit_hooks.append(callback)
@@ -265,7 +395,7 @@ class Database:
         discarded at :meth:`commit`.  Outside a transaction it is discarded
         immediately - there is nothing to undo to.
         """
-        if self._snapshot is not None:
+        if self._txn is not None:
             self._rollback_hooks.append(callback)
 
     # ------------------------------------------------------------------ #

@@ -1,15 +1,27 @@
-"""Statement execution: SELECT, INSERT, UPDATE, DELETE, CREATE/DROP TABLE."""
+"""Statement execution: SELECT (planned or naive), DML, DDL and EXPLAIN.
+
+SELECT statements are normally executed through the planner subsystem
+(:mod:`repro.sqldb.planner`); the original eager-materialization pipeline is
+kept as :meth:`Executor._execute_select_naive` so equivalence tests and the
+query-planner benchmark can compare the two paths on identical inputs
+(toggle with :attr:`repro.sqldb.database.Database.planner_enabled`).
+"""
 
 from __future__ import annotations
+
+import heapq
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
 from repro.sqldb.ast_nodes import (
     ColumnRef,
+    CreateIndexStatement,
     CreateTableStatement,
     DeleteStatement,
+    DropIndexStatement,
     DropTableStatement,
+    ExplainStatement,
     Expression,
     FuncCall,
     FunctionRef,
@@ -32,7 +44,9 @@ from repro.sqldb.functions import (
     TABLE_FUNCTIONS,
     is_aggregate,
 )
+from repro.sqldb.planner.nodes import PlanRuntime
 from repro.sqldb.result import ResultSet
+from repro.sqldb.rows import make_row, merge_rows
 from repro.sqldb.schema import ColumnDefinition, ForeignKey, TableSchema
 from repro.sqldb.types import Variant
 
@@ -70,6 +84,12 @@ class Executor:
             return self._execute_create_table(statement, ctx)
         if isinstance(statement, DropTableStatement):
             return self._execute_drop_table(statement)
+        if isinstance(statement, CreateIndexStatement):
+            return self._execute_create_index(statement)
+        if isinstance(statement, DropIndexStatement):
+            return self._execute_drop_index(statement)
+        if isinstance(statement, ExplainStatement):
+            return self._execute_explain(statement)
         raise SqlExecutionError(f"unsupported statement type: {type(statement).__name__}")
 
     # ------------------------------------------------------------------ #
@@ -86,12 +106,7 @@ class Executor:
 
     @staticmethod
     def _make_row(label: str, column_names: Sequence[str], values: Sequence[Any]) -> dict:
-        row: Dict[str, Any] = {}
-        for col, value in zip(column_names, values):
-            row[f"{label}.{col}"] = value
-            if col not in row:
-                row[col] = value
-        return row
+        return make_row(label, column_names, values)
 
     def _expand_function(
         self, item: FunctionRef, ctx: EvalContext, outer_row: Optional[dict]
@@ -161,9 +176,7 @@ class Executor:
         for left_row in left_rows:
             matched = False
             for right_row in right_rows:
-                merged = dict(left_row)
-                for key, value in right_row.items():
-                    merged.setdefault(key, value)
+                merged = merge_rows(left_row, right_row)
                 if item.kind == "cross" or item.condition is None:
                     keep = True
                 else:
@@ -172,10 +185,7 @@ class Executor:
                     matched = True
                     rows.append(merged)
             if item.kind == "left" and not matched:
-                merged = dict(left_row)
-                for key, value in null_right.items():
-                    merged.setdefault(key, value)
-                rows.append(merged)
+                rows.append(merge_rows(left_row, null_right))
         return columns, rows
 
     def _expand_item(
@@ -214,10 +224,7 @@ class Executor:
                 new_rows = []
                 for row in rows:
                     for item_row in item_rows:
-                        merged = dict(row)
-                        for key, value in item_row.items():
-                            merged.setdefault(key, value)
-                        new_rows.append(merged)
+                        new_rows.append(merge_rows(row, item_row))
                 rows = new_rows
             else:
                 new_rows = []
@@ -227,10 +234,7 @@ class Executor:
                     outer.update(row)
                     item_columns, item_rows = self._expand_item(item, ctx, outer)
                     for item_row in item_rows:
-                        merged = dict(row)
-                        for key, value in item_row.items():
-                            merged.setdefault(key, value)
-                        new_rows.append(merged)
+                        new_rows.append(merge_rows(row, item_row))
                 scope_columns = scope_columns + item_columns
                 rows = new_rows
         return scope_columns, rows
@@ -239,6 +243,14 @@ class Executor:
     # SELECT
     # ------------------------------------------------------------------ #
     def _execute_select(self, statement: SelectStatement, ctx: EvalContext) -> ResultSet:
+        if not getattr(self.database, "planner_enabled", True):
+            return self._execute_select_naive(statement, ctx)
+        plan = self.database.plan_select(statement)
+        names, projected, _ = plan.execute(PlanRuntime(executor=self, ctx=ctx))
+        return ResultSet(columns=names, rows=projected)
+
+    def _execute_select_naive(self, statement: SelectStatement, ctx: EvalContext) -> ResultSet:
+        """The pre-planner pipeline: materialize everything, then filter."""
         scope_columns, rows = self._build_source_rows(statement.from_items, ctx)
 
         if statement.where is not None:
@@ -459,7 +471,11 @@ class Executor:
         projected: List[list],
         order_rows: List[dict],
         ctx: EvalContext,
+        topk: Optional[int] = None,
     ) -> Tuple[List[list], List[dict]]:
+        """Sort projected rows; with ``topk`` only the first k are selected
+        via a heap (LIMIT pushed through ORDER BY).  ``heapq.nsmallest`` is
+        stable like ``sorted``, so both paths order ties identically."""
         lowered_names = [n.lower() for n in names]
 
         def sort_key(pair):
@@ -473,7 +489,11 @@ class Executor:
                 key.append((value is None, _SortValue(value, direction)))
             return key
 
-        combined = sorted(zip(projected, order_rows), key=sort_key)
+        pairs = list(zip(projected, order_rows))
+        if topk is not None and topk < len(pairs):
+            combined = heapq.nsmallest(max(topk, 0), pairs, key=sort_key)
+        else:
+            combined = sorted(pairs, key=sort_key)
         if not combined:
             return [], []
         out_values, out_rows = zip(*combined)
@@ -630,6 +650,47 @@ class Executor:
             raise SqlCatalogError(f"table {statement.name!r} does not exist")
         self.database.drop_table(statement.name)
         return ResultSet(columns=["status"], rows=[["dropped"]], rowcount=0)
+
+    def _execute_create_index(self, statement: CreateIndexStatement) -> ResultSet:
+        if self.database.has_index(statement.name):
+            if statement.if_not_exists:
+                return ResultSet(columns=["status"], rows=[["exists"]], rowcount=0)
+            raise SqlCatalogError(f"index {statement.name!r} already exists")
+        self.database.create_index(statement.name, statement.table, statement.columns)
+        return ResultSet(columns=["status"], rows=[["created"]], rowcount=0)
+
+    def _execute_drop_index(self, statement: DropIndexStatement) -> ResultSet:
+        if not self.database.has_index(statement.name):
+            if statement.if_exists:
+                return ResultSet(columns=["status"], rows=[["skipped"]], rowcount=0)
+            raise SqlCatalogError(f"index {statement.name!r} does not exist")
+        self.database.drop_index(statement.name)
+        return ResultSet(columns=["status"], rows=[["dropped"]], rowcount=0)
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN
+    # ------------------------------------------------------------------ #
+    def _execute_explain(self, statement: ExplainStatement) -> ResultSet:
+        from repro.sqldb.planner.render import render_expression
+
+        inner = statement.statement
+        if isinstance(inner, SelectStatement):
+            lines = self.database.plan_select(inner).explain_lines()
+        elif isinstance(inner, InsertStatement):
+            lines = [f"Insert on {inner.table}"]
+            if inner.select is not None:
+                lines.extend(self.database.plan_select(inner.select).explain_lines(1))
+        elif isinstance(inner, UpdateStatement):
+            suffix = f" (filter: {render_expression(inner.where)})" if inner.where else ""
+            lines = [f"Update on {inner.table}{suffix}"]
+        elif isinstance(inner, DeleteStatement):
+            suffix = f" (filter: {render_expression(inner.where)})" if inner.where else ""
+            lines = [f"Delete on {inner.table}{suffix}"]
+        else:
+            raise SqlExecutionError(
+                "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE statements"
+            )
+        return ResultSet(columns=["QUERY PLAN"], rows=[[line] for line in lines], rowcount=0)
 
 
 class _SortValue:

@@ -26,6 +26,7 @@ from repro.sqldb.ast_nodes import (
     UnaryOp,
 )
 from repro.sqldb.functions import SCALAR_FUNCTIONS, is_aggregate
+from repro.sqldb.rows import AMBIGUOUS
 from repro.sqldb.types import SqlType, Variant, coerce
 
 
@@ -66,9 +67,15 @@ def _unwrap(value: Any) -> Any:
 
 def _lookup(row: Dict[str, Any], key: str, ctx: EvalContext) -> Any:
     if key in row:
-        return row[key]
+        value = row[key]
+        if value is AMBIGUOUS:
+            raise SqlCatalogError(f"column reference {key!r} is ambiguous")
+        return value
     if ctx.outer_row is not None and key in ctx.outer_row:
-        return ctx.outer_row[key]
+        value = ctx.outer_row[key]
+        if value is AMBIGUOUS:
+            raise SqlCatalogError(f"column reference {key!r} is ambiguous")
+        return value
     raise SqlCatalogError(f"column {key!r} does not exist")
 
 

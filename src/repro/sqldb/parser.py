@@ -12,10 +12,13 @@ from repro.sqldb.ast_nodes import (
     Cast,
     ColumnRef,
     ColumnSpec,
+    CreateIndexStatement,
     CreateTableStatement,
     DeleteStatement,
+    DropIndexStatement,
     DropTableStatement,
     ExistsSubquery,
+    ExplainStatement,
     Expression,
     FromItem,
     FuncCall,
@@ -102,29 +105,48 @@ class Parser:
             return token.value
         raise self._error("expected a name")
 
+    def _word_at(self, word: str, offset: int = 0) -> bool:
+        """True when the token at ``offset`` spells ``word`` (ident or keyword).
+
+        Used for unreserved words like INDEX/EXPLAIN that must stay usable
+        as ordinary column names.
+        """
+        token = self._peek(offset)
+        return token.kind in ("ident", "keyword") and token.value.lower() == word
+
+    def _expect_word(self, word: str) -> Token:
+        if not self._word_at(word):
+            raise self._error(f"expected {word.upper()}")
+        return self._advance()
+
     # ------------------------------------------------------------------ #
     # Statement dispatch
     # ------------------------------------------------------------------ #
     def parse_statement(self) -> Statement:
-        token = self._peek()
-        if token.matches("keyword", "select") or token.matches("op", "("):
-            statement = self._parse_select()
-        elif token.matches("keyword", "insert"):
-            statement = self._parse_insert()
-        elif token.matches("keyword", "update"):
-            statement = self._parse_update()
-        elif token.matches("keyword", "delete"):
-            statement = self._parse_delete()
-        elif token.matches("keyword", "create"):
-            statement = self._parse_create_table()
-        elif token.matches("keyword", "drop"):
-            statement = self._parse_drop_table()
-        else:
-            raise self._error("expected a SQL statement")
+        statement = self._parse_bare_statement()
         self._match_op(";")
         if self._peek().kind != "eof":
             raise self._error("unexpected trailing input after statement")
         return statement
+
+    def _parse_bare_statement(self) -> Statement:
+        token = self._peek()
+        if token.matches("keyword", "select") or token.matches("op", "("):
+            return self._parse_select()
+        if token.matches("keyword", "insert"):
+            return self._parse_insert()
+        if token.matches("keyword", "update"):
+            return self._parse_update()
+        if token.matches("keyword", "delete"):
+            return self._parse_delete()
+        if token.matches("keyword", "create"):
+            return self._parse_create()
+        if token.matches("keyword", "drop"):
+            return self._parse_drop()
+        if self._word_at("explain"):
+            self._advance()
+            return ExplainStatement(statement=self._parse_bare_statement())
+        raise self._error("expected a SQL statement")
 
     # ------------------------------------------------------------------ #
     # SELECT
@@ -549,8 +571,48 @@ class Parser:
         return DeleteStatement(table=table, where=where)
 
     # ------------------------------------------------------------------ #
-    # CREATE / DROP TABLE
+    # CREATE / DROP TABLE and INDEX
     # ------------------------------------------------------------------ #
+    def _parse_create(self) -> Statement:
+        if self._word_at("index", offset=1):
+            return self._parse_create_index()
+        return self._parse_create_table()
+
+    def _parse_drop(self) -> Statement:
+        if self._word_at("index", offset=1):
+            return self._parse_drop_index()
+        return self._parse_drop_table()
+
+    def _parse_create_index(self) -> CreateIndexStatement:
+        self._expect_keyword("create")
+        self._expect_word("index")
+        if_not_exists = False
+        if self._match_keyword("if"):
+            self._expect_keyword("not")
+            self._expect_keyword("exists")
+            if_not_exists = True
+        name = self._expect_name().lower()
+        self._expect_keyword("on")
+        table = self._expect_name().lower()
+        self._expect_op("(")
+        columns = [self._expect_name().lower()]
+        while self._match_op(","):
+            columns.append(self._expect_name().lower())
+        self._expect_op(")")
+        return CreateIndexStatement(
+            name=name, table=table, columns=columns, if_not_exists=if_not_exists
+        )
+
+    def _parse_drop_index(self) -> DropIndexStatement:
+        self._expect_keyword("drop")
+        self._expect_word("index")
+        if_exists = False
+        if self._match_keyword("if"):
+            self._expect_keyword("exists")
+            if_exists = True
+        name = self._expect_name().lower()
+        return DropIndexStatement(name=name, if_exists=if_exists)
+
     def _parse_create_table(self) -> CreateTableStatement:
         self._expect_keyword("create")
         self._expect_keyword("table")

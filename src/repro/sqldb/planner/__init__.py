@@ -1,0 +1,50 @@
+"""Query planner/optimizer subsystem.
+
+Turns parsed SELECT statements into optimized plan trees (predicate
+pushdown, index point lookups, hash joins, top-k sorts) and renders them
+for ``EXPLAIN``.  See :mod:`repro.sqldb.planner.builder` for the rule
+pipeline and :mod:`repro.sqldb.planner.nodes` for the node/executor pairs.
+"""
+
+from repro.sqldb.planner.builder import build_select_plan
+from repro.sqldb.planner.nodes import (
+    Aggregate,
+    Distinct,
+    EmptySource,
+    Filter,
+    FunctionScan,
+    HashJoin,
+    IndexLookup,
+    LateralSource,
+    Limit,
+    NestedLoopJoin,
+    PlanNode,
+    PlanRuntime,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.sqldb.planner.predicates import normalize_dnf, split_conjuncts
+
+__all__ = [
+    "build_select_plan",
+    "normalize_dnf",
+    "split_conjuncts",
+    "PlanNode",
+    "PlanRuntime",
+    "Scan",
+    "IndexLookup",
+    "FunctionScan",
+    "SubqueryScan",
+    "LateralSource",
+    "EmptySource",
+    "Filter",
+    "NestedLoopJoin",
+    "HashJoin",
+    "Project",
+    "Aggregate",
+    "Distinct",
+    "Sort",
+    "Limit",
+]

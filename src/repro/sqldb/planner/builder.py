@@ -1,0 +1,533 @@
+"""Build an optimized plan tree from a parsed SELECT statement.
+
+Rule pipeline (all rule-based; there is no cost model yet):
+
+1. **Scope analysis** - map FROM aliases to base-table schemas, note which
+   sources have statically unknown columns (functions, subqueries, LATERAL).
+2. **WHERE normalization** - flatten into OR-of-AND groups
+   (:func:`~repro.sqldb.planner.predicates.normalize_dnf`).
+3. **Predicate pushdown** - single-table conjuncts move below joins into the
+   scans; with OR groups a *derived* per-table predicate is pushed and the
+   full WHERE stays as a residual filter.
+4. **Index selection** - ``col = const/param`` conjuncts over the primary
+   key or a secondary hash index turn scans into point lookups.
+5. **Hash joins** - inner/left equi-joins on type-compatible base-table
+   columns replace nested loops.
+6. **Top-k** - a LIMIT above an ORDER BY pushes into the sort as a heap
+   selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sqldb.ast_nodes import (
+    ColumnRef,
+    Expression,
+    FromItem,
+    FunctionRef,
+    Join,
+    SelectStatement,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sqldb.expressions import collect_aggregates
+from repro.sqldb.planner.nodes import (
+    Aggregate,
+    Distinct,
+    EmptySource,
+    Filter,
+    FunctionScan,
+    HashJoin,
+    IndexLookup,
+    LateralSource,
+    Limit,
+    NestedLoopJoin,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.sqldb.planner.predicates import (
+    collect_refs,
+    column_equality,
+    conjoin,
+    constant_equality,
+    disjoin,
+    normalize_dnf,
+    split_conjuncts,
+)
+from repro.sqldb.types import SqlType
+
+#: Marker for an unqualified column name visible from several base tables.
+_MULTI = object()
+
+#: Hashability classes: two join key columns may hash-join only when their
+#: declared types collapse to the same class (mirrors the executor's
+#: heterogeneous ``=`` semantics closely enough to be exact within a class).
+_TYPE_CLASS = {
+    SqlType.INTEGER: "numeric",
+    SqlType.DOUBLE: "numeric",
+    SqlType.BOOLEAN: "numeric",  # True == 1 in both hash and naive semantics
+    SqlType.TEXT: "text",
+    SqlType.TIMESTAMP: "timestamp",
+    SqlType.VARIANT: None,  # per-row types vary: never safe to hash
+}
+
+
+@dataclass
+class _Scope:
+    """What the planner statically knows about a SELECT's FROM clause."""
+
+    tables: Dict[str, object] = dataclass_field(default_factory=dict)  # alias -> TableSchema
+    table_names: Dict[str, str] = dataclass_field(default_factory=dict)  # alias -> table name
+    labels: Set[str] = dataclass_field(default_factory=set)
+    has_unknown: bool = False
+    unqualified: Dict[str, object] = dataclass_field(default_factory=dict)
+    #: Labels predicates may NOT be pushed into: the nullable side of a LEFT
+    #: JOIN (pushdown would suppress null-extension filtering) and anything
+    #: inside a LATERAL item (re-expanded per row by the executor).
+    unpushable: Set[str] = dataclass_field(default_factory=set)
+
+    def resolve_column(self, ref: ColumnRef) -> Optional[Tuple[str, object]]:
+        """Resolve a column ref to ``(alias, TableSchema)`` of a base table."""
+        if ref.table is not None:
+            schema = self.tables.get(ref.table)
+            if schema is not None and schema.has_column(ref.name):
+                return ref.table, schema
+            return None
+        if self.has_unknown:
+            return None
+        owner = self.unqualified.get(ref.name)
+        if owner is None or owner is _MULTI:
+            return None
+        return owner, self.tables[owner]
+
+
+def _item_is_lateral(item: FromItem) -> bool:
+    if isinstance(item, (FunctionRef, SubqueryRef)):
+        return item.lateral
+    if isinstance(item, Join):
+        return _item_is_lateral(item.left) or _item_is_lateral(item.right)
+    return False
+
+
+def _item_label(item: FromItem) -> Optional[str]:
+    if isinstance(item, TableRef):
+        return (item.alias or item.name).lower()
+    if isinstance(item, FunctionRef):
+        return (item.alias or item.call.name).lower()
+    if isinstance(item, SubqueryRef):
+        return (item.alias or "subquery").lower()
+    return None
+
+
+def _collect_scope(from_items: List[FromItem], database) -> _Scope:
+    scope = _Scope()
+
+    def walk(item: FromItem, lateral: bool, nullable: bool) -> None:
+        if isinstance(item, Join):
+            walk(item.left, lateral, nullable)
+            walk(item.right, lateral, nullable or item.kind == "left")
+            return
+        label = _item_label(item)
+        if label is not None:
+            scope.labels.add(label)
+            if lateral or nullable:
+                scope.unpushable.add(label)
+        if isinstance(item, TableRef) and not lateral:
+            schema = database.table(item.name).schema
+            scope.tables[label] = schema
+            scope.table_names[label] = item.name.lower()
+        else:
+            scope.has_unknown = True
+
+    for item in from_items:
+        walk(item, _item_is_lateral(item), False)
+
+    for alias, schema in scope.tables.items():
+        for column in schema.column_names:
+            if column in scope.unqualified and scope.unqualified[column] != alias:
+                scope.unqualified[column] = _MULTI
+            else:
+                scope.unqualified[column] = alias
+    return scope
+
+
+# --------------------------------------------------------------------------- #
+# Predicate attribution
+# --------------------------------------------------------------------------- #
+_RESIDUAL = object()
+
+
+def _attribute(conjunct: Expression, scope: _Scope) -> object:
+    """Decide which FROM item a conjunct can be evaluated on (or residual)."""
+    info = collect_refs(conjunct)
+    if info.has_subquery or info.has_star:
+        return _RESIDUAL
+    aliases: Set[str] = set()
+    for qualifier in info.qualified:
+        if qualifier in scope.labels:
+            aliases.add(qualifier)
+        # References to labels outside the scope are outer-correlated and do
+        # not pin the conjunct to a local FROM item.
+    for name in info.unqualified:
+        if scope.has_unknown:
+            return _RESIDUAL
+        owner = scope.unqualified.get(name)
+        if owner is _MULTI:
+            return _RESIDUAL
+        if owner is not None:
+            aliases.add(owner)
+    if len(aliases) == 1:
+        return aliases.pop()
+    return _RESIDUAL
+
+
+def _pushdown(
+    where: Optional[Expression], scope: _Scope, single_table_label: Optional[str]
+) -> Tuple[Dict[str, List[Expression]], Dict[str, bool], List[Expression]]:
+    """Split WHERE into per-item pushed conjunct lists and residual conjuncts.
+
+    Returns ``(pushed, derived_flags, residual)`` where ``derived_flags[alias]``
+    says the pushed predicate is a *derived* OR (the residual then keeps the
+    full WHERE for exactness).  Only a single-group (pure conjunction) WHERE
+    yields more than one residual entry; join-condition extraction
+    (:func:`_attach_equi_conditions`) relies on that.
+    """
+    if where is None:
+        return {}, {}, []
+
+    groups = normalize_dnf(where)
+    if groups is None:
+        return {}, {}, [where]
+
+    if len(groups) == 1:
+        conjuncts = groups[0]
+        pushed: Dict[str, List[Expression]] = {}
+        residual: List[Expression] = []
+        for conjunct in conjuncts:
+            target = _attribute(conjunct, scope)
+            if target is _RESIDUAL and single_table_label is not None:
+                info = collect_refs(conjunct)
+                if not info.has_subquery and not info.has_star:
+                    target = single_table_label
+            if target is _RESIDUAL or target in scope.unpushable:
+                residual.append(conjunct)
+            else:
+                pushed.setdefault(target, []).append(conjunct)
+        return pushed, {}, residual
+
+    # OR of groups: push the derived per-item predicate when every group
+    # constrains the item, and keep the full WHERE as the residual filter.
+    pushed = {}
+    derived: Dict[str, bool] = {}
+    for alias in scope.labels - scope.unpushable:
+        per_group: List[Expression] = []
+        for group in groups:
+            mine = [c for c in group if _attribute(c, scope) == alias]
+            if not mine:
+                per_group = []
+                break
+            per_group.append(conjoin(mine))
+        if per_group:
+            pushed[alias] = [disjoin(per_group)]
+            derived[alias] = True
+    return pushed, derived, [where]
+
+
+# --------------------------------------------------------------------------- #
+# Scan construction with index selection
+# --------------------------------------------------------------------------- #
+def _build_table_scan(
+    item: TableRef,
+    database,
+    conjuncts: List[Expression],
+    derived: bool,
+    label: str,
+) -> PlanNode:
+    table = database.table(item.name)
+    if not conjuncts:
+        return Scan(table_name=item.name.lower(), alias=item.alias)
+    predicate = conjoin(conjuncts)
+    if derived:
+        # Derived OR predicates are relaxations, not conjunctions: no index.
+        return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
+
+    schema = table.schema
+    equalities: Dict[str, Tuple[Expression, Expression]] = {}
+    for conjunct in conjuncts:
+        match = constant_equality(conjunct)
+        if match is None:
+            continue
+        column, value = match
+        if column.table is not None and column.table != label:
+            continue
+        if not schema.has_column(column.name) or column.name in equalities:
+            continue
+        equalities[column.name] = (conjunct, value)
+
+    def usable(columns: List[str]) -> bool:
+        return bool(columns) and all(
+            column in equalities
+            and _TYPE_CLASS.get(schema.column(column).sql_type) is not None
+            for column in columns
+        )
+
+    index_name = None
+    key_columns: List[str] = []
+    if usable(schema.primary_key):
+        index_name = "PRIMARY KEY"
+        key_columns = list(schema.primary_key)
+    else:
+        for index in table.indexes.values():
+            if usable(index.columns) and len(index.columns) > len(key_columns):
+                index_name = index.name
+                key_columns = list(index.columns)
+
+    if index_name is None:
+        return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
+
+    consumed = {id(equalities[column][0]) for column in key_columns}
+    residual = [c for c in conjuncts if id(c) not in consumed]
+    return IndexLookup(
+        table_name=item.name.lower(),
+        alias=item.alias,
+        index_name=index_name,
+        key_columns=key_columns,
+        key_exprs=[equalities[column][1] for column in key_columns],
+        residual=conjoin(residual),
+        full_predicate=predicate,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Join tree construction and hash-join rewriting
+# --------------------------------------------------------------------------- #
+def _build_item(
+    item: FromItem,
+    database,
+    pushed: Dict[str, List[Expression]],
+    derived: Dict[str, bool],
+) -> PlanNode:
+    label = _item_label(item)
+    conjuncts = pushed.get(label, []) if label is not None else []
+    if isinstance(item, TableRef):
+        return _build_table_scan(item, database, conjuncts, derived.get(label, False), label)
+    if isinstance(item, FunctionRef):
+        node: PlanNode = FunctionScan(item=item)
+    elif isinstance(item, SubqueryRef):
+        subplan = None
+        try:
+            subplan = database.plan_select(item.select)
+        except Exception:
+            subplan = None
+        node = SubqueryScan(item=item, subplan=subplan)
+    elif isinstance(item, Join):
+        left = _build_item(item.left, database, pushed, derived)
+        right = _build_item(item.right, database, pushed, derived)
+        return NestedLoopJoin(left=left, right=right, kind=item.kind, condition=item.condition)
+    else:
+        raise TypeError(f"unsupported FROM item: {type(item).__name__}")
+    predicate = conjoin(conjuncts)
+    if predicate is not None:
+        node = Filter(child=node, predicate=predicate)
+    return node
+
+
+def _plan_aliases(node: PlanNode) -> Optional[Set[str]]:
+    """All FROM labels produced by a subtree, or None when any is unknown."""
+    if isinstance(node, (Scan, IndexLookup)):
+        return {node.label}
+    if isinstance(node, (FunctionScan, SubqueryScan)):
+        label = _item_label(node.item)
+        return {label} if label is not None else None
+    if isinstance(node, LateralSource):
+        label = _item_label(node.item)
+        return {label} if label is not None else None
+    if isinstance(node, Filter):
+        return _plan_aliases(node.child)
+    if isinstance(node, (NestedLoopJoin, HashJoin)):
+        left = _plan_aliases(node.left)
+        right = _plan_aliases(node.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+def _cross_side_equality(
+    conjunct: Expression,
+    scope: _Scope,
+    left_aliases: Set[str],
+    right_aliases: Set[str],
+) -> Optional[Tuple[Expression, Expression]]:
+    """Match a hash-join-eligible equality across two subtrees.
+
+    Returns ``(left_key, right_key)`` when the conjunct is
+    ``column = column`` over base tables on opposite sides with
+    hash-compatible declared types; None otherwise.
+    """
+    match = column_equality(conjunct)
+    if match is None:
+        return None
+    first, second = match
+    first_owner = scope.resolve_column(first)
+    second_owner = scope.resolve_column(second)
+    if first_owner is None or second_owner is None:
+        return None
+    first_class = _TYPE_CLASS.get(first_owner[1].column(first.name).sql_type)
+    second_class = _TYPE_CLASS.get(second_owner[1].column(second.name).sql_type)
+    if first_class is None or first_class != second_class:
+        return None
+    if first_owner[0] in left_aliases and second_owner[0] in right_aliases:
+        return first, second
+    if first_owner[0] in right_aliases and second_owner[0] in left_aliases:
+        return second, first
+    return None
+
+
+def _attach_equi_conditions(
+    node: PlanNode, conjuncts: List[Expression], scope: _Scope
+) -> List[Expression]:
+    """Move residual equi-conjuncts into comma-join (cross) nodes.
+
+    ``FROM a, b WHERE a.x = b.x`` builds a cross join with the equality in
+    the residual filter; relocating the (hash-eligible) equality onto the
+    join turns it into an inner join the hash-join rewrite can convert.
+    Only sound for a pure-conjunction WHERE, which is the only shape that
+    produces multiple residual entries (see :func:`_pushdown`).  Returns the
+    conjuncts that stay residual.
+    """
+    if not isinstance(node, NestedLoopJoin) or node.lateral:
+        return conjuncts
+    conjuncts = _attach_equi_conditions(node.left, conjuncts, scope)
+    conjuncts = _attach_equi_conditions(node.right, conjuncts, scope)
+    if node.kind != "cross" or node.condition is not None or not conjuncts:
+        return conjuncts
+    left_aliases = _plan_aliases(node.left)
+    right_aliases = _plan_aliases(node.right)
+    if left_aliases is None or right_aliases is None:
+        return conjuncts
+    taken = [
+        c for c in conjuncts
+        if _cross_side_equality(c, scope, left_aliases, right_aliases) is not None
+    ]
+    if taken:
+        node.kind = "inner"
+        node.condition = conjoin(taken)
+        taken_ids = {id(c) for c in taken}
+        conjuncts = [c for c in conjuncts if id(c) not in taken_ids]
+    return conjuncts
+
+
+def _hash_join_rewrite(node: PlanNode, scope: _Scope) -> PlanNode:
+    if isinstance(node, Filter):
+        node.child = _hash_join_rewrite(node.child, scope)
+        return node
+    if not isinstance(node, NestedLoopJoin):
+        return node
+    node.left = _hash_join_rewrite(node.left, scope)
+    node.right = _hash_join_rewrite(node.right, scope)
+    if node.lateral or node.kind not in ("inner", "left") or node.condition is None:
+        return node
+    left_aliases = _plan_aliases(node.left)
+    right_aliases = _plan_aliases(node.right)
+    if left_aliases is None or right_aliases is None:
+        return node
+
+    left_keys: List[Expression] = []
+    right_keys: List[Expression] = []
+    residual: List[Expression] = []
+    for conjunct in split_conjuncts(node.condition):
+        keys = _cross_side_equality(conjunct, scope, left_aliases, right_aliases)
+        if keys is not None:
+            left_keys.append(keys[0])
+            right_keys.append(keys[1])
+        else:
+            residual.append(conjunct)
+
+    if not left_keys:
+        return node
+    return HashJoin(
+        left=node.left,
+        right=node.right,
+        kind=node.kind,
+        left_keys=left_keys,
+        right_keys=right_keys,
+        residual=conjoin(residual),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def build_select_plan(statement: SelectStatement, database) -> PlanNode:
+    """Plan one SELECT: source tree with pushdown, then the output pipeline."""
+    from_items = statement.from_items
+
+    scope = _collect_scope(from_items, database)
+    single_table_label = None
+    if len(from_items) == 1 and isinstance(from_items[0], TableRef):
+        single_table_label = _item_label(from_items[0])
+
+    pushed, derived, residual_conjuncts = _pushdown(
+        statement.where, scope, single_table_label
+    )
+
+    source: Optional[PlanNode] = None
+    for item in from_items:
+        if _item_is_lateral(item):
+            right: PlanNode = LateralSource(item=item)
+            lateral = True
+        else:
+            right = _build_item(item, database, pushed, derived)
+            lateral = False
+        if source is None:
+            if lateral:
+                source = NestedLoopJoin(
+                    left=EmptySource(), right=right, kind="cross", lateral=True
+                )
+            else:
+                source = right
+        else:
+            source = NestedLoopJoin(left=source, right=right, kind="cross", lateral=lateral)
+    if source is None:
+        source = EmptySource()
+
+    residual_conjuncts = _attach_equi_conditions(source, residual_conjuncts, scope)
+    source = _hash_join_rewrite(source, scope)
+
+    residual = conjoin(residual_conjuncts)
+    if residual is not None:
+        source = Filter(child=source, predicate=residual)
+
+    aggregates = []
+    for item in statement.items:
+        aggregates.extend(collect_aggregates(item.expr))
+    aggregates.extend(collect_aggregates(statement.having))
+    for order in statement.order_by:
+        aggregates.extend(collect_aggregates(order.expr))
+
+    if statement.group_by or aggregates:
+        output: PlanNode = Aggregate(child=source, statement=statement, aggregates=aggregates)
+    else:
+        output = Project(child=source, items=statement.items)
+
+    if statement.distinct:
+        output = Distinct(child=output)
+
+    if statement.order_by:
+        output = Sort(
+            child=output,
+            order_by=statement.order_by,
+            topk_limit=statement.limit,
+            topk_offset=statement.offset if statement.limit is not None else None,
+        )
+
+    if statement.limit is not None or statement.offset is not None:
+        output = Limit(child=output, limit=statement.limit, offset=statement.offset)
+
+    return output

@@ -1,0 +1,591 @@
+"""Logical/physical plan nodes and their execution.
+
+A plan is a tree of nodes in two layers:
+
+* **source nodes** (Scan, IndexLookup, FunctionScan, SubqueryScan,
+  LateralSource, Filter, NestedLoopJoin, HashJoin) produce
+  ``(scope_columns, rows)`` where rows are the executor's combined row
+  dicts; and
+* **output nodes** (Aggregate, Project, Distinct, Sort, Limit) turn them
+  into the final ``(names, projected_values, order_rows)`` triple.
+
+Execution reuses the executor's battle-tested projection/aggregation
+helpers through the :class:`PlanRuntime` handle, so the planned pipeline
+and the naive pipeline share one set of SQL semantics.  Every node also
+renders itself for ``EXPLAIN``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlExecutionError
+from repro.sqldb.ast_nodes import (
+    Expression,
+    FromItem,
+    FuncCall,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+)
+from repro.sqldb.expressions import EvalContext, evaluate
+from repro.sqldb.planner.render import render_expression
+from repro.sqldb.rows import make_row, merge_rows
+from repro.sqldb.table import _key_of
+from repro.sqldb.types import SqlType, Variant
+
+#: (display_name, lookup_key) pairs describing the visible columns of a scope.
+ScopeColumns = List[Tuple[str, str]]
+SourceResult = Tuple[ScopeColumns, List[dict]]
+
+
+@dataclass
+class PlanRuntime:
+    """Everything a plan node needs at execution time."""
+
+    executor: Any  # repro.sqldb.executor.Executor
+    ctx: EvalContext
+
+
+class PlanNode:
+    """Base class: explain rendering plus child traversal."""
+
+    def children(self) -> List["PlanNode"]:
+        return []
+
+    def describe(self) -> str:  # pragma: no cover - overridden everywhere
+        return type(self).__name__
+
+    def explain_lines(self, depth: int = 0) -> List[str]:
+        prefix = "" if depth == 0 else "  " * (depth - 1) + "->  "
+        lines = [prefix + self.describe()]
+        for child in self.children():
+            lines.extend(child.explain_lines(depth + 1))
+        return lines
+
+    def node_names(self) -> List[str]:
+        """Flattened node class names (handy for plan-shape assertions)."""
+        names = [type(self).__name__]
+        for child in self.children():
+            names.extend(child.node_names())
+        return names
+
+
+def _filter_suffix(predicate: Optional[Expression]) -> str:
+    return f" (filter: {render_expression(predicate)})" if predicate is not None else ""
+
+
+def _scan_rows(
+    label: str, column_names: Sequence[str], raw_rows: Sequence[Sequence[Any]]
+) -> List[dict]:
+    """Bulk :func:`repro.sqldb.rows.make_row` for base tables.
+
+    Equivalent because a table schema rejects duplicate column names, so the
+    first-wins/last-wins distinction of the generic helper cannot arise.
+    """
+    qualified = [f"{label}.{name}" for name in column_names]
+    rows: List[dict] = []
+    for values in raw_rows:
+        row = dict(zip(qualified, values))
+        row.update(zip(column_names, values))
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Source nodes
+# --------------------------------------------------------------------------- #
+@dataclass
+class EmptySource(PlanNode):
+    """FROM-less SELECT: one empty row."""
+
+    def describe(self) -> str:
+        return "Result"
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        return [], [{}]
+
+
+@dataclass
+class Scan(PlanNode):
+    """Sequential scan of a base table with an optional pushed-down filter."""
+
+    table_name: str
+    alias: Optional[str] = None
+    predicate: Optional[Expression] = None
+
+    @property
+    def label(self) -> str:
+        return (self.alias or self.table_name).lower()
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias and self.alias != self.table_name else ""
+        return f"Scan {self.table_name}{alias}{_filter_suffix(self.predicate)}"
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        table = rt.executor.database.table(self.table_name)
+        label = self.label
+        names = table.column_names
+        columns = [(name, f"{label}.{name}") for name in names]
+        rows = _scan_rows(label, names, table.raw_rows())
+        if self.predicate is not None:
+            ctx = rt.ctx
+            predicate = self.predicate
+            rows = [row for row in rows if evaluate(predicate, row, ctx) is True]
+        return columns, rows
+
+
+@dataclass
+class IndexLookup(PlanNode):
+    """Hash-index point lookup: ``col = const`` resolved through the PK index
+    or a secondary index instead of a full scan.
+
+    ``residual`` is the remainder of the pushed predicate; ``full_predicate``
+    (residual plus the consumed equalities) drives the safety fallback when a
+    runtime key value cannot be matched against the index's key type.
+    """
+
+    table_name: str
+    alias: Optional[str]
+    index_name: str  # "PRIMARY KEY" or a secondary index name
+    key_columns: List[str]
+    key_exprs: List[Expression]
+    residual: Optional[Expression] = None
+    full_predicate: Optional[Expression] = None
+
+    @property
+    def label(self) -> str:
+        return (self.alias or self.table_name).lower()
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias and self.alias != self.table_name else ""
+        keys = ", ".join(
+            f"{col} = {render_expression(expr)}"
+            for col, expr in zip(self.key_columns, self.key_exprs)
+        )
+        return (
+            f"IndexLookup {self.table_name}{alias} USING {self.index_name} "
+            f"({keys}){_filter_suffix(self.residual)}"
+        )
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        table = rt.executor.database.table(self.table_name)
+        label = self.label
+        names = table.column_names
+        columns = [(name, f"{label}.{name}") for name in names]
+
+        key_parts: List[Any] = []
+        empty = False
+        fallback = False
+        for col, expr in zip(self.key_columns, self.key_exprs):
+            value = evaluate(expr, {}, rt.ctx)
+            kind, part = _index_key_part(value, table.schema.column(col).sql_type)
+            if kind == "empty":
+                empty = True
+            elif kind == "scan":
+                fallback = True
+            else:
+                key_parts.append(part)
+
+        index = (
+            None if self.index_name == "PRIMARY KEY" else table.indexes.get(self.index_name)
+        )
+        if self.index_name != "PRIMARY KEY" and index is None:
+            fallback = True  # index dropped since planning: stay correct
+
+        if fallback:
+            raw = table.raw_rows()
+            positions = range(len(raw))
+            predicate = self.full_predicate
+        elif empty:
+            return columns, []
+        else:
+            if index is None:
+                positions = table.pk_positions_for(key_parts)
+            else:
+                positions = index.lookup(key_parts)
+            raw = table.raw_rows()
+            predicate = self.residual
+
+        ctx = rt.ctx
+        rows = _scan_rows(label, names, [raw[position] for position in positions])
+        if predicate is not None:
+            rows = [row for row in rows if evaluate(predicate, row, ctx) is True]
+        return columns, rows
+
+
+def _index_key_part(value: Any, sql_type: SqlType) -> Tuple[str, Any]:
+    """Classify a runtime key value against an indexed column's type.
+
+    Returns ``("key", normalized)`` when the hash lookup agrees with the
+    naive ``=`` semantics, ``("empty", None)`` when the equality can never be
+    true, and ``("scan", None)`` when only a full scan reproduces the
+    engine's heterogeneous comparison rules.
+    """
+    if isinstance(value, Variant):
+        value = value.value
+    if value is None:
+        return "empty", None
+    if sql_type in (SqlType.INTEGER, SqlType.DOUBLE, SqlType.BOOLEAN):
+        if isinstance(value, bool) or isinstance(value, (int, float)):
+            return "key", _key_of(value)
+        if isinstance(value, str):
+            try:
+                return "key", _key_of(float(value))
+            except ValueError:
+                return "empty", None
+        return "empty", None
+    if sql_type is SqlType.TEXT:
+        if isinstance(value, str):
+            return "key", value
+        return "scan", None  # numeric-vs-text comparisons coerce per row
+    if sql_type is SqlType.TIMESTAMP:
+        if isinstance(value, _dt.datetime):
+            return "key", value
+        return "empty", None
+    return "scan", None  # VARIANT and anything exotic
+
+
+@dataclass
+class FunctionScan(PlanNode):
+    """A set-returning function in FROM (``fmu_simulate(...)``, ...)."""
+
+    item: FromItem  # FunctionRef
+
+    def describe(self) -> str:
+        alias = f" AS {self.item.alias}" if self.item.alias else ""
+        return f"FunctionScan {self.item.call.name}(...){alias}"
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        return rt.executor._expand_function(self.item, rt.ctx, outer_row)
+
+
+@dataclass
+class SubqueryScan(PlanNode):
+    """A derived table ``(SELECT ...) AS alias``."""
+
+    item: FromItem  # SubqueryRef
+    subplan: Optional[PlanNode] = None  # for EXPLAIN only
+
+    def describe(self) -> str:
+        alias = f" AS {self.item.alias}" if self.item.alias else ""
+        return f"SubqueryScan{alias}"
+
+    def children(self) -> List[PlanNode]:
+        return [self.subplan] if self.subplan is not None else []
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        return rt.executor._expand_subquery(self.item, rt.ctx, outer_row)
+
+
+@dataclass
+class LateralSource(PlanNode):
+    """A LATERAL FROM item, re-expanded once per outer row via the executor."""
+
+    item: FromItem
+
+    def describe(self) -> str:
+        return "LateralSource"
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        return rt.executor._expand_item(self.item, rt.ctx, outer_row)
+
+
+@dataclass
+class Filter(PlanNode):
+    """Residual predicate evaluated above a source subtree."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def describe(self) -> str:
+        return f"Filter ({render_expression(self.predicate)})"
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        columns, rows = self.child.execute(rt, outer_row)
+        ctx = rt.ctx
+        predicate = self.predicate
+        return columns, [row for row in rows if evaluate(predicate, row, ctx) is True]
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """Fallback join: evaluates the condition on every row pair.
+
+    ``lateral=True`` re-executes the right side once per left row with the
+    left row exposed as the outer scope (LATERAL semantics).
+    """
+
+    left: PlanNode
+    right: PlanNode
+    kind: str  # 'inner', 'left', 'cross'
+    condition: Optional[Expression] = None
+    lateral: bool = False
+
+    def describe(self) -> str:
+        cond = f" ({render_expression(self.condition)})" if self.condition is not None else ""
+        lateral = " LATERAL" if self.lateral else ""
+        return f"NestedLoopJoin {self.kind}{lateral}{cond}"
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        left_columns, left_rows = self.left.execute(rt, outer_row)
+        ctx = rt.ctx
+
+        if self.lateral:
+            rows: List[dict] = []
+            right_columns: ScopeColumns = []
+            for left_row in left_rows:
+                outer = dict(ctx.outer_row or {})
+                outer.update(left_row)
+                right_columns, right_rows = self.right.execute(rt, outer)
+                for right_row in right_rows:
+                    merged = merge_rows(left_row, right_row)
+                    if self.condition is None or evaluate(self.condition, merged, ctx) is True:
+                        rows.append(merged)
+            return left_columns + right_columns, rows
+
+        right_columns, right_rows = self.right.execute(rt, outer_row)
+        columns = left_columns + right_columns
+        rows = []
+        null_right = {key: None for _, key in right_columns}
+        null_right.update({name: None for name, _ in right_columns})
+        for left_row in left_rows:
+            matched = False
+            for right_row in right_rows:
+                merged = merge_rows(left_row, right_row)
+                if self.kind == "cross" or self.condition is None:
+                    keep = True
+                else:
+                    keep = evaluate(self.condition, merged, ctx) is True
+                if keep:
+                    matched = True
+                    rows.append(merged)
+            if self.kind == "left" and not matched:
+                rows.append(merge_rows(left_row, null_right))
+        return columns, rows
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join executed by hashing the right side on its key columns.
+
+    Inner and left joins are supported; ``residual`` carries any non-equi
+    conjuncts of the original ON condition, evaluated on each candidate
+    pair.  Probe order preserves the nested-loop output order (left-major,
+    right insertion order per key), so planned and naive results match
+    row-for-row.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    kind: str  # 'inner' or 'left'
+    left_keys: List[Expression] = field(default_factory=list)
+    right_keys: List[Expression] = field(default_factory=list)
+    residual: Optional[Expression] = None
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{render_expression(l)} = {render_expression(r)}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin {self.kind} ({keys}){_filter_suffix(self.residual)}"
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        left_columns, left_rows = self.left.execute(rt, outer_row)
+        right_columns, right_rows = self.right.execute(rt, outer_row)
+        columns = left_columns + right_columns
+        ctx = rt.ctx
+
+        buckets: Dict[Tuple, List[dict]] = {}
+        for right_row in right_rows:
+            key = _join_key(self.right_keys, right_row, ctx)
+            if key is None:
+                continue  # NULL keys can never satisfy an equality
+            buckets.setdefault(key, []).append(right_row)
+
+        null_right = {key: None for _, key in right_columns}
+        null_right.update({name: None for name, _ in right_columns})
+
+        rows: List[dict] = []
+        for left_row in left_rows:
+            key = _join_key(self.left_keys, left_row, ctx)
+            matched = False
+            if key is not None:
+                for right_row in buckets.get(key, ()):
+                    merged = merge_rows(left_row, right_row)
+                    if self.residual is None or evaluate(self.residual, merged, ctx) is True:
+                        matched = True
+                        rows.append(merged)
+            if self.kind == "left" and not matched:
+                rows.append(merge_rows(left_row, null_right))
+        return columns, rows
+
+
+def _join_key(exprs: List[Expression], row: dict, ctx: EvalContext) -> Optional[Tuple]:
+    parts = []
+    for expr in exprs:
+        value = evaluate(expr, row, ctx)
+        if isinstance(value, Variant):
+            value = value.value
+        if value is None:
+            return None
+        parts.append(_key_of(value))
+    return tuple(parts)
+
+
+# --------------------------------------------------------------------------- #
+# Output nodes
+# --------------------------------------------------------------------------- #
+OutputResult = Tuple[List[str], List[list], List[dict]]
+
+
+@dataclass
+class Project(PlanNode):
+    """Evaluate the select list for every source row (no aggregation)."""
+
+    child: PlanNode
+    items: List[SelectItem]
+
+    def describe(self) -> str:
+        rendered = ", ".join(render_expression(item.expr) for item in self.items[:6])
+        if len(self.items) > 6:
+            rendered += ", ..."
+        return f"Project ({rendered})"
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, rt: PlanRuntime) -> OutputResult:
+        scope_columns, rows = self.child.execute(rt, rt.ctx.outer_row)
+        executor = rt.executor
+        projected: List[list] = []
+        for row in rows:
+            values, _ = executor._project_row(self.items, scope_columns, row, rt.ctx)
+            projected.append(values)
+        names = executor._output_names(self.items, scope_columns)
+        return names, projected, rows
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """GROUP BY / aggregate evaluation (delegates to the executor's kernel)."""
+
+    child: PlanNode
+    statement: SelectStatement
+    aggregates: List[FuncCall]
+
+    def describe(self) -> str:
+        if self.statement.group_by:
+            keys = ", ".join(render_expression(e) for e in self.statement.group_by)
+            return f"Aggregate (group by: {keys})"
+        return "Aggregate"
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, rt: PlanRuntime) -> OutputResult:
+        scope_columns, rows = self.child.execute(rt, rt.ctx.outer_row)
+        executor = rt.executor
+        projected, order_rows = executor._execute_grouped(
+            self.statement, scope_columns, rows, self.aggregates, rt.ctx
+        )
+        names = executor._output_names(self.statement.items, scope_columns)
+        return names, projected, order_rows
+
+
+@dataclass
+class Distinct(PlanNode):
+    child: PlanNode
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, rt: PlanRuntime) -> OutputResult:
+        names, projected, order_rows = self.child.execute(rt)
+        projected, order_rows = rt.executor._distinct(projected, order_rows)
+        return names, projected, order_rows
+
+
+@dataclass
+class Sort(PlanNode):
+    """ORDER BY; with a pushed-down LIMIT it runs as a top-k heap selection."""
+
+    child: PlanNode
+    order_by: List[OrderItem]
+    topk_limit: Optional[Expression] = None
+    topk_offset: Optional[Expression] = None
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            render_expression(o.expr) + ("" if o.ascending else " DESC") for o in self.order_by
+        )
+        suffix = " (top-k)" if self.topk_limit is not None else ""
+        return f"Sort (key: {keys}){suffix}"
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, rt: PlanRuntime) -> OutputResult:
+        names, projected, order_rows = self.child.execute(rt)
+        topk = None
+        if self.topk_limit is not None:
+            limit = evaluate(self.topk_limit, {}, rt.ctx)
+            if limit is not None and int(limit) >= 0:
+                offset = 0
+                if self.topk_offset is not None:
+                    offset = int(evaluate(self.topk_offset, {}, rt.ctx) or 0)
+                # Negative values use Python slice semantics in Limit; only a
+                # plain non-negative window is a genuine top-k.
+                if offset >= 0:
+                    topk = int(limit) + offset
+        projected, order_rows = rt.executor._order(
+            self.order_by, names, projected, order_rows, rt.ctx, topk=topk
+        )
+        return names, projected, order_rows
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+
+    def describe(self) -> str:
+        parts = []
+        if self.limit is not None:
+            parts.append(f"limit={render_expression(self.limit)}")
+        if self.offset is not None:
+            parts.append(f"offset={render_expression(self.offset)}")
+        return f"Limit ({', '.join(parts)})"
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, rt: PlanRuntime) -> OutputResult:
+        names, projected, order_rows = self.child.execute(rt)
+        offset = 0
+        if self.offset is not None:
+            offset = int(evaluate(self.offset, {}, rt.ctx) or 0)
+        if offset:
+            projected = projected[offset:]
+            order_rows = order_rows[offset:]
+        if self.limit is not None:
+            limit = evaluate(self.limit, {}, rt.ctx)
+            if limit is not None:
+                projected = projected[: int(limit)]
+                order_rows = order_rows[: int(limit)]
+        return names, projected, order_rows

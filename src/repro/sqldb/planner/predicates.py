@@ -1,0 +1,201 @@
+"""WHERE-clause normalization and predicate classification.
+
+The pushdown representation follows the normalized ``WhereClause`` idiom of
+the TinyDB exemplar: a WHERE tree is flattened into an **OR of AND groups**
+(disjunctive normal form), each inner list being AND-combined conjuncts.
+
+* A single group means the WHERE is a pure conjunction: conjuncts that
+  reference only one FROM item move below the join into that item's scan
+  and are *removed* from the residual filter.
+* Multiple groups still allow *derived* pushdown: for a FROM item ``t``,
+  ``OR over groups (AND of the group's t-only conjuncts)`` is implied by the
+  full predicate, so it can pre-filter ``t``'s scan while the original WHERE
+  is kept as the residual filter for exactness.
+
+Kleene three-valued logic is distributive, so DNF expansion preserves the
+``IS TRUE`` semantics the executor filters on.  Expansion is capped: huge
+predicates simply stay un-normalized and run as residual filters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    Cast,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Parameter,
+    ScalarSubquery,
+    UnaryOp,
+)
+
+#: Maximum number of AND groups a WHERE clause may expand into.
+MAX_DNF_GROUPS = 32
+
+
+def split_conjuncts(expr: Optional[Expression]) -> List[Expression]:
+    """Flatten a tree of ANDs into a list of conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: List[Expression]) -> Optional[Expression]:
+    """AND-combine a list of conjuncts back into one expression."""
+    if not conjuncts:
+        return None
+    expr = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        expr = BinaryOp(op="and", left=expr, right=conjunct)
+    return expr
+
+
+def disjoin(groups: List[Expression]) -> Optional[Expression]:
+    """OR-combine a list of expressions."""
+    if not groups:
+        return None
+    expr = groups[0]
+    for group in groups[1:]:
+        expr = BinaryOp(op="or", left=expr, right=group)
+    return expr
+
+
+def normalize_dnf(expr: Optional[Expression]) -> Optional[List[List[Expression]]]:
+    """Normalize a predicate into OR-of-AND groups, or None if too large.
+
+    Only explicit AND/OR structure is distributed; every other node
+    (including NOT) is treated as an opaque conjunct leaf.
+    """
+    if expr is None:
+        return None
+
+    def walk(node: Expression) -> Optional[List[List[Expression]]]:
+        if isinstance(node, BinaryOp) and node.op == "or":
+            left = walk(node.left)
+            right = walk(node.right)
+            if left is None or right is None:
+                return None
+            if len(left) + len(right) > MAX_DNF_GROUPS:
+                return None
+            return left + right
+        if isinstance(node, BinaryOp) and node.op == "and":
+            left = walk(node.left)
+            right = walk(node.right)
+            if left is None or right is None:
+                return None
+            if len(left) * len(right) > MAX_DNF_GROUPS:
+                return None
+            return [lg + rg for lg in left for rg in right]
+        return [[node]]
+
+    return walk(expr)
+
+
+class RefInfo:
+    """Column references and side effects found inside an expression."""
+
+    __slots__ = ("qualified", "unqualified", "has_subquery", "has_star")
+
+    def __init__(self):
+        self.qualified: Set[str] = set()
+        self.unqualified: Set[str] = set()
+        self.has_subquery = False
+        self.has_star = False
+
+
+def collect_refs(expr: Expression) -> RefInfo:
+    """Collect all column references in an expression (subqueries flagged)."""
+    info = RefInfo()
+
+    def walk(node) -> None:
+        if node is None:
+            return
+        if isinstance(node, ColumnRef):
+            if node.table:
+                info.qualified.add(node.table)
+            else:
+                info.unqualified.add(node.name)
+        elif isinstance(node, (ScalarSubquery, ExistsSubquery)):
+            info.has_subquery = True
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, Cast):
+            walk(node.operand)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, Like):
+            walk(node.operand)
+            walk(node.pattern)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, InList):
+            if node.subquery is not None:
+                info.has_subquery = True
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, CaseExpression):
+            for condition, value in node.whens:
+                walk(condition)
+                walk(value)
+            walk(node.default)
+        elif isinstance(node, FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, (Literal, Parameter)):
+            pass
+        else:  # Star or unknown nodes: give up on pushing this conjunct
+            info.has_star = True
+
+    walk(expr)
+    return info
+
+
+def constant_equality(conjunct: Expression) -> Optional[Tuple[ColumnRef, Expression]]:
+    """Match ``col = const-or-param`` (either order); returns (column, value)."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, ColumnRef) and _is_plannable_constant(right):
+        return left, right
+    if isinstance(right, ColumnRef) and _is_plannable_constant(left):
+        return right, left
+    return None
+
+
+def _is_plannable_constant(expr: Expression) -> bool:
+    """True for expressions evaluable once per execution: literals, params,
+    and unary minus over them."""
+    if isinstance(expr, (Literal, Parameter)):
+        return True
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        return _is_plannable_constant(expr.operand)
+    if isinstance(expr, Cast):
+        return _is_plannable_constant(expr.operand)
+    return False
+
+
+def column_equality(conjunct: Expression) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+    """Match ``col_a = col_b``; returns the two column references."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    if isinstance(conjunct.left, ColumnRef) and isinstance(conjunct.right, ColumnRef):
+        return conjunct.left, conjunct.right
+    return None

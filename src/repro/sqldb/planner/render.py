@@ -1,0 +1,94 @@
+"""Render AST expressions back to SQL-ish text for EXPLAIN output."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sqldb.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    Cast,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Parameter,
+    ScalarSubquery,
+    Star,
+    UnaryOp,
+)
+
+_BARE_PRECEDENCE = (Literal, ColumnRef, Parameter, FuncCall, Cast, Star)
+
+
+def render_expression(expr: Optional[Expression]) -> str:
+    """A compact, human-readable rendering of an expression tree."""
+    if expr is None:
+        return ""
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "NULL"
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(expr.value)
+    if isinstance(expr, Parameter):
+        return f"${expr.index}"
+    if isinstance(expr, ColumnRef):
+        return expr.qualified
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, FuncCall):
+        if expr.star_arg:
+            return f"{expr.name}(*)"
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{', '.join(render_expression(a) for a in expr.args)})"
+    if isinstance(expr, BinaryOp):
+        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
+        return f"{_wrap(expr.left)} {op} {_wrap(expr.right)}"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return f"NOT {_wrap(expr.operand)}"
+        return f"-{_wrap(expr.operand)}"
+    if isinstance(expr, Cast):
+        return f"{_wrap(expr.operand)}::{expr.type_name}"
+    if isinstance(expr, IsNull):
+        verb = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{_wrap(expr.operand)} {verb}"
+    if isinstance(expr, Like):
+        verb = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{_wrap(expr.operand)} {verb} {render_expression(expr.pattern)}"
+    if isinstance(expr, Between):
+        verb = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{_wrap(expr.operand)} {verb} "
+            f"{render_expression(expr.low)} AND {render_expression(expr.high)}"
+        )
+    if isinstance(expr, InList):
+        verb = "NOT IN" if expr.negated else "IN"
+        if expr.subquery is not None:
+            return f"{_wrap(expr.operand)} {verb} (<subquery>)"
+        items = ", ".join(render_expression(i) for i in expr.items)
+        return f"{_wrap(expr.operand)} {verb} ({items})"
+    if isinstance(expr, CaseExpression):
+        return "CASE ... END"
+    if isinstance(expr, ScalarSubquery):
+        return "(<subquery>)"
+    if isinstance(expr, ExistsSubquery):
+        return "NOT EXISTS (<subquery>)" if expr.negated else "EXISTS (<subquery>)"
+    return f"<{type(expr).__name__}>"
+
+
+def _wrap(expr: Expression) -> str:
+    """Parenthesize compound operands so the rendering stays unambiguous."""
+    text = render_expression(expr)
+    if isinstance(expr, _BARE_PRECEDENCE):
+        return text
+    return f"({text})"

@@ -1,0 +1,57 @@
+"""Row-dictionary construction and merging shared by the executor and planner.
+
+A "row" during query processing is a dict with two kinds of keys:
+
+* qualified keys ``alias.column`` (always unique per FROM item), and
+* unqualified keys ``column`` for convenience lookups.
+
+When two FROM items expose the same unqualified column name, PostgreSQL
+rejects an unqualified reference to it as ambiguous instead of silently
+picking one side.  The merge helpers below record such collisions with the
+:data:`AMBIGUOUS` sentinel; the expression evaluator raises
+:class:`~repro.errors.SqlCatalogError` only if the ambiguous name is actually
+referenced, so fully-qualified queries over overlapping schemas keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+
+class _Ambiguous:
+    """Sentinel marking an unqualified column name visible from 2+ sources."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ambiguous column>"
+
+
+AMBIGUOUS = _Ambiguous()
+
+
+def make_row(label: str, column_names: Sequence[str], values: Sequence[Any]) -> Dict[str, Any]:
+    """Build a row dict for one FROM item: qualified keys plus unqualified ones."""
+    row: Dict[str, Any] = {}
+    for col, value in zip(column_names, values):
+        row[f"{label}.{col}"] = value
+        if col not in row:
+            row[col] = value
+    return row
+
+
+def merge_rows(left: Dict[str, Any], right: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge the rows of two FROM items into one combined row.
+
+    Qualified keys are simply unioned (aliases are unique within a scope);
+    an unqualified key present on both sides becomes :data:`AMBIGUOUS`.
+    """
+    merged = dict(left)
+    for key, value in right.items():
+        if "." in key:
+            merged[key] = value
+        elif key in merged:
+            merged[key] = AMBIGUOUS
+        else:
+            merged[key] = value
+    return merged

@@ -1,16 +1,16 @@
-"""Row storage with primary-key and foreign-key enforcement."""
+"""Row storage with primary-key, secondary-index and foreign-key support."""
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import SqlIntegrityError
+from repro.errors import SqlCatalogError, SqlIntegrityError
 from repro.sqldb.schema import TableSchema
 from repro.sqldb.types import Variant
 
 
 def _key_of(value: Any) -> Any:
-    """Normalize a value for use inside a uniqueness key."""
+    """Normalize a value for use inside a uniqueness or index key."""
     if isinstance(value, Variant):
         value = value.value
     if isinstance(value, float) and value.is_integer():
@@ -18,19 +18,60 @@ def _key_of(value: Any) -> Any:
     return value
 
 
+class SecondaryIndex:
+    """A non-unique hash index over one or more columns of a table.
+
+    The map goes from normalized key tuples to row positions (in insertion
+    order), which gives O(1) point lookups for ``col = const`` predicates -
+    the planner's :class:`~repro.sqldb.planner.nodes.IndexLookup` node reads
+    it directly.
+    """
+
+    __slots__ = ("name", "columns", "positions", "map")
+
+    def __init__(self, name: str, columns: Sequence[str], positions: Sequence[int]):
+        self.name = name.lower()
+        self.columns = [c.lower() for c in columns]
+        self.positions = list(positions)
+        self.map: Dict[Tuple, List[int]] = {}
+
+    def key_for_row(self, row: Sequence[Any]) -> Tuple:
+        return tuple(_key_of(row[i]) for i in self.positions)
+
+    def add(self, row: Sequence[Any], position: int) -> None:
+        self.map.setdefault(self.key_for_row(row), []).append(position)
+
+    def rebuild(self, rows: Sequence[Sequence[Any]]) -> None:
+        self.map = {}
+        for position, row in enumerate(rows):
+            self.add(row, position)
+
+    def lookup(self, key_values: Sequence[Any]) -> List[int]:
+        key = tuple(_key_of(v) for v in key_values)
+        return self.map.get(key, [])
+
+
 class Table:
-    """An in-memory heap table with an optional primary-key index.
+    """An in-memory heap table with a primary-key index and secondary indexes.
 
     The table owns its rows (lists aligned with the schema's column order)
     and maintains a hash index over the primary key for O(1) uniqueness
-    checks and point lookups — the same role a B-tree PK index plays in
-    PostgreSQL for the model catalogue tables.
+    checks and point lookups - the same role a B-tree PK index plays in
+    PostgreSQL for the model catalogue tables.  User-created secondary hash
+    indexes (``CREATE INDEX``) are maintained incrementally on insert and
+    rebuilt on delete/update/rollback.
+
+    ``write_hook`` (when set by the owning database) is invoked before any
+    mutation; the database uses it to take lazy copy-on-write transaction
+    snapshots, so a transaction only pays for the tables it actually writes.
     """
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: List[list] = []
         self._pk_index: Dict[Tuple, int] = {}
+        self.indexes: Dict[str, SecondaryIndex] = {}
+        self.write_hook: Optional[Callable[["Table"], None]] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -50,6 +91,10 @@ class Table:
         """Iterate over copies of all rows."""
         for row in self._rows:
             yield list(row)
+
+    def raw_rows(self) -> List[list]:
+        """The internal row storage (read-only; do not mutate)."""
+        return self._rows
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         """All rows as dictionaries keyed by column name."""
@@ -88,9 +133,53 @@ class Table:
             return None
         return dict(zip(self.column_names, self._rows[index]))
 
+    def pk_positions_for(self, key_values: Sequence[Any]) -> List[int]:
+        """Row positions matching a full primary-key value (0 or 1 entries)."""
+        key = tuple(_key_of(v) for v in key_values)
+        index = self._pk_index.get(key)
+        return [] if index is None else [index]
+
+    # ------------------------------------------------------------------ #
+    # Secondary indexes
+    # ------------------------------------------------------------------ #
+    def add_index(self, name: str, columns: Sequence[str]) -> SecondaryIndex:
+        """Create and populate a secondary hash index over ``columns``."""
+        name = name.lower()
+        if name in self.indexes:
+            raise SqlCatalogError(f"index {name!r} already exists on table {self.name!r}")
+        positions = [self.schema.column_position(c) for c in columns]
+        self._before_write()
+        index = SecondaryIndex(name, columns, positions)
+        index.rebuild(self._rows)
+        self.indexes[name] = index
+        return index
+
+    def remove_index(self, name: str) -> None:
+        name = name.lower()
+        if name not in self.indexes:
+            raise SqlCatalogError(f"index {name!r} does not exist on table {self.name!r}")
+        self._before_write()
+        del self.indexes[name]
+
+    def index_for_columns(self, columns: Sequence[str]) -> Optional[SecondaryIndex]:
+        """An index whose key columns are exactly ``columns`` (any order), or None."""
+        wanted = sorted(c.lower() for c in columns)
+        for index in self.indexes.values():
+            if sorted(index.columns) == wanted:
+                return index
+        return None
+
+    def _rebuild_secondary_indexes(self) -> None:
+        for index in self.indexes.values():
+            index.rebuild(self._rows)
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
+    def _before_write(self) -> None:
+        if self.write_hook is not None:
+            self.write_hook(self)
+
     def insert(
         self,
         values: Sequence[Any],
@@ -111,9 +200,13 @@ class Table:
                 )
         if fk_check is not None:
             fk_check(dict(zip(self.column_names, row)))
+        self._before_write()
         self._rows.append(row)
+        position = len(self._rows) - 1
         if key is not None:
-            self._pk_index[key] = len(self._rows) - 1
+            self._pk_index[key] = position
+        for index in self.indexes.values():
+            index.add(row, position)
         return list(row)
 
     def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
@@ -127,8 +220,10 @@ class Table:
             else:
                 kept.append(row)
         if removed:
+            self._before_write()
             self._rows = kept
             self._rebuild_pk_index()
+            self._rebuild_secondary_indexes()
         return removed
 
     def update_where(
@@ -156,14 +251,19 @@ class Table:
             else:
                 new_rows.append(row)
         if updated:
+            self._before_write()
             self._rows = new_rows
             self._rebuild_pk_index()
+            self._rebuild_secondary_indexes()
         return updated
 
     def truncate(self) -> None:
         """Remove all rows."""
+        self._before_write()
         self._rows = []
         self._pk_index = {}
+        for index in self.indexes.values():
+            index.map = {}
 
     # ------------------------------------------------------------------ #
     # Transaction support
@@ -174,13 +274,20 @@ class Table:
             schema=self.schema,
             rows=[list(row) for row in self._rows],
             pk_index=dict(self._pk_index),
+            index_defs=[(index.name, list(index.columns)) for index in self.indexes.values()],
         )
 
     def restore(self, state: "TableState") -> None:
-        """Restore contents captured by :meth:`snapshot`."""
+        """Restore contents captured by :meth:`snapshot` (indexes are rebuilt)."""
         self.schema = state.schema
         self._rows = [list(row) for row in state.rows]
         self._pk_index = dict(state.pk_index)
+        self.indexes = {}
+        for name, columns in state.index_defs:
+            positions = [self.schema.column_position(c) for c in columns]
+            index = SecondaryIndex(name, columns, positions)
+            index.rebuild(self._rows)
+            self.indexes[name] = index
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows inserted."""
@@ -194,9 +301,16 @@ class Table:
 class TableState:
     """Frozen copy of a table's contents, used for transaction rollback."""
 
-    __slots__ = ("schema", "rows", "pk_index")
+    __slots__ = ("schema", "rows", "pk_index", "index_defs")
 
-    def __init__(self, schema: TableSchema, rows: List[list], pk_index: Dict[Tuple, int]):
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows: List[list],
+        pk_index: Dict[Tuple, int],
+        index_defs: Optional[List[Tuple[str, List[str]]]] = None,
+    ):
         self.schema = schema
         self.rows = rows
         self.pk_index = pk_index
+        self.index_defs = index_defs or []

@@ -17,6 +17,9 @@ KEYWORDS = {
     "outer", "cross", "on", "lateral", "union", "all", "true", "false",
     "union", "interval", "extract",
 }
+# NOTE: "index" and "explain" are deliberately NOT keywords - like
+# PostgreSQL's unreserved words they stay usable as column names; the parser
+# matches them by token text where the grammar needs them.
 
 #: Multi-character operators first so the scanner prefers the longest match.
 OPERATORS = [

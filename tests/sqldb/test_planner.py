@@ -1,0 +1,386 @@
+"""Planner subsystem tests: plan shapes, indexes, transactions, equivalence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SqlCatalogError
+from repro.sqldb import Database, connect
+
+
+@pytest.fixture()
+def fleet_db():
+    """A small pgFMU-flavoured schema: instances and simulation results."""
+    db = Database()
+    db.execute("CREATE TABLE instances (instance_id text PRIMARY KEY, model text)")
+    db.execute(
+        "CREATE TABLE sims (instance_id text, time double precision, value double precision)"
+    )
+    for i in range(8):
+        db.execute("INSERT INTO instances VALUES ($1, $2)", [f"I{i}", f"HP{i % 2}"])
+        for t in range(25):
+            db.execute(
+                "INSERT INTO sims VALUES ($1, $2, $3)", [f"I{i}", float(t), i + t * 0.5]
+            )
+    return db
+
+
+def plan_text(db: Database, sql: str) -> str:
+    return db.explain(sql)
+
+
+# --------------------------------------------------------------------------- #
+# Plan shapes via EXPLAIN
+# --------------------------------------------------------------------------- #
+class TestPlanShapes:
+    def test_pushdown_into_scan(self, fleet_db):
+        text = plan_text(fleet_db, "SELECT * FROM sims WHERE value > 3 AND time < 10")
+        assert "Scan sims (filter:" in text
+        assert "Filter (" not in text  # fully pushed, no residual
+
+    def test_primary_key_point_lookup(self, fleet_db):
+        text = plan_text(fleet_db, "SELECT * FROM instances WHERE instance_id = 'I3'")
+        assert "IndexLookup instances USING PRIMARY KEY" in text
+
+    def test_parameter_point_lookup(self, fleet_db):
+        text = plan_text(fleet_db, "SELECT * FROM instances WHERE instance_id = $1")
+        assert "IndexLookup instances USING PRIMARY KEY (instance_id = $1)" in text
+
+    def test_secondary_index_lookup_with_residual(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+        text = plan_text(
+            fleet_db, "SELECT * FROM sims WHERE instance_id = 'I1' AND time > 5"
+        )
+        assert "IndexLookup sims USING idx_sims_instance (instance_id = 'I1')" in text
+        assert "filter: time > 5" in text
+
+    def test_drop_index_reverts_to_scan(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+        fleet_db.execute("DROP INDEX idx_sims_instance")
+        text = plan_text(fleet_db, "SELECT * FROM sims WHERE instance_id = 'I1'")
+        assert "IndexLookup" not in text and "Scan sims" in text
+
+    def test_equi_join_becomes_hash_join(self, fleet_db):
+        text = plan_text(
+            fleet_db,
+            "SELECT s.time FROM sims s JOIN instances i ON s.instance_id = i.instance_id",
+        )
+        assert "HashJoin inner" in text
+
+    def test_left_equi_join_becomes_hash_join(self, fleet_db):
+        text = plan_text(
+            fleet_db,
+            "SELECT s.time FROM sims s LEFT JOIN instances i "
+            "ON s.instance_id = i.instance_id",
+        )
+        assert "HashJoin left" in text
+
+    def test_comma_join_equality_becomes_hash_join(self, fleet_db):
+        text = plan_text(
+            fleet_db,
+            "SELECT s.time FROM sims s, instances i "
+            "WHERE s.instance_id = i.instance_id AND i.model = 'HP0'",
+        )
+        assert "HashJoin inner" in text
+        assert "Scan instances AS i (filter:" in text  # i.model pushed down
+
+    def test_non_equi_join_stays_nested_loop(self, fleet_db):
+        text = plan_text(
+            fleet_db, "SELECT s.time FROM sims s JOIN instances i ON s.value > i.instance_id"
+        )
+        assert "NestedLoopJoin" in text and "HashJoin" not in text
+
+    def test_limit_pushes_topk_into_sort(self, fleet_db):
+        text = plan_text(fleet_db, "SELECT * FROM sims ORDER BY value DESC LIMIT 3")
+        assert "Sort (key: value DESC) (top-k)" in text
+        assert "Limit (limit=3)" in text
+
+    def test_or_predicate_derives_scan_filter_with_residual(self, fleet_db):
+        text = plan_text(
+            fleet_db,
+            "SELECT s.time FROM sims s, instances i "
+            "WHERE (s.value > 3 AND i.model = 'HP0') OR (s.value < 1 AND i.model = 'HP1')",
+        )
+        # Both tables get a derived OR predicate; the full WHERE is residual.
+        assert "Scan sims AS s (filter:" in text
+        assert "Scan instances AS i (filter:" in text
+        assert "Filter (" in text
+
+    def test_join_predicate_stays_above_nullable_side(self, fleet_db):
+        text = plan_text(
+            fleet_db,
+            "SELECT s.time FROM sims s LEFT JOIN instances i "
+            "ON s.instance_id = i.instance_id WHERE i.model IS NULL",
+        )
+        assert "Scan instances AS i\n" in text + "\n"  # no pushed filter
+        assert "Filter (i.model IS NULL)" in text
+
+    def test_explain_dml(self, fleet_db):
+        assert "Insert on sims" in plan_text(fleet_db, "INSERT INTO sims VALUES ('x', 0, 0)")
+        assert "Update on sims" in plan_text(fleet_db, "UPDATE sims SET value = 0 WHERE time = 1")
+        assert "Delete on sims" in plan_text(fleet_db, "DELETE FROM sims WHERE time = 1")
+
+    def test_explain_through_cursor(self, fleet_db):
+        conn = connect(fleet_db)
+        cur = conn.cursor()
+        cur.execute("EXPLAIN SELECT * FROM instances WHERE instance_id = 'I0'")
+        lines = [row[0] for row in cur.fetchall()]
+        assert cur.description[0][0] == "QUERY PLAN"
+        assert any("IndexLookup" in line for line in lines)
+        assert conn.explain("SELECT * FROM instances WHERE instance_id = 'I0'") == "\n".join(lines)
+
+    def test_plan_cache_invalidated_by_ddl(self, fleet_db):
+        sql = "SELECT * FROM sims WHERE instance_id = 'I1'"
+        statement = fleet_db._parse_cached(sql)
+        before = fleet_db.plan_select(statement)
+        assert fleet_db.plan_select(statement) is before  # cached
+        fleet_db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+        after = fleet_db.plan_select(statement)
+        assert after is not before
+        assert "IndexLookup" in after.node_names()
+
+
+# --------------------------------------------------------------------------- #
+# Index maintenance and catalogue behaviour
+# --------------------------------------------------------------------------- #
+class TestIndexMaintenance:
+    def test_insert_update_delete_maintain_index(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+        count = "SELECT count(*) FROM sims WHERE instance_id = $1"
+        assert fleet_db.execute(count, ["I1"]).scalar() == 25
+        fleet_db.execute("INSERT INTO sims VALUES ('I1', 99, 0)")
+        assert fleet_db.execute(count, ["I1"]).scalar() == 26
+        fleet_db.execute("UPDATE sims SET instance_id = 'Z' WHERE time = 99")
+        assert fleet_db.execute(count, ["I1"]).scalar() == 25
+        assert fleet_db.execute(count, ["Z"]).scalar() == 1
+        fleet_db.execute("DELETE FROM sims WHERE instance_id = 'Z'")
+        assert fleet_db.execute(count, ["Z"]).scalar() == 0
+
+    def test_rollback_restores_index_contents(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+        count = "SELECT count(*) FROM sims WHERE instance_id = 'I1'"
+        fleet_db.begin()
+        fleet_db.execute("DELETE FROM sims WHERE instance_id = 'I1'")
+        assert fleet_db.execute(count).scalar() == 0
+        fleet_db.rollback()
+        assert fleet_db.execute(count).scalar() == 25
+        assert "IndexLookup" in fleet_db.explain(count)
+
+    def test_create_index_inside_transaction_rolls_back(self, fleet_db):
+        fleet_db.begin()
+        fleet_db.execute("CREATE INDEX idx_txn ON sims (instance_id)")
+        assert fleet_db.has_index("idx_txn")
+        fleet_db.rollback()
+        assert not fleet_db.has_index("idx_txn")
+        assert "IndexLookup" not in fleet_db.explain(
+            "SELECT * FROM sims WHERE instance_id = 'I1'"
+        )
+
+    def test_drop_index_inside_transaction_rolls_back(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_keep ON sims (instance_id)")
+        fleet_db.begin()
+        fleet_db.execute("DROP INDEX idx_keep")
+        fleet_db.rollback()
+        assert fleet_db.has_index("idx_keep")
+        assert fleet_db.execute(
+            "SELECT count(*) FROM sims WHERE instance_id = 'I2'"
+        ).scalar() == 25
+
+    def test_drop_table_drops_its_indexes(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_gone ON sims (instance_id)")
+        fleet_db.execute("DROP TABLE sims")
+        assert not fleet_db.has_index("idx_gone")
+
+    def test_index_ddl_errors(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_dup ON sims (instance_id)")
+        with pytest.raises(SqlCatalogError):
+            fleet_db.execute("CREATE INDEX idx_dup ON sims (time)")
+        fleet_db.execute("CREATE INDEX IF NOT EXISTS idx_dup ON sims (time)")
+        with pytest.raises(SqlCatalogError):
+            fleet_db.execute("CREATE INDEX idx_bad ON sims (ghost_column)")
+        with pytest.raises(SqlCatalogError):
+            fleet_db.execute("DROP INDEX idx_missing")
+        fleet_db.execute("DROP INDEX IF EXISTS idx_missing")
+
+    def test_multi_column_index(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_pair ON sims (instance_id, time)")
+        text = fleet_db.explain(
+            "SELECT * FROM sims WHERE instance_id = 'I1' AND time = 3"
+        )
+        assert "IndexLookup sims USING idx_pair" in text
+        value = fleet_db.execute(
+            "SELECT value FROM sims WHERE instance_id = 'I1' AND time = 3"
+        ).scalar()
+        assert value == pytest.approx(1 + 3 * 0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Ambiguous unqualified columns (PostgreSQL behaviour)
+# --------------------------------------------------------------------------- #
+class TestAmbiguousColumns:
+    def test_unqualified_duplicate_column_rejected(self, fleet_db):
+        with pytest.raises(SqlCatalogError, match="ambiguous"):
+            fleet_db.execute(
+                "SELECT instance_id FROM sims s JOIN instances i "
+                "ON s.instance_id = i.instance_id"
+            )
+
+    def test_naive_path_also_rejects(self, fleet_db):
+        fleet_db.planner_enabled = False
+        try:
+            with pytest.raises(SqlCatalogError, match="ambiguous"):
+                fleet_db.execute(
+                    "SELECT instance_id FROM sims s JOIN instances i "
+                    "ON s.instance_id = i.instance_id"
+                )
+        finally:
+            fleet_db.planner_enabled = True
+
+    def test_qualified_references_still_work(self, fleet_db):
+        result = fleet_db.execute(
+            "SELECT s.instance_id FROM sims s JOIN instances i "
+            "ON s.instance_id = i.instance_id WHERE i.instance_id = 'I0'"
+        )
+        assert len(result) == 25
+
+    def test_non_overlapping_unqualified_reference_ok(self, fleet_db):
+        result = fleet_db.execute(
+            "SELECT model, time FROM sims s JOIN instances i "
+            "ON s.instance_id = i.instance_id WHERE i.instance_id = 'I0' AND time = 1"
+        )
+        assert result.rows == [["HP0", 1.0]]
+
+
+# --------------------------------------------------------------------------- #
+# Copy-on-write transactions
+# --------------------------------------------------------------------------- #
+class TestCopyOnWriteTransactions:
+    def test_only_written_tables_are_snapshotted(self, fleet_db):
+        fleet_db.begin()
+        assert fleet_db._txn.tables_before == {}
+        fleet_db.execute("INSERT INTO sims VALUES ('I0', 99, 0)")
+        assert set(fleet_db._txn.tables_before) == {"sims"}
+        fleet_db.execute("SELECT count(*) FROM instances")  # reads are free
+        assert set(fleet_db._txn.tables_before) == {"sims"}
+        fleet_db.rollback()
+        assert (
+            fleet_db.execute("SELECT count(*) FROM sims WHERE time = 99").scalar() == 0
+        )
+
+    def test_created_then_dropped_table_rolls_back_cleanly(self, fleet_db):
+        fleet_db.begin()
+        fleet_db.execute("CREATE TABLE scratch (a integer)")
+        fleet_db.execute("INSERT INTO scratch VALUES (1)")
+        fleet_db.execute("DROP TABLE scratch")
+        fleet_db.rollback()
+        assert not fleet_db.has_table("scratch")
+
+    def test_drop_then_recreate_restores_original(self, fleet_db):
+        fleet_db.begin()
+        fleet_db.execute("DROP TABLE instances")
+        fleet_db.execute("CREATE TABLE instances (other integer)")
+        fleet_db.rollback()
+        assert fleet_db.table("instances").column_names == ["instance_id", "model"]
+        assert fleet_db.execute("SELECT count(*) FROM instances").scalar() == 8
+
+
+# --------------------------------------------------------------------------- #
+# Randomized planned-vs-naive equivalence
+# --------------------------------------------------------------------------- #
+class TestEquivalence:
+    QUERY_TEMPLATES = [
+        "SELECT * FROM people WHERE age > {n}",
+        "SELECT * FROM people WHERE age > {n} AND city = '{city}'",
+        "SELECT * FROM people WHERE city = '{city}' OR age < {n}",
+        "SELECT name FROM people WHERE id = {pk}",
+        "SELECT name FROM people WHERE id = {pk} AND age IS NOT NULL",
+        "SELECT * FROM people WHERE age BETWEEN {n} AND {m}",
+        "SELECT * FROM people WHERE city IN ('{city}', 'nowhere')",
+        "SELECT p.name, c.region FROM people p JOIN cities c ON p.city = c.city",
+        "SELECT p.name, c.region FROM people p LEFT JOIN cities c ON p.city = c.city",
+        "SELECT p.name FROM people p JOIN cities c ON p.city = c.city "
+        "WHERE c.region = 'north' AND p.age > {n}",
+        "SELECT p.name FROM people p LEFT JOIN cities c ON p.city = c.city "
+        "WHERE c.region IS NULL",
+        "SELECT p.name, c.region FROM people p JOIN cities c "
+        "ON p.city = c.city AND p.age > {n}",
+        "SELECT city, count(*) AS n, avg(age) FROM people GROUP BY city ORDER BY n DESC, city",
+        "SELECT DISTINCT city FROM people ORDER BY city",
+        "SELECT * FROM people ORDER BY age DESC, id LIMIT {k}",
+        "SELECT * FROM people ORDER BY age DESC, id LIMIT {k} OFFSET 1",
+        "SELECT name FROM people WHERE age = (SELECT max(age) FROM people)",
+        "SELECT count(*) FROM people WHERE city IN (SELECT city FROM cities WHERE region = 'north')",
+        "SELECT upper(name) FROM people WHERE NOT (age > {n}) ORDER BY 1",
+        "SELECT p.name FROM people p, cities c WHERE p.city = c.city AND c.region = 'north'",
+    ]
+
+    @pytest.fixture()
+    def corpus_db(self):
+        rng = random.Random(0xC0FFEE)
+        db = Database()
+        db.execute(
+            "CREATE TABLE people (id integer PRIMARY KEY, name text, "
+            "age double precision, city text)"
+        )
+        db.execute("CREATE TABLE cities (city text PRIMARY KEY, region text)")
+        cities = ["aalborg", "aarhus", "odense", "esbjerg"]
+        for city, region in zip(cities, ["north", "north", "south", "west"]):
+            db.execute("INSERT INTO cities VALUES ($1, $2)", [city, region])
+        for i in range(60):
+            age = None if rng.random() < 0.1 else round(rng.uniform(18, 80), 1)
+            city = rng.choice(cities + ["ghosttown"])
+            db.execute(
+                "INSERT INTO people VALUES ($1, $2, $3, $4)",
+                [i, f"p{i}", age, city],
+            )
+        db.execute("CREATE INDEX idx_people_city ON people (city)")
+        return db, rng
+
+    def test_random_corpus_matches_naive(self, corpus_db):
+        db, rng = corpus_db
+        for template in self.QUERY_TEMPLATES:
+            for _ in range(3):
+                sql = template.format(
+                    n=rng.randint(18, 70),
+                    m=rng.randint(40, 80),
+                    pk=rng.randint(0, 70),
+                    city=rng.choice(["aalborg", "odense", "ghosttown"]),
+                    k=rng.randint(1, 8),
+                )
+                planned = db.execute(sql)
+                db.planner_enabled = False
+                try:
+                    naive = db.execute(sql)
+                finally:
+                    db.planner_enabled = True
+                assert planned.columns == naive.columns, sql
+                assert planned.rows == naive.rows, sql
+
+    def test_negative_limit_matches_naive(self, corpus_db):
+        db, _ = corpus_db
+        for sql in (
+            "SELECT id FROM people ORDER BY id LIMIT -1",
+            "SELECT id FROM people ORDER BY id LIMIT 5 OFFSET -2",
+        ):
+            planned = db.execute(sql)
+            db.planner_enabled = False
+            try:
+                naive = db.execute(sql)
+            finally:
+                db.planner_enabled = True
+            assert planned.rows == naive.rows, sql
+
+    def test_index_and_explain_stay_usable_as_column_names(self):
+        db = Database()
+        db.execute("CREATE TABLE t (index integer PRIMARY KEY, explain text)")
+        db.execute("INSERT INTO t VALUES (1, 'why')")
+        assert db.execute("SELECT index, explain FROM t WHERE index = 1").rows == [[1, "why"]]
+
+    def test_parameterized_point_lookup_reexecutes_per_params(self, corpus_db):
+        db, _ = corpus_db
+        sql = "SELECT name FROM people WHERE id = $1"
+        assert db.execute(sql, [3]).scalar() == "p3"
+        assert db.execute(sql, [7]).scalar() == "p7"
+        assert db.execute(sql, [9999]).rows == []
