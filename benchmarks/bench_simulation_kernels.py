@@ -1,0 +1,252 @@
+"""Compiled simulation kernels vs. the interpreted equation path (not a paper table).
+
+The FMU archives of this reproduction carry their equations as sandboxed
+arithmetic expressions; the compiled-kernel layer (:mod:`repro.fmi.kernel`)
+code-generates the ODE right-hand side and the output equations into plain
+positional-indexing Python functions, the way a real FMU ships compiled C.
+This benchmark times the two paths on the system's hottest workloads:
+
+* **10k-step simulate** - a five-zone heat pump model integrated for
+  10,000 fixed Euler steps with an hourly input series and a 10k-point
+  output grid (the ``fmu_simulate`` shape).  Target: >= 5x.
+* **fmu_parest calibration** - a full Global+Local estimation (Algorithm 2)
+  of HP1 on 240 h of measurements, compiled kernel + simulation memo cache
+  vs. interpreted + no cache.  Target: >= 3x end to end.
+
+Both comparisons first assert that the two paths produce identical results
+(the scalar kernel is bit-exact), then emit ``BENCH_simulation_kernels.json``
+next to this file.
+
+Run with:  pytest benchmarks/bench_simulation_kernels.py
+      or:  python benchmarks/bench_simulation_kernels.py [--smoke]
+
+``--smoke`` runs a reduced-size pass that only checks compiled/interpreted
+agreement (used by CI to exercise the compiled path on every push without
+timing flakiness).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation path
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.data.nist import generate_hp1_dataset
+from repro.estimation import Estimation
+from repro.fmi import load_fmu
+from repro.fmi.model_description import DefaultExperiment
+from repro.models.heatpump import build_hp1_archive
+from repro.modelica.compiler import compile_model
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_simulation_kernels.json"
+
+#: A five-zone thermal envelope: five coupled states, three outputs.  Richer
+#: than HP1 so the per-step equation cost (what the kernel removes) dominates
+#: the fixed solver overhead, as it does for any realistic building model.
+HP5_SOURCE = """
+model HP5 "five-zone heat pump heated house"
+  parameter Real Cp1(min=0.1, max=10) = 1.5 "zone 1 capacitance [kWh/degC]";
+  parameter Real Cp2(min=0.1, max=10) = 2.0 "zone 2 capacitance [kWh/degC]";
+  parameter Real Cp3(min=0.1, max=10) = 1.0 "zone 3 capacitance [kWh/degC]";
+  parameter Real Cp4(min=0.1, max=10) = 1.8 "zone 4 capacitance [kWh/degC]";
+  parameter Real Cp5(min=0.1, max=10) = 0.9 "zone 5 capacitance [kWh/degC]";
+  parameter Real R12(min=0.1, max=10) = 1.2 "zone 1-2 resistance [degC/kW]";
+  parameter Real R23(min=0.1, max=10) = 0.8 "zone 2-3 resistance [degC/kW]";
+  parameter Real R34(min=0.1, max=10) = 1.1 "zone 3-4 resistance [degC/kW]";
+  parameter Real R45(min=0.1, max=10) = 0.9 "zone 4-5 resistance [degC/kW]";
+  parameter Real Rout(min=0.1, max=10) = 1.5 "envelope resistance [degC/kW]";
+  constant Real P = 7.8 "rated electrical power [kW]";
+  constant Real eta = 2.65 "coefficient of performance";
+  constant Real Ta = -10.0 "outdoor temperature [degC]";
+  input Real u(min=0, max=1, start=0) "heat pump power rating setting";
+  output Real y "heat pump power consumption [kW]";
+  output Real qloss "envelope heat loss [kW]";
+  output Real xmean "mean zone temperature [degC]";
+  Real x1(start=20.0) "zone 1 temperature [degC]";
+  Real x2(start=18.0) "zone 2 temperature [degC]";
+  Real x3(start=16.0) "zone 3 temperature [degC]";
+  Real x4(start=17.0) "zone 4 temperature [degC]";
+  Real x5(start=15.0) "zone 5 temperature [degC]";
+equation
+  der(x1) = (x2 - x1) / (R12 * Cp1) + (P * eta / Cp1) * u;
+  der(x2) = (x1 - x2) / (R12 * Cp2) + (x3 - x2) / (R23 * Cp2);
+  der(x3) = (x2 - x3) / (R23 * Cp3) + (x4 - x3) / (R34 * Cp3);
+  der(x4) = (x3 - x4) / (R34 * Cp4) + (x5 - x4) / (R45 * Cp4);
+  der(x5) = (x4 - x5) / (R45 * Cp5) + (Ta - x5) / (Rout * Cp5);
+  y = P * u;
+  qloss = (x5 - Ta) / Rout;
+  xmean = (x1 + x2 + x3 + x4 + x5) / 5.0;
+end HP5;
+"""
+
+GA_OPTIONS = {"population_size": 14, "generations": 10, "patience": None}
+LOCAL_OPTIONS = {"max_iterations": 20}
+PAREST_HOURS = 240
+
+
+def _timed(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# Part 1: 10k-step simulate
+# --------------------------------------------------------------------------- #
+def _build_hp5_model():
+    archive = compile_model(
+        HP5_SOURCE,
+        default_experiment=DefaultExperiment(
+            start_time=0.0, stop_time=100.0, tolerance=1e-6, step_size=1.0
+        ),
+    )
+    return load_fmu(archive)
+
+
+def measure_simulate(n_steps: int = 10_000, rounds: int = 3) -> dict:
+    model = _build_hp5_model()
+    stop = 100.0
+    hours = np.linspace(0.0, stop, 101)
+    inputs = {"u": (hours, 0.5 + 0.5 * np.sin(hours / 5.0))}
+    grid = np.linspace(0.0, stop, n_steps + 1)
+    options = {"step": stop / n_steps}
+
+    def run():
+        return model.simulate(
+            inputs=inputs,
+            start_time=0.0,
+            stop_time=stop,
+            output_times=grid,
+            solver="euler",
+            solver_options=options,
+        )
+
+    model.ode_system.compiled_enabled = True
+    compiled_result = run()
+    model.ode_system.compiled_enabled = False
+    interpreted_result = run()
+    for name in ("x1", "x2", "x3", "x4", "x5", "y", "qloss", "xmean"):
+        np.testing.assert_allclose(
+            compiled_result[name], interpreted_result[name], rtol=0, atol=1e-9,
+            err_msg=f"compiled and interpreted trajectories differ for {name}",
+        )
+
+    # Symmetric, interleaved best-of-N timing: alternating compiled and
+    # interpreted rounds keeps CPU frequency drift from landing on only one
+    # side of the ratio.
+    compiled_s = float("inf")
+    interpreted_s = float("inf")
+    for _ in range(rounds + 1):
+        model.ode_system.compiled_enabled = True
+        compiled_s = min(compiled_s, _timed(run, 1))
+        model.ode_system.compiled_enabled = False
+        interpreted_s = min(interpreted_s, _timed(run, 1))
+    model.ode_system.compiled_enabled = True
+    return {
+        "simulate_n_steps": n_steps,
+        "simulate_interpreted_s": round(interpreted_s, 6),
+        "simulate_compiled_s": round(compiled_s, 6),
+        "simulate_speedup": round(interpreted_s / compiled_s, 2),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Part 2: fmu_parest calibration
+# --------------------------------------------------------------------------- #
+def measure_parest(hours: float = PAREST_HOURS) -> dict:
+    measurement_set = generate_hp1_dataset(hours=hours, seed=11).to_measurement_set()
+
+    def run(compiled: bool, memo: bool):
+        model = load_fmu(build_hp1_archive())
+        model.ode_system.compiled_enabled = compiled
+        estimation = Estimation(
+            model,
+            measurement_set,
+            parameters=["Cp", "R"],
+            ga_options=GA_OPTIONS,
+            local_options=LOCAL_OPTIONS,
+            seed=5,
+            memo=memo,
+        )
+        started = time.perf_counter()
+        result = estimation.estimate("global+local")
+        return time.perf_counter() - started, result
+
+    # Interleaved best-of-two rounds per mode: alternating keeps CPU
+    # frequency drift from landing on only one side of the ratio.
+    compiled_s = interpreted_s = float("inf")
+    compiled_result = interpreted_result = None
+    for _ in range(2):
+        seconds, compiled_result = run(compiled=True, memo=True)
+        compiled_s = min(compiled_s, seconds)
+        seconds, interpreted_result = run(compiled=False, memo=False)
+        interpreted_s = min(interpreted_s, seconds)
+    # The scalar kernel and the memo are exact: same optimum, same error.
+    assert compiled_result.parameters == interpreted_result.parameters
+    assert compiled_result.error == interpreted_result.error
+    return {
+        "parest_hours": hours,
+        "parest_interpreted_s": round(interpreted_s, 6),
+        "parest_compiled_s": round(compiled_s, 6),
+        "parest_speedup": round(interpreted_s / compiled_s, 2),
+        "parest_n_evaluations": compiled_result.n_evaluations,
+        "parest_n_cache_hits": compiled_result.n_cache_hits,
+        "parest_error": compiled_result.error,
+    }
+
+
+def measure_simulation_kernels() -> dict:
+    record = {"benchmark": "simulation_kernels"}
+    record.update(measure_simulate())
+    record.update(measure_parest())
+    return record
+
+
+def write_record(record: dict) -> Path:
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return RECORD_PATH
+
+
+def test_simulation_kernel_speedups():
+    record = measure_simulation_kernels()
+    write_record(record)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    assert record["simulate_speedup"] >= 5.0
+    assert record["parest_speedup"] >= 3.0
+
+
+def smoke() -> None:
+    """Exercise (not time) the compiled path: equivalence checks only."""
+    measure_simulate(n_steps=200, rounds=1)
+    measurement_set = generate_hp1_dataset(hours=24, seed=11).to_measurement_set()
+    model = load_fmu(build_hp1_archive())
+    estimation = Estimation(
+        model,
+        measurement_set,
+        parameters=["Cp", "R"],
+        ga_options={"population_size": 6, "generations": 2},
+        local_options={"max_iterations": 3},
+        seed=5,
+    )
+    result = estimation.estimate("global+local")
+    assert np.isfinite(result.error)
+    print("smoke ok: compiled/interpreted trajectories agree, calibration ran")
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+    else:
+        print(json.dumps(measure_simulation_kernels(), indent=2, sort_keys=True))

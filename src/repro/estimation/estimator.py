@@ -43,6 +43,8 @@ class EstimationResult:
     local_time: float = 0.0
     validation_error: Optional[float] = None
     history: List[float] = field(default_factory=list)
+    #: Objective calls served from the simulation memo cache (no re-simulation).
+    n_cache_hits: int = 0
 
     @property
     def total_time(self) -> float:
@@ -83,6 +85,7 @@ class Estimation:
         solver: Optional[str] = None,
         solver_options: Optional[dict] = None,
         seed: Optional[int] = 1,
+        memo: bool = True,
     ):
         self.model = model
         self.measurements = measurements
@@ -101,6 +104,7 @@ class Estimation:
             parameter_names=self.parameter_names,
             solver=solver,
             solver_options=solver_options,
+            memo=memo,
         )
 
     # ------------------------------------------------------------------ #
@@ -164,6 +168,7 @@ class Estimation:
         global_time = 0.0
         local_time = 0.0
         n_evaluations = 0
+        cache_hits_before = self.objective.n_cache_hits
 
         if method in ("global+local", "global"):
             ga = GeneticAlgorithm(self.bounds, seed=self.seed, **self.ga_options)
@@ -210,6 +215,9 @@ class Estimation:
             global_time=global_time,
             local_time=local_time,
             history=history,
+            # Per-call delta: the objective's counter spans the Estimation's
+            # lifetime, and n_evaluations here is also per call.
+            n_cache_hits=self.objective.n_cache_hits - cache_hits_before,
         )
 
     # ------------------------------------------------------------------ #

@@ -136,6 +136,16 @@ class SimulationObjective:
         which is accurate for the paper's slow thermal models and an order
         of magnitude cheaper than the adaptive solver - calibration calls
         the objective hundreds of times.
+    memo:
+        Enable the per-estimation simulation memo cache (on by default).
+        Objective values are cached per *exact* candidate vector: GA elitism
+        and tournament re-evaluations and SLSQP's repeated probe points pass
+        bit-identical vectors, so they skip the re-simulation, while any
+        genuinely different candidate - however close - always simulates.
+        The measurement grid, observed series and non-estimated model
+        configuration are fixed for the lifetime of an objective, so a cache
+        entry can never go stale within one estimation; disable with
+        ``memo=False`` when mutating the model between calls.
     """
 
     def __init__(
@@ -147,6 +157,7 @@ class SimulationObjective:
         solver: Optional[str] = None,
         solver_options: Optional[dict] = None,
         align_initial_state: bool = True,
+        memo: bool = True,
     ):
         self.model = model
         self.measurements = measurements
@@ -199,6 +210,22 @@ class SimulationObjective:
                     if finite.size:
                         self.initial_state_values[name] = float(finite[0])
         self.n_evaluations = 0
+        self.memo_enabled = bool(memo)
+        self.n_cache_hits = 0
+        self._memo: Dict[bytes, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Memoization
+    # ------------------------------------------------------------------ #
+    def _memo_key(self, theta: np.ndarray) -> bytes:
+        # Exact bit pattern: any rounding scheme would conflate sufficiently
+        # fine probe steps at some parameter scale, silently changing search
+        # results; the re-evaluations worth caching are bit-identical anyway.
+        return np.ascontiguousarray(theta, dtype=float).tobytes()
+
+    def clear_memo(self) -> None:
+        """Drop all cached objective values (keeps the hit counter)."""
+        self._memo.clear()
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -223,7 +250,32 @@ class SimulationObjective:
         )
 
     def __call__(self, theta: Sequence[float]) -> float:
-        """Mean RMSE over all observed series for the candidate vector."""
+        """Mean RMSE over all observed series for the candidate vector.
+
+        Results are memoized per exact candidate vector (see ``memo``);
+        cache hits skip the simulation entirely and do not count towards
+        :attr:`n_evaluations`.
+        """
+        theta_array = np.asarray(theta, dtype=float)
+        key = self._memo_key(theta_array) if self.memo_enabled else None
+        if key is not None:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.n_cache_hits += 1
+                # Preserve simulate()'s side effect so callers that read the
+                # model after an objective call see this candidate's values,
+                # exactly as on a miss (only the simulation is skipped).
+                if theta_array.shape == (len(self.parameter_names),):
+                    self.model.set_many(dict(zip(self.parameter_names, theta_array)))
+                    if self.initial_state_values:
+                        self.model.set_many(self.initial_state_values)
+                return cached
+        error = self._evaluate(theta_array)
+        if key is not None:
+            self._memo[key] = error
+        return error
+
+    def _evaluate(self, theta: np.ndarray) -> float:
         self.n_evaluations += 1
         try:
             result = self.simulate(theta)

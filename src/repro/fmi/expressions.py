@@ -43,6 +43,10 @@ ALLOWED_CONSTANTS: Dict[str, float] = {
     "e": math.e,
 }
 
+#: Shared eval globals: the sandbox (no builtins, whitelisted functions only)
+#: is immutable, so it is built once instead of per evaluation.
+_EVAL_GLOBALS: Dict[str, Callable] = {"__builtins__": {}, **ALLOWED_FUNCTIONS}
+
 _ALLOWED_NODES = (
     ast.Expression,
     ast.BinOp,
@@ -128,7 +132,7 @@ class CompiledExpression:
         namespace = dict(ALLOWED_CONSTANTS)
         namespace.update(values)
         try:
-            result = eval(self._code, {"__builtins__": {}, **ALLOWED_FUNCTIONS}, namespace)
+            result = eval(self._code, _EVAL_GLOBALS, namespace)
         except NameError as exc:
             raise FmuFormatError(
                 f"model equation {self.text!r} references an unbound variable: {exc}"

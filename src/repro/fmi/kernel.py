@@ -1,0 +1,511 @@
+"""Compiled simulation kernels: code-generated hot paths for :class:`OdeSystem`.
+
+The interpreted evaluation path (:mod:`repro.fmi.expressions`) rebuilds a
+name->value namespace dict and ``eval``s every state equation on **every**
+right-hand-side call - RK45 makes six of those per step and calibration
+re-simulates the same model thousands of times.  This module plays the role
+of the FMU's compiled C binary: it code-generates one plain Python function
+per model from the already-validated equation ASTs,
+
+* ``derivs(t, x, u, p, out) -> out`` - the scalar ODE right-hand side with
+  states/inputs/parameters as positional array indexing (no namespace dict),
+* ``outputs_scalar(t, x, u, p) -> tuple`` - all output equations at one
+  point, and
+* ``outputs(t, X, U, p) -> dict of ndarrays`` - all output equations
+  vectorized over a whole trajectory in a single numpy pass,
+
+and compiles them under the same sandbox rules as the interpreted path: an
+empty ``__builtins__`` and only the whitelisted math functions.  Named
+constants (``pi``, ``e``) and constant subexpressions are folded at
+generation time.
+
+Semantics notes
+---------------
+* The scalar kernels execute the *same* Python expression as the interpreted
+  path (names merely become array subscripts), so their results are
+  bit-identical to ``CompiledExpression.__call__``.
+* The vectorized output kernel maps the whitelist onto numpy ufuncs and
+  rewrites conditionals/boolean operators into ``np.where`` forms; values
+  match the scalar path to floating-point rounding.  Error behaviour differs
+  in one corner: a division by zero yields ``inf``/``nan`` elements (numpy
+  semantics, warnings suppressed) instead of the interpreted path's
+  :class:`~repro.errors.FmuFormatError`.
+* A system whose equations reference names that are unbound at evaluation
+  time (e.g. an output referenced from another equation) is not compilable;
+  :func:`build_kernel` returns ``None`` and callers keep the interpreted
+  path, which raises the same runtime error it always did.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import operator
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FmuFormatError
+from repro.fmi.expressions import (
+    ALLOWED_CONSTANTS,
+    ALLOWED_FUNCTIONS,
+    CompiledExpression,
+    _EVAL_GLOBALS,
+)
+
+
+class _NotCompilable(Exception):
+    """Raised during codegen when an equation cannot be lowered to a kernel."""
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation namespaces
+# --------------------------------------------------------------------------- #
+#: Globals of the scalar kernels: exactly the interpreted sandbox (shared so
+#: the whitelist cannot diverge between the two paths).
+_SCALAR_GLOBALS: Dict[str, object] = _EVAL_GLOBALS
+
+
+def _reduce_min(*args):
+    return functools.reduce(np.minimum, args)
+
+
+def _reduce_max(*args):
+    return functools.reduce(np.maximum, args)
+
+
+def _truthy(value):
+    return np.asarray(value) != 0
+
+
+def _logical_and(a, b):
+    """Elementwise ``a and b`` with Python's value-returning semantics."""
+    return np.where(_truthy(a), b, a)
+
+
+def _logical_or(a, b):
+    """Elementwise ``a or b`` with Python's value-returning semantics."""
+    return np.where(_truthy(a), a, b)
+
+
+def _bcast(value, n: int) -> np.ndarray:
+    """Broadcast a (possibly scalar) expression result to an n-vector of floats."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    if arr.base is not None:
+        # An output that is a bare state/input lowers to a column slice;
+        # return a fresh array so trajectories never alias the state matrix.
+        return arr.copy()
+    return arr
+
+
+#: Globals of the vectorized output kernel: numpy ufunc equivalents.
+_VECTOR_GLOBALS: Dict[str, object] = {
+    "__builtins__": {},
+    "abs": np.abs,
+    "min": _reduce_min,
+    "max": _reduce_max,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "exp": np.exp,
+    "log": np.log,
+    "log10": np.log10,
+    "sqrt": np.sqrt,
+    "tanh": np.tanh,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "sign": np.sign,
+    "_where": np.where,
+    "_land": _logical_and,
+    "_lor": _logical_or,
+    "_bcast": _bcast,
+}
+
+
+# --------------------------------------------------------------------------- #
+# AST lowering
+# --------------------------------------------------------------------------- #
+class _LowerNames(ast.NodeTransformer):
+    """Rewrite variable names into positional subscripts of the kernel arguments.
+
+    ``slots`` maps a model variable name to ready-made replacement source
+    (e.g. ``_x[0]`` or ``_X[:, 0]``).  Named constants are folded into
+    literals.  In vector mode conditionals and boolean operators are
+    rewritten into their ``np.where`` equivalents so the generated function
+    is valid over arrays.
+    """
+
+    def __init__(self, slots: Mapping[str, str], vector: bool):
+        self.slots = dict(slots)
+        self.vector = vector
+
+    def visit_Name(self, node: ast.Name) -> ast.expr:
+        # Model variables shadow the named constants, exactly as the
+        # interpreted namespace (constants first, values overlaid) does for
+        # a variable named e.g. ``e``.
+        replacement = self.slots.get(node.id)
+        if replacement is not None:
+            return ast.parse(replacement, mode="eval").body
+        if node.id in ALLOWED_CONSTANTS:
+            return ast.Constant(value=ALLOWED_CONSTANTS[node.id])
+        raise _NotCompilable(f"name {node.id!r} is not bound at evaluation time")
+
+    def visit_Call(self, node: ast.Call) -> ast.expr:
+        # The callee name stays as-is (resolved from the kernel globals);
+        # only the arguments are lowered.  A *variable* sharing a whitelisted
+        # function's name would shadow it in the interpreted namespace (and
+        # fail at call time there); don't compile that shape.
+        if isinstance(node.func, ast.Name) and node.func.id in self.slots:
+            raise _NotCompilable(
+                f"call target {node.func.id!r} is shadowed by a model variable"
+            )
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("min", "max")
+            and len(node.args) < 2
+        ):
+            # Single-argument min/max is a runtime TypeError on the
+            # interpreted path; the vectorized reduce helper would silently
+            # accept it, so refuse to compile instead.
+            raise _NotCompilable(f"{node.func.id}() needs at least two arguments")
+        node.args = [self.visit(arg) for arg in node.args]
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp) -> ast.expr:
+        node = ast.IfExp(
+            test=self.visit(node.test),
+            body=self.visit(node.body),
+            orelse=self.visit(node.orelse),
+        )
+        if not self.vector:
+            return node
+        return ast.Call(
+            func=ast.Name(id="_where", ctx=ast.Load()),
+            args=[node.test, node.body, node.orelse],
+            keywords=[],
+        )
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> ast.expr:
+        values = [self.visit(value) for value in node.values]
+        if not self.vector:
+            return ast.BoolOp(op=node.op, values=values)
+        helper = "_land" if isinstance(node.op, ast.And) else "_lor"
+        expr = values[0]
+        for value in values[1:]:
+            expr = ast.Call(
+                func=ast.Name(id=helper, ctx=ast.Load()),
+                args=[expr, value],
+                keywords=[],
+            )
+        return expr
+
+    def visit_Compare(self, node: ast.Compare) -> ast.expr:
+        operands = [self.visit(node.left)] + [self.visit(c) for c in node.comparators]
+        if not self.vector or len(node.ops) == 1:
+            return ast.Compare(
+                left=operands[0], ops=node.ops, comparators=operands[1:]
+            )
+        # Chained comparison over arrays: AND of the pairwise comparisons
+        # (operands are pure expressions, so double evaluation is safe).
+        expr: ast.expr = ast.Compare(
+            left=operands[0], ops=[node.ops[0]], comparators=[operands[1]]
+        )
+        for i, op in enumerate(node.ops[1:], start=1):
+            pair = ast.Compare(
+                left=operands[i], ops=[op], comparators=[operands[i + 1]]
+            )
+            expr = ast.Call(
+                func=ast.Name(id="_land", ctx=ast.Load()),
+                args=[expr, pair],
+                keywords=[],
+            )
+        return expr
+
+
+_FOLD_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Pow: operator.pow,
+    ast.Mod: operator.mod,
+}
+_FOLD_UNARY = {ast.USub: operator.neg, ast.UAdd: operator.pos}
+
+
+class _FoldConstants(ast.NodeTransformer):
+    """Evaluate numeric-constant subtrees once at generation time.
+
+    Only the arithmetic operators the sandbox allows are folded, with the
+    exact Python operator the runtime would apply, so folded and unfolded
+    evaluation are bit-identical.  Anything that raises is left in place.
+    """
+
+    def visit_BinOp(self, node: ast.BinOp) -> ast.expr:
+        node = ast.BinOp(op=node.op, left=self.visit(node.left), right=self.visit(node.right))
+        fold = _FOLD_BINOPS.get(type(node.op))
+        if (
+            fold is not None
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.right, ast.Constant)
+        ):
+            try:
+                value = fold(node.left.value, node.right.value)
+            except Exception:
+                return node
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return ast.Constant(value=value)
+        return node
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> ast.expr:
+        node = ast.UnaryOp(op=node.op, operand=self.visit(node.operand))
+        fold = _FOLD_UNARY.get(type(node.op))
+        if fold is not None and isinstance(node.operand, ast.Constant):
+            try:
+                value = fold(node.operand.value)
+            except Exception:
+                return node
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return ast.Constant(value=value)
+        return node
+
+
+def _lower(text: str, slots: Mapping[str, str], vector: bool) -> str:
+    """Parse, sandbox-validate, lower and fold one equation into source text."""
+    tree = CompiledExpression._parse(str(text))
+    lowered = _LowerNames(slots, vector).visit(tree.body)
+    folded = _FoldConstants().visit(lowered)
+    ast.fix_missing_locations(folded)
+    return ast.unparse(folded)
+
+
+def _compile_function(source: str, globals_dict: Dict[str, object], name: str):
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<fmu-kernel>", "exec"), globals_dict, namespace)
+    return namespace[name]
+
+
+# --------------------------------------------------------------------------- #
+# The kernel object
+# --------------------------------------------------------------------------- #
+class SimulationKernel:
+    """Code-generated evaluation functions for one :class:`OdeSystem`.
+
+    The kernel fixes the variable layout once: states, inputs and parameters
+    become positions in the ``x``/``u``/``p`` vectors (declaration order),
+    and every generated function indexes those vectors directly instead of
+    building a namespace dict.  Scalar kernels unpack ``x`` with ``tolist()``
+    so the per-step arithmetic runs on plain Python floats, exactly like the
+    interpreted ``eval`` path.
+    """
+
+    __slots__ = (
+        "state_names",
+        "input_names",
+        "output_names",
+        "parameter_names",
+        "n_states",
+        "n_inputs",
+        "source",
+        "_parameters",
+        "_equation_texts",
+        "_derivs",
+        "_outputs_scalar",
+        "_outputs_vector",
+    )
+
+    def __init__(self, system):
+        self.state_names: List[str] = list(system.state_names)
+        self.input_names: List[str] = list(system.inputs)
+        self.output_names: List[str] = list(system.output_names)
+        self.parameter_names: List[str] = list(system.parameters)
+        # Live reference, not a snapshot: callers (e.g. the model builders'
+        # _apply_parameters) mutate the system's parameter values in place
+        # after construction, and the interpreted path reads them at call
+        # time - the kernel must see the same defaults.
+        self._parameters: Dict[str, float] = system.parameters
+        self._equation_texts: List[str] = [s.derivative for s in system.states] + [
+            o.expression for o in system.outputs
+        ]
+        self.n_states = len(self.state_names)
+        self.n_inputs = len(self.input_names)
+
+        from repro.fmi.dynamics import TIME_NAME
+
+        scalar_slots = {TIME_NAME: "_t"}
+        vector_slots = {TIME_NAME: "_t"}
+        for i, name in enumerate(self.state_names):
+            scalar_slots[name] = f"_x[{i}]"
+            vector_slots[name] = f"_X[:, {i}]"
+        for i, name in enumerate(self.input_names):
+            scalar_slots[name] = f"_u[{i}]"
+            vector_slots[name] = f"_U[:, {i}]"
+        for i, name in enumerate(self.parameter_names):
+            scalar_slots[name] = f"_p[{i}]"
+            vector_slots[name] = f"_p[{i}]"
+
+        derivs_lines = ["def _derivs(_t, _x, _u, _p, _out):", "    _x = _x.tolist()"]
+        for i, state in enumerate(system.states):
+            derivs_lines.append(
+                f"    _out[{i}] = {_lower(state.derivative, scalar_slots, vector=False)}"
+            )
+        derivs_lines.append("    return _out")
+
+        out_scalar_lines = ["def _outputs_scalar(_t, _x, _u, _p):", "    _x = _x.tolist()"]
+        out_vector_lines = ["def _outputs_vector(_t, _X, _U, _p, _n):"]
+        returns_scalar: List[str] = []
+        returns_vector: List[str] = []
+        for i, output in enumerate(system.outputs):
+            out_scalar_lines.append(
+                f"    _y{i} = {_lower(output.expression, scalar_slots, vector=False)}"
+            )
+            out_vector_lines.append(
+                f"    _y{i} = _bcast({_lower(output.expression, vector_slots, vector=True)}, _n)"
+            )
+            returns_scalar.append(f"_y{i}")
+            returns_vector.append(f"_y{i}")
+        out_scalar_lines.append(f"    return ({', '.join(returns_scalar)}{',' if returns_scalar else ''})")
+        out_vector_lines.append(f"    return ({', '.join(returns_vector)}{',' if returns_vector else ''})")
+
+        derivs_source = "\n".join(derivs_lines)
+        out_scalar_source = "\n".join(out_scalar_lines)
+        out_vector_source = "\n".join(out_vector_lines)
+        self.source = "\n\n".join([derivs_source, out_scalar_source, out_vector_source])
+
+        self._derivs = _compile_function(derivs_source, _SCALAR_GLOBALS, "_derivs")
+        self._outputs_scalar = _compile_function(
+            out_scalar_source, _SCALAR_GLOBALS, "_outputs_scalar"
+        )
+        self._outputs_vector = _compile_function(
+            out_vector_source, _VECTOR_GLOBALS, "_outputs_vector"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Argument packing
+    # ------------------------------------------------------------------ #
+    def parameter_vector(self, overrides: Optional[Mapping[str, float]] = None) -> Tuple[float, ...]:
+        """Parameter values in kernel order: defaults overlaid with ``overrides``."""
+        defaults = self._parameters
+        if not overrides:
+            return tuple(float(defaults[name]) for name in self.parameter_names)
+        return tuple(
+            float(overrides.get(name, defaults[name])) for name in self.parameter_names
+        )
+
+    def input_vector(
+        self,
+        input_values: Mapping[str, float],
+        parameter_values: Optional[Mapping[str, float]] = None,
+    ) -> List[float]:
+        """Input values in kernel order, with the interpreted path's defaulting
+        (missing inputs fall back to ``parameter_values``, then to 0.0)."""
+        values: List[float] = []
+        for name in self.input_names:
+            if name in input_values:
+                values.append(float(input_values[name]))
+            elif parameter_values is not None and name in parameter_values:
+                values.append(float(parameter_values[name]))
+            else:
+                values.append(0.0)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def derivs(
+        self,
+        t: float,
+        x: np.ndarray,
+        u: Sequence[float],
+        p: Sequence[float],
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Evaluate the state derivative vector at one point."""
+        if out is None:
+            out = np.empty(self.n_states)
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        return self._derivs(t, x, u, p, out)
+
+    def outputs_scalar(
+        self, t: float, x: np.ndarray, u: Sequence[float], p: Sequence[float]
+    ) -> Tuple[float, ...]:
+        """Evaluate all output equations at one point."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        return self._outputs_scalar(t, x, u, p)
+
+    def outputs(
+        self,
+        times: np.ndarray,
+        states: np.ndarray,
+        inputs: np.ndarray,
+        p: Sequence[float],
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate all output equations over a whole trajectory in one pass.
+
+        Parameters
+        ----------
+        times:
+            1-D array of the n output times.
+        states:
+            (n, n_states) state trajectory.
+        inputs:
+            (n, n_inputs) input trajectory (may be empty when the model has
+            no inputs).
+        p:
+            Parameter values in kernel order.
+        """
+        times = np.asarray(times, dtype=float)
+        with np.errstate(all="ignore"):
+            values = self._outputs_vector(times, states, inputs, p, times.shape[0])
+        if any(not np.isfinite(column).all() for column in values):
+            # numpy turns e.g. division by zero into inf/nan where the
+            # scalar path raises; re-evaluate point-by-point so error
+            # behaviour (and legitimate infinities) match the interpreted
+            # semantics exactly.
+            return self._outputs_pointwise(times, states, inputs, p)
+        return dict(zip(self.output_names, values))
+
+    def _outputs_pointwise(
+        self,
+        times: np.ndarray,
+        states: np.ndarray,
+        inputs: np.ndarray,
+        p: Sequence[float],
+    ) -> Dict[str, np.ndarray]:
+        columns = [np.empty(times.shape[0]) for _ in self.output_names]
+        outputs_scalar = self._outputs_scalar
+        for k in range(times.shape[0]):
+            values = outputs_scalar(times[k], states[k], inputs[k], p)
+            for column, value in zip(columns, values):
+                column[k] = value
+        return dict(zip(self.output_names, columns))
+
+    def division_error(self) -> FmuFormatError:
+        """The error callers raise when a kernel hit a ZeroDivisionError.
+
+        The kernel evaluates all equations in one generated body, so the
+        offender is not pinpointed; the candidate equation texts are listed
+        instead (shared by every wrap site, mirroring the interpreted path's
+        per-equation message).
+        """
+        candidates = ", ".join(repr(text) for text in self._equation_texts)
+        return FmuFormatError(
+            f"model equations divided by zero during evaluation (one of: {candidates})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationKernel(states={self.state_names}, inputs={self.input_names}, "
+            f"outputs={self.output_names}, parameters={self.parameter_names})"
+        )
+
+
+def build_kernel(system) -> Optional[SimulationKernel]:
+    """Build a :class:`SimulationKernel` for ``system``, or None when any
+    equation cannot be compiled (callers then keep the interpreted path)."""
+    try:
+        return SimulationKernel(system)
+    except _NotCompilable:
+        return None

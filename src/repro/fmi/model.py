@@ -8,8 +8,9 @@ series.
 
 from __future__ import annotations
 
+import bisect
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -63,6 +64,58 @@ class _InputInterpolator:
         for name, (times, series) in self._series.items():
             values[name] = float(np.interp(t, times, series))
         return values
+
+
+class _KernelBindings:
+    """Inputs and parameters bound once per ``simulate`` call into the
+    compiled kernel's positional layout.
+
+    The solver's right-hand side then only performs a clamped piecewise-linear
+    interpolation per bound series (plain-Python ``bisect``, which is much
+    cheaper per step than a ``np.interp`` scalar call) and a single kernel
+    invocation - no namespace dict, no per-step rebinding.
+    """
+
+    __slots__ = ("u", "series")
+
+    def __init__(self, kernel, interp: _InputInterpolator, input_starts: Mapping[str, float]):
+        # Constant start values fill the slots; measured series override them.
+        self.u: List[float] = [
+            float(input_starts.get(name, 0.0)) for name in kernel.input_names
+        ]
+        self.series: List[tuple] = []
+        for slot, name in enumerate(kernel.input_names):
+            pair = interp._series.get(name)
+            if pair is not None:
+                times, values = pair
+                self.series.append((slot, times.tolist(), values.tolist(), times, values))
+
+    def input_at(self, t: float) -> List[float]:
+        """The input vector at time ``t`` (clamped like ``np.interp``)."""
+        u = self.u
+        for slot, times, values, _, _ in self.series:
+            if t <= times[0]:
+                u[slot] = values[0]
+            elif t >= times[-1]:
+                u[slot] = values[-1]
+            else:
+                i = bisect.bisect_right(times, t)
+                t_lo, t_hi = times[i - 1], times[i]
+                # Slope-first form: the exact floating-point operation order
+                # of np.interp, so compiled and interpreted simulations see
+                # bit-identical input values.
+                slope = (values[i] - values[i - 1]) / (t_hi - t_lo)
+                u[slot] = slope * (t - t_lo) + values[i - 1]
+        return u
+
+    def input_matrix(self, times: np.ndarray) -> np.ndarray:
+        """The (n_times, n_inputs) input trajectory for vectorized outputs."""
+        matrix = np.empty((len(times), len(self.u)))
+        for slot, value in enumerate(self.u):
+            matrix[:, slot] = value
+        for slot, _, _, series_times, series_values in self.series:
+            matrix[:, slot] = np.interp(times, series_times, series_values)
+        return matrix
 
 
 class FmuModel:
@@ -221,14 +274,32 @@ class FmuModel:
 
         parameter_values = dict(self._parameter_values)
         system = self.ode_system
+        kernel = system.kernel if system.compiled_enabled else None
 
-        def input_values_at(t: float) -> Dict[str, float]:
-            values = dict(self._input_starts)
-            values.update(interp(t))
-            return values
+        if kernel is not None:
+            # Compiled fast path: inputs and parameters are bound to the
+            # kernel's positional layout once per call, not once per step.
+            bindings = _KernelBindings(kernel, interp, self._input_starts)
+            p = kernel.parameter_vector(parameter_values)
+            n_states = kernel.n_states
+            kernel_derivs = kernel._derivs
+            input_at = bindings.input_at
 
-        def rhs(t, x, _u):
-            return system.derivatives(t, x, input_values_at(t), parameter_values)
+            def rhs(t, x, _u):
+                try:
+                    return kernel_derivs(t, x, input_at(t), p, np.empty(n_states))
+                except ZeroDivisionError:
+                    raise kernel.division_error() from None
+
+        else:
+
+            def input_values_at(t: float) -> Dict[str, float]:
+                values = dict(self._input_starts)
+                values.update(interp(t))
+                return values
+
+            def rhs(t, x, _u):
+                return system.derivatives(t, x, input_values_at(t), parameter_values)
 
         x0 = np.array(
             [self._state_starts[name] for name in system.state_names], dtype=float
@@ -240,18 +311,28 @@ class FmuModel:
         trajectories: Dict[str, np.ndarray] = {}
         for i, name in enumerate(system.state_names):
             trajectories[name] = solution.states[:, i]
-        outputs = {name: np.empty(len(solution.times)) for name in system.output_names}
-        for k, t in enumerate(solution.times):
-            out = system.evaluate_outputs(
-                t, solution.states[k], input_values_at(t), parameter_values
-            )
-            for name, value in out.items():
-                outputs[name][k] = value
-        trajectories.update(outputs)
+        if kernel is not None:
+            # Output equations evaluated over the whole trajectory in one
+            # vectorized pass instead of one namespace + eval per time step.
+            inputs_matrix = bindings.input_matrix(solution.times)
+            try:
+                trajectories.update(
+                    kernel.outputs(solution.times, solution.states, inputs_matrix, p)
+                )
+            except ZeroDivisionError:
+                raise kernel.division_error() from None
+        else:
+            outputs = {name: np.empty(len(solution.times)) for name in system.output_names}
+            for k, t in enumerate(solution.times):
+                out = system.evaluate_outputs(
+                    t, solution.states[k], input_values_at(t), parameter_values
+                )
+                for name, value in out.items():
+                    outputs[name][k] = value
+            trajectories.update(outputs)
         for name in interp.names():
-            trajectories[name] = np.array(
-                [input_values_at(t)[name] for t in solution.times]
-            )
+            series_times, series_values = interp._series[name]
+            trajectories[name] = np.interp(solution.times, series_times, series_values)
 
         return SimulationResult(
             time=solution.times,

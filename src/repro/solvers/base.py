@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,21 +91,77 @@ class OdeSolution:
         Times outside the solved interval are clamped to the boundary values,
         matching how co-simulation masters hold the last known state.
         """
-        t = float(t)
-        if t <= self.times[0]:
-            return self.states[0].copy()
-        if t >= self.times[-1]:
-            return self.states[-1].copy()
-        idx = int(np.searchsorted(self.times, t))
-        t_lo, t_hi = self.times[idx - 1], self.times[idx]
-        if t_hi == t_lo:
-            return self.states[idx].copy()
-        w = (t - t_lo) / (t_hi - t_lo)
-        return (1.0 - w) * self.states[idx - 1] + w * self.states[idx]
+        return self.sample(np.array([float(t)]))[0]
 
     def sample(self, times: Sequence[float]) -> np.ndarray:
-        """Interpolate the state trajectory at each of the given times."""
-        return np.vstack([self.interpolate(t) for t in times])
+        """Interpolate the state trajectory at each of the given times.
+
+        Batch-interpolates every state column with ``np.interp`` (which
+        clamps outside the solved interval) instead of stacking per-point
+        interpolations.
+        """
+        query = np.asarray(times, dtype=float)
+        sampled = np.empty((query.size, self.states.shape[1]))
+        for j in range(self.states.shape[1]):
+            sampled[:, j] = np.interp(query, self.times, self.states[:, j])
+        return sampled
+
+
+def _stage_function(problem: "OdeProblem"):
+    """The solver-facing right-hand side: inputs resolved, result coerced.
+
+    Hoists the per-step overheads out of the stage evaluation: input-less
+    problems share one empty input vector, and the float-vector coercion is
+    skipped when the rhs already returns a 1-D float array (the compiled
+    kernel path always does).
+    """
+    empty_u = np.empty(0)
+    has_inputs = problem.inputs is not None
+    rhs = problem.rhs
+    input_at = problem.input_at
+
+    def f(t, x):
+        u = input_at(t) if has_inputs else empty_u
+        dx = rhs(t, x, u)
+        if isinstance(dx, np.ndarray) and dx.ndim == 1 and dx.dtype == np.float64:
+            return dx
+        return np.atleast_1d(np.asarray(dx, dtype=float))
+
+    return f
+
+
+class TrajectoryRecorder:
+    """Preallocated, geometrically grown storage for solver main loops.
+
+    Replaces the per-step ``times.append(t); states.append(x.copy())`` lists:
+    values are written into contiguous numpy buffers that double in size when
+    full, so a solve costs O(log n) allocations instead of one per step.
+    """
+
+    __slots__ = ("_times", "_states", "_count")
+
+    def __init__(self, n_states: int, capacity: int = 512):
+        capacity = max(2, int(capacity))
+        self._times = np.empty(capacity)
+        self._states = np.empty((capacity, int(n_states)))
+        self._count = 0
+
+    def append(self, t: float, x: np.ndarray) -> None:
+        n = self._count
+        if n == self._times.shape[0]:
+            grown_times = np.empty(2 * n)
+            grown_times[:n] = self._times
+            self._times = grown_times
+            grown_states = np.empty((2 * n, self._states.shape[1]))
+            grown_states[:n] = self._states
+            self._states = grown_states
+        self._times[n] = t
+        self._states[n] = x
+        self._count = n + 1
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The recorded ``(times, states)`` trimmed to the written length."""
+        return self._times[: self._count], self._states[: self._count]
 
 
 class OdeSolver:

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SolverError
-from repro.solvers.base import OdeProblem, OdeSolution, OdeSolver
+from repro.solvers.base import (
+    OdeProblem,
+    OdeSolution,
+    OdeSolver,
+    TrajectoryRecorder,
+    _stage_function,
+)
 
 
 class EulerSolver(OdeSolver):
@@ -40,29 +47,37 @@ class EulerSolver(OdeSolver):
         grid = self._normalized_output_times(problem, output_times)
         h = self._step_size(problem)
 
-        times = [problem.t0]
-        states = [problem.x0.copy()]
+        # The step count is known up front; preallocate the full trajectory.
+        recorder = TrajectoryRecorder(
+            len(problem.x0), int((problem.t1 - problem.t0) / h) + 4
+        )
+        recorder.append(problem.t0, problem.x0)
         t = problem.t0
         x = problem.x0.copy()
         n_evals = 0
         n_steps = 0
+        f = _stage_function(problem)
+        t1 = problem.t1
         with np.errstate(over="ignore", invalid="ignore"):
-            while t < problem.t1 - 1e-15:
-                h_eff = min(h, problem.t1 - t)
-                u = problem.input_at(t)
-                dx = np.atleast_1d(np.asarray(problem.rhs(t, x, u), dtype=float))
+            while t < t1 - 1e-15:
+                h_eff = min(h, t1 - t)
+                dx = f(t, x)
                 n_evals += 1
                 x = x + h_eff * dx
                 t = t + h_eff
                 n_steps += 1
-                if not np.isfinite(x).all():
+                # Cheap scalar pre-check (the sum is non-finite whenever any
+                # component is; opposite-sign infinities collapse to nan);
+                # the exact per-component check runs only when it trips, so
+                # a finite sum that merely overflows is not misreported.
+                if not math.isfinite(sum(x.tolist())) and not np.isfinite(x).all():
                     raise SolverError(f"Euler integration diverged at t={t}")
-                times.append(t)
-                states.append(x.copy())
+                recorder.append(t, x)
 
+        times, states = recorder.arrays()
         dense = OdeSolution(
-            times=np.asarray(times),
-            states=np.vstack(states),
+            times=times,
+            states=states,
             n_rhs_evals=n_evals,
             n_steps=n_steps,
             solver_name=self.name,

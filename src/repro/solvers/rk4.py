@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SolverError
-from repro.solvers.base import OdeProblem, OdeSolution, OdeSolver
+from repro.solvers.base import (
+    OdeProblem,
+    OdeSolution,
+    OdeSolver,
+    TrajectoryRecorder,
+    _stage_function,
+)
 
 
 class RungeKutta4Solver(OdeSolver):
@@ -40,19 +47,21 @@ class RungeKutta4Solver(OdeSolver):
         grid = self._normalized_output_times(problem, output_times)
         h = self._step_size(problem)
 
-        times = [problem.t0]
-        states = [problem.x0.copy()]
+        # The step count is known up front; preallocate the full trajectory.
+        recorder = TrajectoryRecorder(
+            len(problem.x0), int((problem.t1 - problem.t0) / h) + 4
+        )
+        recorder.append(problem.t0, problem.x0)
         t = problem.t0
         x = problem.x0.copy()
         n_evals = 0
         n_steps = 0
 
-        def f(tt, xx):
-            return np.atleast_1d(np.asarray(problem.rhs(tt, xx, problem.input_at(tt)), dtype=float))
-
+        f = _stage_function(problem)
+        t1 = problem.t1
         with np.errstate(over="ignore", invalid="ignore"):
-            while t < problem.t1 - 1e-15:
-                h_eff = min(h, problem.t1 - t)
+            while t < t1 - 1e-15:
+                h_eff = min(h, t1 - t)
                 k1 = f(t, x)
                 k2 = f(t + h_eff / 2.0, x + h_eff / 2.0 * k1)
                 k3 = f(t + h_eff / 2.0, x + h_eff / 2.0 * k2)
@@ -61,14 +70,15 @@ class RungeKutta4Solver(OdeSolver):
                 x = x + (h_eff / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
                 t = t + h_eff
                 n_steps += 1
-                if not np.isfinite(x).all():
+                # Scalar pre-check + exact fallback, see EulerSolver.
+                if not math.isfinite(sum(x.tolist())) and not np.isfinite(x).all():
                     raise SolverError(f"RK4 integration diverged at t={t}")
-                times.append(t)
-                states.append(x.copy())
+                recorder.append(t, x)
 
+        times, states = recorder.arrays()
         dense = OdeSolution(
-            times=np.asarray(times),
-            states=np.vstack(states),
+            times=times,
+            states=states,
             n_rhs_evals=n_evals,
             n_steps=n_steps,
             solver_name=self.name,

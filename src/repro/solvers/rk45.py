@@ -8,12 +8,19 @@ the optimizer, not the integrator.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SolverError
-from repro.solvers.base import OdeProblem, OdeSolution, OdeSolver
+from repro.solvers.base import (
+    OdeProblem,
+    OdeSolution,
+    OdeSolver,
+    TrajectoryRecorder,
+    _stage_function,
+)
 
 # Dormand-Prince Butcher tableau (RK45, FSAL).
 _C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
@@ -30,6 +37,12 @@ _B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0
 _B4 = np.array(
     [5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
 )
+
+# Dense square form of _A so stage combinations run as one matrix-vector
+# product over the stacked stage array instead of a Python generator sum.
+_A_MAT = np.zeros((7, 7))
+for _i, _row in enumerate(_A):
+    _A_MAT[_i, : len(_row)] = _row
 
 
 class DormandPrince45Solver(OdeSolver):
@@ -65,9 +78,7 @@ class DormandPrince45Solver(OdeSolver):
     def solve(self, problem: OdeProblem, output_times: Optional[Sequence[float]] = None) -> OdeSolution:
         grid = self._normalized_output_times(problem, output_times)
 
-        def f(tt, xx):
-            return np.atleast_1d(np.asarray(problem.rhs(tt, xx, problem.input_at(tt)), dtype=float))
-
+        f = _stage_function(problem)
         t = problem.t0
         x = problem.x0.copy()
         span = problem.t1 - problem.t0
@@ -75,21 +86,22 @@ class DormandPrince45Solver(OdeSolver):
         if self.max_step is not None:
             h = min(h, self.max_step)
 
-        times = [t]
-        states = [x.copy()]
-        n_evals = 0
-        n_steps = 0
-        n_rejected = 0
-
+        recorder = TrajectoryRecorder(len(x))
+        recorder.append(t, x)
+        n_evals = 1
         k_first = f(t, x)
-        n_evals += 1
 
         with np.errstate(over="ignore", invalid="ignore"):
-            return self._integrate(problem, grid, f, t, x, h, span, k_first, times, states, n_evals)
+            return self._integrate(problem, grid, f, t, x, h, span, k_first, recorder, n_evals)
 
-    def _integrate(self, problem, grid, f, t, x, h, span, k_first, times, states, n_evals):
+    def _integrate(self, problem, grid, f, t, x, h, span, k_first, recorder, n_evals):
         n_steps = 0
         n_rejected = 0
+        # Stacked stage array: K[i] is the i-th stage derivative.  K[0] is
+        # only rewritten on acceptance (FSAL), so a rejected step retries
+        # with the same first stage.
+        stages = np.empty((7, len(x)))
+        stages[0] = k_first
         while t < problem.t1 - 1e-14:
             if n_steps + n_rejected > self.max_steps:
                 raise SolverError(
@@ -99,14 +111,13 @@ class DormandPrince45Solver(OdeSolver):
             if self.max_step is not None:
                 h = min(h, self.max_step)
 
-            k = [k_first]
             for i in range(1, 7):
-                xi = x + h * sum(a * ki for a, ki in zip(_A[i], k))
-                k.append(f(t + _C[i] * h, xi))
+                xi = x + h * (_A_MAT[i, :i] @ stages[:i])
+                stages[i] = f(t + _C[i] * h, xi)
             n_evals += 6
 
-            x5 = x + h * sum(b * ki for b, ki in zip(_B5, k))
-            x4 = x + h * sum(b * ki for b, ki in zip(_B4, k))
+            x5 = x + h * (_B5 @ stages)
+            x4 = x + h * (_B4 @ stages)
 
             scale = self.atol + self.rtol * np.maximum(np.abs(x), np.abs(x5))
             err = np.sqrt(np.mean(((x5 - x4) / scale) ** 2)) if scale.size else 0.0
@@ -114,11 +125,11 @@ class DormandPrince45Solver(OdeSolver):
             if err <= 1.0 or h <= 1e-12 * span:
                 t = t + h
                 x = x5
-                k_first = k[-1]  # FSAL: last stage equals first stage of next step
-                if not np.isfinite(x).all():
+                stages[0] = stages[6]  # FSAL: last stage equals first stage of next step
+                # Scalar pre-check + exact fallback, see EulerSolver.
+                if not math.isfinite(sum(x.tolist())) and not np.isfinite(x).all():
                     raise SolverError(f"RK45 integration diverged at t={t}")
-                times.append(t)
-                states.append(x.copy())
+                recorder.append(t, x)
                 n_steps += 1
             else:
                 n_rejected += 1
@@ -130,9 +141,10 @@ class DormandPrince45Solver(OdeSolver):
                 factor = min(5.0, max(0.2, 0.9 * err ** (-0.2)))
             h = h * factor
 
+        times, states = recorder.arrays()
         dense = OdeSolution(
-            times=np.asarray(times),
-            states=np.vstack(states),
+            times=times,
+            states=states,
             n_rhs_evals=n_evals,
             n_steps=n_steps,
             n_rejected=n_rejected,

@@ -577,7 +577,8 @@ class Executor:
                 for column, expr in statement.assignments
             }
 
-        updated = table.update_where(predicate, updater)
+        positions = self._dml_candidate_positions(table, statement.where, ctx)
+        updated = table.update_where(predicate, updater, candidate_positions=positions)
         return ResultSet(columns=["count"], rows=[[updated]], rowcount=updated)
 
     def _execute_delete(self, statement: DeleteStatement, ctx: EvalContext) -> ResultSet:
@@ -588,8 +589,52 @@ class Executor:
                 return True
             return evaluate(statement.where, dict(row_dict), ctx) is True
 
-        deleted = table.delete_where(predicate)
+        positions = self._dml_candidate_positions(table, statement.where, ctx)
+        deleted = table.delete_where(predicate, candidate_positions=positions)
         return ResultSet(columns=["count"], rows=[[deleted]], rowcount=deleted)
+
+    # ------------------------------------------------------------------ #
+    # UPDATE/DELETE point-predicate index routing
+    # ------------------------------------------------------------------ #
+    def _dml_point_lookup(self, table, where):
+        """Static index choice for a DML WHERE clause, or None for a scan.
+
+        Reuses the planner's predicate machinery: the WHERE must normalize
+        to a single AND group whose ``col = const/param`` conjuncts cover the
+        primary key or a secondary index.  The full predicate is still
+        evaluated on every candidate row, so residual conjuncts stay exact.
+        """
+        from repro.sqldb.planner.builder import choose_point_index
+        from repro.sqldb.planner.predicates import normalize_dnf
+
+        if where is None:
+            return None
+        groups = normalize_dnf(where)
+        if groups is None or len(groups) != 1:
+            return None
+        return choose_point_index(table, groups[0], table.name.lower())
+
+    def _dml_candidate_positions(self, table, where, ctx: EvalContext):
+        """Row positions matched by an indexable point predicate.
+
+        Returns None when only a full scan reproduces the engine's
+        comparison semantics (no usable index, runtime key of an
+        incompatible type, or an index dropped since planning).
+        """
+        from repro.sqldb.planner.nodes import resolve_index_positions
+
+        choice = self._dml_point_lookup(table, where)
+        if choice is None:
+            return None
+        index_name, key_columns, key_exprs, _ = choice
+        kind, positions = resolve_index_positions(
+            table, index_name, key_columns, key_exprs, ctx
+        )
+        if kind == "scan":
+            return None
+        if kind == "empty":
+            return []
+        return positions
 
     # ------------------------------------------------------------------ #
     # DDL
@@ -680,12 +725,19 @@ class Executor:
             lines = [f"Insert on {inner.table}"]
             if inner.select is not None:
                 lines.extend(self.database.plan_select(inner.select).explain_lines(1))
-        elif isinstance(inner, UpdateStatement):
+        elif isinstance(inner, (UpdateStatement, DeleteStatement)):
+            verb = "Update" if isinstance(inner, UpdateStatement) else "Delete"
             suffix = f" (filter: {render_expression(inner.where)})" if inner.where else ""
-            lines = [f"Update on {inner.table}{suffix}"]
-        elif isinstance(inner, DeleteStatement):
-            suffix = f" (filter: {render_expression(inner.where)})" if inner.where else ""
-            lines = [f"Delete on {inner.table}{suffix}"]
+            lines = [f"{verb} on {inner.table}{suffix}"]
+            if self.database.has_table(inner.table):
+                choice = self._dml_point_lookup(self.database.table(inner.table), inner.where)
+                if choice is not None:
+                    index_name, key_columns, key_exprs, _ = choice
+                    keys = ", ".join(
+                        f"{column} = {render_expression(expr)}"
+                        for column, expr in zip(key_columns, key_exprs)
+                    )
+                    lines.append(f"->  IndexLookup {inner.table} USING {index_name} ({keys})")
         else:
             raise SqlExecutionError(
                 "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE statements"

@@ -241,21 +241,16 @@ def _pushdown(
 # --------------------------------------------------------------------------- #
 # Scan construction with index selection
 # --------------------------------------------------------------------------- #
-def _build_table_scan(
-    item: TableRef,
-    database,
-    conjuncts: List[Expression],
-    derived: bool,
-    label: str,
-) -> PlanNode:
-    table = database.table(item.name)
-    if not conjuncts:
-        return Scan(table_name=item.name.lower(), alias=item.alias)
-    predicate = conjoin(conjuncts)
-    if derived:
-        # Derived OR predicates are relaxations, not conjunctions: no index.
-        return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
+def choose_point_index(
+    table, conjuncts: List[Expression], label: str
+) -> Optional[Tuple[str, List[str], List[Expression], List[Expression]]]:
+    """Pick an index satisfiable by ``col = const/param`` conjuncts.
 
+    Returns ``(index_name, key_columns, key_exprs, consumed_conjuncts)``
+    where ``index_name`` is ``"PRIMARY KEY"`` or a secondary index name, or
+    None when no index covers the conjuncts.  Shared by SELECT scan planning
+    and the executor's UPDATE/DELETE point-predicate routing.
+    """
     schema = table.schema
     equalities: Dict[str, Tuple[Expression, Expression]] = {}
     for conjunct in conjuncts:
@@ -288,16 +283,43 @@ def _build_table_scan(
                 key_columns = list(index.columns)
 
     if index_name is None:
+        return None
+    return (
+        index_name,
+        key_columns,
+        [equalities[column][1] for column in key_columns],
+        [equalities[column][0] for column in key_columns],
+    )
+
+
+def _build_table_scan(
+    item: TableRef,
+    database,
+    conjuncts: List[Expression],
+    derived: bool,
+    label: str,
+) -> PlanNode:
+    table = database.table(item.name)
+    if not conjuncts:
+        return Scan(table_name=item.name.lower(), alias=item.alias)
+    predicate = conjoin(conjuncts)
+    if derived:
+        # Derived OR predicates are relaxations, not conjunctions: no index.
         return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
 
-    consumed = {id(equalities[column][0]) for column in key_columns}
+    choice = choose_point_index(table, conjuncts, label)
+    if choice is None:
+        return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
+
+    index_name, key_columns, key_exprs, consumed_conjuncts = choice
+    consumed = {id(conjunct) for conjunct in consumed_conjuncts}
     residual = [c for c in conjuncts if id(c) not in consumed]
     return IndexLookup(
         table_name=item.name.lower(),
         alias=item.alias,
         index_name=index_name,
         key_columns=key_columns,
-        key_exprs=[equalities[column][1] for column in key_columns],
+        key_exprs=key_exprs,
         residual=conjoin(residual),
         full_predicate=predicate,
     )

@@ -176,37 +176,16 @@ class IndexLookup(PlanNode):
         names = table.column_names
         columns = [(name, f"{label}.{name}") for name in names]
 
-        key_parts: List[Any] = []
-        empty = False
-        fallback = False
-        for col, expr in zip(self.key_columns, self.key_exprs):
-            value = evaluate(expr, {}, rt.ctx)
-            kind, part = _index_key_part(value, table.schema.column(col).sql_type)
-            if kind == "empty":
-                empty = True
-            elif kind == "scan":
-                fallback = True
-            else:
-                key_parts.append(part)
-
-        index = (
-            None if self.index_name == "PRIMARY KEY" else table.indexes.get(self.index_name)
+        kind, positions = resolve_index_positions(
+            table, self.index_name, self.key_columns, self.key_exprs, rt.ctx
         )
-        if self.index_name != "PRIMARY KEY" and index is None:
-            fallback = True  # index dropped since planning: stay correct
-
-        if fallback:
-            raw = table.raw_rows()
+        raw = table.raw_rows()
+        if kind == "scan":
             positions = range(len(raw))
             predicate = self.full_predicate
-        elif empty:
+        elif kind == "empty":
             return columns, []
         else:
-            if index is None:
-                positions = table.pk_positions_for(key_parts)
-            else:
-                positions = index.lookup(key_parts)
-            raw = table.raw_rows()
             predicate = self.residual
 
         ctx = rt.ctx
@@ -214,6 +193,50 @@ class IndexLookup(PlanNode):
         if predicate is not None:
             rows = [row for row in rows if evaluate(predicate, row, ctx) is True]
         return columns, rows
+
+
+def resolve_index_positions(
+    table,
+    index_name: str,
+    key_columns: Sequence[str],
+    key_exprs: Sequence[Expression],
+    ctx: EvalContext,
+) -> Tuple[str, Optional[List[int]]]:
+    """Resolve runtime key values against an index to row positions.
+
+    Shared by :meth:`IndexLookup.execute` and the executor's UPDATE/DELETE
+    point-predicate routing.  Returns one of
+
+    * ``("scan", None)`` - only a full scan reproduces the engine's
+      comparison semantics (heterogeneous key type, or the index was
+      dropped since planning);
+    * ``("empty", None)`` - the equality can never be true: zero rows;
+    * ``("rows", positions)`` - the matching row positions.
+    """
+    key_parts: List[Any] = []
+    empty = False
+    fallback = False
+    for column, expr in zip(key_columns, key_exprs):
+        value = evaluate(expr, {}, ctx)
+        kind, part = _index_key_part(value, table.schema.column(column).sql_type)
+        if kind == "empty":
+            empty = True
+        elif kind == "scan":
+            fallback = True
+        else:
+            key_parts.append(part)
+
+    index = None if index_name == "PRIMARY KEY" else table.indexes.get(index_name)
+    if index_name != "PRIMARY KEY" and index is None:
+        fallback = True  # index dropped since planning: stay correct
+
+    if fallback:
+        return "scan", None
+    if empty:
+        return "empty", None
+    if index is None:
+        return "rows", table.pk_positions_for(key_parts)
+    return "rows", index.lookup(key_parts)
 
 
 def _index_key_part(value: Any, sql_type: SqlType) -> Tuple[str, Any]:

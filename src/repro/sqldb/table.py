@@ -209,13 +209,31 @@ class Table:
             index.add(row, position)
         return list(row)
 
-    def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
-        """Delete all rows matching ``predicate``; returns the count removed."""
+    def delete_where(
+        self,
+        predicate: Callable[[Dict[str, Any]], bool],
+        candidate_positions: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Delete all rows matching ``predicate``; returns the count removed.
+
+        ``candidate_positions`` (when not None) restricts the rows that are
+        even *tested* against the predicate - the executor passes index
+        lookup results for point predicates so a selective DELETE skips the
+        per-row dict construction and expression evaluation of a full scan.
+        """
         names = self.column_names
+        if candidate_positions is not None:
+            candidates = set(candidate_positions)
+            if not candidates:
+                return 0
+        else:
+            candidates = None
         kept = []
         removed = 0
-        for row in self._rows:
-            if predicate(dict(zip(names, row))):
+        for position, row in enumerate(self._rows):
+            if (candidates is None or position in candidates) and predicate(
+                dict(zip(names, row))
+            ):
                 removed += 1
             else:
                 kept.append(row)
@@ -230,16 +248,28 @@ class Table:
         self,
         predicate: Callable[[Dict[str, Any]], bool],
         updater: Callable[[Dict[str, Any]], Dict[str, Any]],
+        candidate_positions: Optional[Sequence[int]] = None,
     ) -> int:
         """Update all rows matching ``predicate``; returns the count updated.
 
         ``updater`` receives the current row as a dict and returns a dict of
         column -> new value for the columns to change.
+        ``candidate_positions`` restricts which rows are tested, exactly as
+        in :meth:`delete_where`.
         """
         names = self.column_names
+        if candidate_positions is not None:
+            candidates = set(candidate_positions)
+            if not candidates:
+                return 0
+        else:
+            candidates = None
         updated = 0
         new_rows: List[list] = []
-        for row in self._rows:
+        for position, row in enumerate(self._rows):
+            if candidates is not None and position not in candidates:
+                new_rows.append(row)
+                continue
             row_dict = dict(zip(names, row))
             if predicate(row_dict):
                 changes = updater(row_dict)

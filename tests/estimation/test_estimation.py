@@ -292,3 +292,127 @@ class TestEstimationWorkflow:
         result = estimation.estimate("global+local")
         validation_error = estimation.validate(result.parameters, validation)
         assert validation_error < 0.2
+
+
+# --------------------------------------------------------------------------- #
+# Simulation memo cache
+# --------------------------------------------------------------------------- #
+class TestObjectiveMemo:
+    def _objective(self, dataset, **kwargs):
+        model = load_fmu(build_hp1_archive())
+        return SimulationObjective(
+            model=model,
+            measurements=dataset.to_measurement_set(),
+            parameter_names=["Cp", "R"],
+            **kwargs,
+        )
+
+    def test_repeated_theta_is_served_from_cache(self, hp1_dataset):
+        objective = self._objective(hp1_dataset)
+        first = objective([1.5, 1.5])
+        second = objective([1.5, 1.5])
+        assert first == second
+        assert objective.n_evaluations == 1
+        assert objective.n_cache_hits == 1
+
+    def test_keying_is_exact_not_rounded(self, hp1_dataset):
+        """A candidate that differs by one ulp is a different candidate: the
+        cache must never conflate it (rounding would, at some scale)."""
+        objective = self._objective(hp1_dataset)
+        objective([1.5, 1.5])
+        objective([np.nextafter(1.5, 2.0), 1.5])
+        assert objective.n_evaluations == 2
+        assert objective.n_cache_hits == 0
+        # ... while a bit-identical vector (list or array alike) hits.
+        objective(np.array([1.5, 1.5]))
+        assert objective.n_cache_hits == 1
+
+    def test_distinct_candidates_are_not_conflated(self, hp1_dataset):
+        objective = self._objective(hp1_dataset)
+        a = objective([1.5, 1.5])
+        b = objective([1.6, 1.5])
+        assert a != b
+        assert objective.n_evaluations == 2
+        assert objective.n_cache_hits == 0
+
+    def test_memo_can_be_disabled_and_cleared(self, hp1_dataset):
+        objective = self._objective(hp1_dataset, memo=False)
+        objective([1.5, 1.5])
+        objective([1.5, 1.5])
+        assert objective.n_evaluations == 2
+        assert objective.n_cache_hits == 0
+
+        cached = self._objective(hp1_dataset)
+        cached([1.5, 1.5])
+        cached.clear_memo()
+        cached([1.5, 1.5])
+        assert cached.n_evaluations == 2
+
+    def test_cached_values_match_uncached_values(self, hp1_dataset):
+        with_memo = self._objective(hp1_dataset)
+        without_memo = self._objective(hp1_dataset, memo=False)
+        candidates = [[1.5, 1.5], [1.2, 1.8], [1.5, 1.5], [5.0, 8.0], [1.2, 1.8]]
+        for theta in candidates:
+            assert with_memo(theta) == without_memo(theta)
+        assert with_memo.n_cache_hits == 2
+        assert with_memo.n_evaluations == 3
+        assert without_memo.n_evaluations == 5
+
+    def test_memo_never_changes_estimation_results(self, hp1_week_dataset):
+        """Algorithm 2 (G+LaG) must produce identical optima with and without
+        the cache - only the simulation count may differ."""
+        measurement_set = hp1_week_dataset.to_measurement_set()
+        results = {}
+        for memo in (True, False):
+            estimation = Estimation(
+                load_fmu(build_hp1_archive()),
+                measurement_set,
+                parameters=["Cp", "R"],
+                ga_options=FAST_GA,
+                seed=3,
+                memo=memo,
+            )
+            results[memo] = estimation.estimate("global+local")
+        assert results[True].parameters == results[False].parameters
+        assert results[True].error == results[False].error
+        assert results[True].history == results[False].history
+        assert results[True].n_cache_hits > 0
+        assert results[False].n_cache_hits == 0
+
+    def test_tiny_scale_candidates_are_not_conflated(self, hp1_dataset):
+        """Parameters far below 1.0 in magnitude get distinct cache entries."""
+        objective = self._objective(hp1_dataset)
+        objective([1e-13, 1.5])
+        objective([3e-13, 1.5])
+        assert objective.n_evaluations == 2
+        assert objective.n_cache_hits == 0
+
+    def test_cache_hits_are_reported_per_estimate_call(self, hp1_week_dataset):
+        estimation = Estimation(
+            load_fmu(build_hp1_archive()),
+            hp1_week_dataset.to_measurement_set(),
+            parameters=["Cp", "R"],
+            ga_options=FAST_GA,
+            seed=3,
+        )
+        first = estimation.estimate("global+local")
+        second = estimation.estimate("local", initial_values=first.parameters)
+        # Each run reports only its own hits; the deltas sum to the
+        # objective's lifetime counter.
+        assert first.n_cache_hits > 0
+        assert first.n_cache_hits + second.n_cache_hits == estimation.objective.n_cache_hits
+
+    def test_cache_hit_still_applies_candidate_to_model(self, hp1_dataset):
+        """A hit skips the simulation but not simulate()'s set_many side
+        effect: the model must reflect the candidate that was just scored."""
+        model = load_fmu(build_hp1_archive())
+        objective = SimulationObjective(
+            model=model,
+            measurements=hp1_dataset.to_measurement_set(),
+            parameter_names=["Cp", "R"],
+        )
+        objective([1.5, 1.5])
+        objective([1.2, 1.8])
+        objective([1.5, 1.5])  # cache hit
+        assert objective.n_cache_hits == 1
+        assert model.get("Cp") == 1.5 and model.get("R") == 1.5

@@ -1,0 +1,430 @@
+"""Compiled-kernel tests: codegen, equivalence corpus, and the fast simulate path.
+
+The corpus generates random ODE systems exercising every whitelisted
+function plus conditionals, boolean operators, chained comparisons and
+min/max, then asserts that full simulations agree between the compiled
+kernel and the interpreted path within 1e-9 on every trajectory.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import FmuFormatError
+from repro.fmi import load_fmu
+from repro.fmi.dynamics import OdeSystem, OutputEquation, StateEquation
+from repro.fmi.kernel import SimulationKernel, build_kernel
+
+
+# --------------------------------------------------------------------------- #
+# Random system generation
+# --------------------------------------------------------------------------- #
+def _leaf(rng: random.Random, names) -> str:
+    if rng.random() < 0.55 and names:
+        return rng.choice(names)
+    if rng.random() < 0.15:
+        return rng.choice(["pi", "e"])
+    return f"{rng.uniform(-2.0, 2.0):.4f}"
+
+
+def _expr(rng: random.Random, names, depth: int) -> str:
+    """A random, numerically tame expression over the given names.
+
+    Divisors are bounded away from zero and growth is damped with tanh so
+    random systems never diverge over the simulated window.
+    """
+    if depth <= 0:
+        return _leaf(rng, names)
+    a = _expr(rng, names, depth - 1)
+    b = _expr(rng, names, depth - 1)
+    form = rng.randrange(14)
+    if form == 0:
+        return f"({a} + {b})"
+    if form == 1:
+        return f"({a} - {b})"
+    if form == 2:
+        return f"(0.5 * {a} * tanh({b}))"
+    if form == 3:
+        return f"({a} / (1.5 + abs({b})))"
+    if form == 4:
+        fn = rng.choice(["sin", "cos", "tanh"])
+        return f"{fn}({a})"
+    if form == 5:
+        fn = rng.choice(["sqrt", "log", "log10"])
+        return f"{fn}(1.0 + abs({a}))"
+    if form == 6:
+        return f"exp(-abs({a}))"
+    if form == 7:
+        return f"min({a}, {b}, 1.5)" if rng.random() < 0.5 else f"max({a}, {b})"
+    if form == 8:
+        return f"({a} if {b} > 0.1 else -0.5 * {b})"
+    if form == 9:
+        return f"(1.0 if {a} > 0 and {b} < 1 else 0.25)"
+    if form == 10:
+        return f"(0.5 if -1 < {a} < 1 else sign({a}))"
+    if form == 11:
+        fn = rng.choice(["floor", "ceil"])
+        return f"(0.1 * {fn}({a}))"
+    if form == 12:
+        return f"({a} % 3.7)"
+    return f"(-{a}) ** 2 % 2.5"
+
+
+def _random_system(seed: int) -> OdeSystem:
+    rng = random.Random(seed)
+    n_states = rng.randint(1, 3)
+    n_inputs = rng.randint(0, 2)
+    n_params = rng.randint(1, 3)
+    n_outputs = rng.randint(1, 3)
+    state_names = [f"x{i}" for i in range(n_states)]
+    input_names = [f"u{i}" for i in range(n_inputs)]
+    param_names = [f"p{i}" for i in range(n_params)]
+    names = state_names + input_names + param_names + ["time"]
+    states = [
+        StateEquation(
+            name=name,
+            # Bounded drive plus linear damping keeps every trajectory finite.
+            derivative=f"tanh({_expr(rng, names, 3)}) - 0.3 * {name}",
+            start=rng.uniform(-1.0, 1.0),
+        )
+        for name in state_names
+    ]
+    outputs = [
+        OutputEquation(name=f"y{i}", expression=_expr(rng, names, 3))
+        for i in range(n_outputs)
+    ]
+    return OdeSystem(
+        states=states,
+        outputs=outputs,
+        inputs=input_names,
+        parameters={name: rng.uniform(0.5, 2.0) for name in param_names},
+    )
+
+
+def _archive_for(name: str, system: OdeSystem):
+    """Wrap a raw OdeSystem into a loadable FMU archive."""
+    from repro.fmi.archive import FmuArchive
+    from repro.fmi.model_description import DefaultExperiment, ModelDescription
+    from repro.fmi.variables import ScalarVariable
+
+    description = ModelDescription(
+        model_name=name,
+        default_experiment=DefaultExperiment(
+            start_time=0.0, stop_time=2.0, step_size=0.05
+        ),
+    )
+    for state in system.states:
+        description.add_variable(
+            ScalarVariable(name=state.name, causality="local", start=state.start)
+        )
+    for output in system.outputs:
+        description.add_variable(ScalarVariable(name=output.name, causality="output"))
+    for input_name in system.inputs:
+        description.add_variable(
+            ScalarVariable(name=input_name, causality="input", start=0.0)
+        )
+    for param, value in system.parameters.items():
+        description.add_variable(
+            ScalarVariable(name=param, causality="parameter", start=value)
+        )
+    return FmuArchive(model_description=description, ode_system=system)
+
+
+# --------------------------------------------------------------------------- #
+# Randomized equivalence corpus
+# --------------------------------------------------------------------------- #
+class TestEquivalenceCorpus:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_pointwise_derivatives_and_outputs_agree(self, seed):
+        system = _random_system(seed)
+        assert system.kernel is not None
+        rng = random.Random(1000 + seed)
+        for _ in range(10):
+            t = rng.uniform(0.0, 5.0)
+            x = np.array([rng.uniform(-2.0, 2.0) for _ in system.state_names])
+            u = {name: rng.uniform(-1.0, 1.0) for name in system.inputs}
+            p = {name: rng.uniform(0.5, 2.0) for name in system.parameters}
+            system.compiled_enabled = True
+            dx_compiled = system.derivatives(t, x, u, p)
+            out_compiled = system.evaluate_outputs(t, x, u, p)
+            system.compiled_enabled = False
+            dx_interp = system.derivatives(t, x, u, p)
+            out_interp = system.evaluate_outputs(t, x, u, p)
+            system.compiled_enabled = True
+            np.testing.assert_allclose(dx_compiled, dx_interp, rtol=0, atol=1e-9)
+            assert set(out_compiled) == set(out_interp)
+            for name in out_interp:
+                assert out_compiled[name] == pytest.approx(out_interp[name], abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("solver", ["rk4", "rk45"])
+    def test_full_simulation_trajectories_agree(self, seed, solver):
+        from repro.fmi.model import FmuModel
+
+        system = _random_system(seed)
+        archive = _archive_for(f"corpus{seed}", system)
+        inputs = {
+            name: (np.linspace(0.0, 2.0, 21), np.sin(np.linspace(0.0, 6.0, 21) + i))
+            for i, name in enumerate(system.inputs)
+        }
+        results = {}
+        for compiled in (True, False):
+            model = FmuModel(archive)
+            model.ode_system.compiled_enabled = compiled
+            results[compiled] = model.simulate(
+                inputs=inputs or None,
+                start_time=0.0,
+                stop_time=2.0,
+                output_times=np.linspace(0.0, 2.0, 41),
+                solver=solver,
+            )
+        archive.ode_system.compiled_enabled = True
+        compiled_result, interp_result = results[True], results[False]
+        for name in list(system.state_names) + list(system.output_names):
+            np.testing.assert_allclose(
+                compiled_result[name],
+                interp_result[name],
+                rtol=0,
+                atol=1e-9,
+                err_msg=f"seed={seed} solver={solver} variable={name}",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Targeted kernel behaviour
+# --------------------------------------------------------------------------- #
+class TestKernelCodegen:
+    def test_scalar_kernel_is_bit_identical(self):
+        system = _random_system(7)
+        rng = random.Random(99)
+        x = np.array([rng.uniform(-1, 1) for _ in system.state_names])
+        u = {name: 0.5 for name in system.inputs}
+        system.compiled_enabled = True
+        compiled = system.derivatives(1.0, x, u, {})
+        system.compiled_enabled = False
+        interpreted = system.derivatives(1.0, x, u, {})
+        system.compiled_enabled = True
+        # Same expressions, same math functions, names lowered to indexing:
+        # the scalar kernel is exactly the interpreted arithmetic.
+        assert np.array_equal(compiled, interpreted)
+
+    def test_constants_are_folded(self):
+        system = OdeSystem(
+            states=[StateEquation("x", "2 * pi * x + (3 + 4) * e")],
+            parameters={},
+        )
+        kernel = system.kernel
+        assert kernel is not None
+        assert "pi" not in kernel.source
+        assert str(2 * np.pi) in kernel.source
+
+    def test_output_referencing_output_falls_back_to_interpreted(self):
+        system = OdeSystem(
+            states=[StateEquation("a", "-a")],
+            outputs=[OutputEquation("y", "a * 2"), OutputEquation("z", "y + 1")],
+            parameters={},
+        )
+        assert system.kernel is None
+        # The interpreted path still raises its usual runtime error.
+        with pytest.raises(FmuFormatError, match="unbound"):
+            system.evaluate_outputs(0.0, np.array([1.0]), {}, {})
+
+    def test_division_by_zero_maps_to_fmu_error_in_both_modes(self):
+        system = OdeSystem(states=[StateEquation("a", "1.0 / (a - a)")], parameters={})
+        for compiled in (True, False):
+            system.compiled_enabled = compiled
+            with pytest.raises(FmuFormatError, match="divided by zero"):
+                system.derivatives(0.0, np.array([1.0]), {}, {})
+
+    def test_input_defaults_match_namespace_semantics(self):
+        system = OdeSystem(
+            states=[StateEquation("x", "-x + u")],
+            inputs=["u"],
+            parameters={},
+        )
+        kernel = system.kernel
+        assert kernel.input_vector({}) == [0.0]
+        assert kernel.input_vector({"u": 2.5}) == [2.5]
+        # The interpreted namespace lets the parameter mapping shadow a
+        # missing input; the kernel reproduces that.
+        assert kernel.input_vector({}, {"u": 1.25}) == [1.25]
+
+    def test_parameter_vector_defaults_and_overrides(self):
+        system = OdeSystem(
+            states=[StateEquation("x", "-k * x")],
+            parameters={"k": 2.0},
+        )
+        kernel = system.kernel
+        assert kernel.parameter_vector() == (2.0,)
+        assert kernel.parameter_vector({"k": 5.0}) == (5.0,)
+
+    def test_vectorized_outputs_match_scalar_outputs(self):
+        system = _random_system(11)
+        kernel = system.kernel
+        rng = random.Random(3)
+        n = 17
+        times = np.linspace(0.0, 4.0, n)
+        states = np.array(
+            [[rng.uniform(-2, 2) for _ in system.state_names] for _ in range(n)]
+        )
+        inputs = np.array(
+            [[rng.uniform(-1, 1) for _ in system.inputs] for _ in range(n)]
+        ).reshape(n, len(system.inputs))
+        p = kernel.parameter_vector()
+        vectorized = kernel.outputs(times, states, inputs, p)
+        assert set(vectorized) == set(system.output_names)
+        for k in range(n):
+            scalar = kernel.outputs_scalar(times[k], states[k], list(inputs[k]), p)
+            for name, value in zip(kernel.output_names, scalar):
+                assert vectorized[name][k] == pytest.approx(float(value), abs=1e-12)
+
+    def test_build_kernel_for_compiled_hp1(self, hp1_archive):
+        model = load_fmu(hp1_archive)
+        kernel = model.ode_system.kernel
+        assert isinstance(kernel, SimulationKernel)
+        assert kernel.state_names == ["x"]
+        assert kernel.input_names == ["u"]
+        assert build_kernel(model.ode_system) is not None
+
+
+class TestCompiledSimulatePath:
+    def test_hp1_simulation_identical_in_both_modes(self, hp1_archive):
+        inputs = {"u": ([0.0, 12.0, 24.0, 36.0, 48.0], [0.0, 1.0, 0.3, 0.8, 0.2])}
+        results = {}
+        for compiled in (True, False):
+            model = load_fmu(hp1_archive)
+            model.ode_system.compiled_enabled = compiled
+            results[compiled] = model.simulate(inputs=inputs, output_step=0.5)
+        hp1_archive.ode_system.compiled_enabled = True
+        for name in ("x", "y", "u"):
+            np.testing.assert_allclose(
+                results[True][name], results[False][name], rtol=0, atol=1e-9
+            )
+        assert results[True].solver_stats["n_rhs_evals"] == results[False].solver_stats["n_rhs_evals"]
+
+    def test_solver_stats_and_grid_preserved(self, hp1_archive):
+        model = load_fmu(hp1_archive)
+        result = model.simulate(
+            inputs={"u": ([0.0, 48.0], [0.5, 0.5])}, output_step=1.0, solver="euler"
+        )
+        assert result.time[0] == 0.0 and result.time[-1] == 48.0
+        assert result.solver_stats["n_rhs_evals"] > 0
+
+
+class TestKernelSemanticsEdgeCases:
+    def test_post_construction_parameter_mutation_is_visible(self):
+        """Model builders mutate ode_system.parameters in place after the
+        kernel is built; the compiled path must see the new defaults."""
+        system = OdeSystem(states=[StateEquation("x", "a * x")], parameters={"a": 1.0})
+        system.parameters["a"] = 5.0
+        system.compiled_enabled = True
+        compiled = system.derivatives(0.0, np.array([2.0]), {}, {})
+        system.compiled_enabled = False
+        interpreted = system.derivatives(0.0, np.array([2.0]), {}, {})
+        system.compiled_enabled = True
+        assert compiled[0] == interpreted[0] == 10.0
+
+    def test_vectorized_output_division_by_zero_raises_like_interpreted(self):
+        system = OdeSystem(
+            states=[StateEquation("x", "-1.0", start=1.0)],
+            outputs=[OutputEquation("y", "1.0 / x")],
+            parameters={},
+        )
+        archive = _archive_for("divzero", system)
+        from repro.fmi.model import FmuModel
+
+        # x crosses zero at t = 1; the output grid samples it exactly there.
+        for compiled in (True, False):
+            model = FmuModel(archive)
+            model.ode_system.compiled_enabled = compiled
+            with pytest.raises(FmuFormatError, match="divided by zero"):
+                model.simulate(
+                    start_time=0.0,
+                    stop_time=2.0,
+                    output_times=[0.0, 1.0, 2.0],
+                    solver="euler",
+                    solver_options={"step": 0.5},
+                )
+        archive.ode_system.compiled_enabled = True
+
+    def test_legitimate_infinities_do_not_raise(self):
+        kernel = OdeSystem(
+            states=[StateEquation("x", "0.0", start=1e308)],
+            outputs=[OutputEquation("y", "x * 10.0")],
+            parameters={},
+        ).kernel
+        values = kernel.outputs(
+            np.array([0.0]), np.array([[1e308]]), np.empty((1, 0)), ()
+        )
+        # Multiplication overflow is silent inf in Python floats too; the
+        # pointwise fallback must return it rather than raise.
+        assert np.isinf(values["y"][0])
+
+    def test_variable_named_after_constant_shadows_it(self):
+        """A model variable named 'e' (e.g. emissivity) must shadow the math
+        constant, matching the interpreted namespace overlay order."""
+        system = OdeSystem(
+            states=[StateEquation("x", "-e * x", start=1.0)],
+            parameters={"e": 0.5},
+        )
+        for compiled in (True, False):
+            system.compiled_enabled = compiled
+            dx = system.derivatives(0.0, np.array([2.0]), {}, {})
+            assert dx[0] == -1.0, f"compiled={compiled}: expected -0.5*2, got {dx[0]}"
+        system.compiled_enabled = True
+        assert system.kernel is not None
+
+    def test_pi_named_state_shadows_constant(self):
+        system = OdeSystem(
+            states=[StateEquation("pi", "2.0 * pi", start=1.0)],
+            parameters={},
+        )
+        for compiled in (True, False):
+            system.compiled_enabled = compiled
+            dx = system.derivatives(0.0, np.array([3.0]), {}, {})
+            assert dx[0] == 6.0
+        system.compiled_enabled = True
+
+    def test_variable_shadowing_a_function_name_is_not_compiled(self):
+        """Calling 'sin' when a variable named sin exists fails at runtime on
+        the interpreted path; the kernel must not silently call math.sin."""
+        system = OdeSystem(
+            states=[StateEquation("x", "sin(x) + sin", start=1.0)],
+            parameters={"sin": 0.25},
+        )
+        assert system.kernel is None  # falls back to interpreted semantics
+
+    def test_identity_output_does_not_alias_state_trajectory(self):
+        """output y = x lowers to a column slice; the returned trajectory
+        must be a fresh array, not a view into the state matrix."""
+        system = OdeSystem(
+            states=[StateEquation("x", "-x", start=1.0)],
+            outputs=[OutputEquation("y", "x")],
+            parameters={},
+        )
+        states = np.linspace(0.0, 1.0, 5).reshape(5, 1)
+        outputs = system.kernel.outputs(
+            np.linspace(0.0, 1.0, 5), states, np.empty((5, 0)), ()
+        )
+        assert not np.shares_memory(outputs["y"], states)
+        outputs["y"] += 100.0
+        assert states[0, 0] == 0.0
+
+    def test_single_argument_min_is_not_compiled(self):
+        """min(x) with one argument raises TypeError on the interpreted
+        path; the vectorized reduce would silently accept it, so the system
+        must fall back to interpreted semantics."""
+        system = OdeSystem(
+            states=[StateEquation("x", "-x", start=1.0)],
+            outputs=[OutputEquation("y", "min(x)")],
+            parameters={},
+        )
+        assert system.kernel is None
+
+    def test_division_error_names_candidate_equations(self):
+        system = OdeSystem(states=[StateEquation("a", "1.0 / (a - a)")], parameters={})
+        with pytest.raises(FmuFormatError, match=r"1\.0 / \(a - a\)"):
+            system.derivatives(0.0, np.array([1.0]), {}, {})

@@ -168,3 +168,40 @@ class TestLinearSystemProperties:
         values = solution.states[:, 0]
         assert np.all(np.diff(values) <= 1e-9)
         assert np.all(values >= -1e-9)
+
+
+class TestHotLoopEdgeCases:
+    """Regression tests for the preallocated-trajectory solver loops."""
+
+    @pytest.mark.parametrize("solver", ["euler", "rk4", "rk45"])
+    def test_zero_state_problems_integrate(self, solver):
+        solution = solve_ode(
+            lambda t, x, u: np.empty(0), np.empty(0), 0.0, 1.0, solver=solver
+        )
+        assert solution.states.shape[1] == 0
+        assert solution.times[-1] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("solver", ["euler", "rk4"])
+    def test_huge_finite_states_are_not_reported_as_divergence(self, solver):
+        # The components are finite even though their sum overflows to inf;
+        # the scalar pre-check must fall back to the exact per-component test.
+        solution = solve_ode(
+            lambda t, x, u: np.zeros(2),
+            np.array([1e308, 1e308]),
+            0.0,
+            1.0,
+            solver=solver,
+            step=0.25,
+        )
+        assert np.isfinite(solution.final_state).all()
+
+    @pytest.mark.parametrize("solver", ["euler", "rk4", "rk45"])
+    def test_true_divergence_still_raises(self, solver):
+        with pytest.raises(SolverError, match="diverged"):
+            solve_ode(
+                lambda t, x, u: np.array([x[0] ** 2]),
+                np.array([1e200]),
+                0.0,
+                10.0,
+                solver=solver,
+            )

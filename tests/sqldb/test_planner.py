@@ -384,3 +384,98 @@ class TestEquivalence:
         assert db.execute(sql, [3]).scalar() == "p3"
         assert db.execute(sql, [7]).scalar() == "p7"
         assert db.execute(sql, [9999]).rows == []
+
+
+# --------------------------------------------------------------------------- #
+# UPDATE/DELETE point-predicate index routing
+# --------------------------------------------------------------------------- #
+class TestDmlIndexRouting:
+    def test_explain_shows_pk_lookup_for_update(self, fleet_db):
+        text = plan_text(fleet_db, "UPDATE instances SET model = 'X' WHERE instance_id = 'I3'")
+        assert "Update on instances" in text
+        assert "IndexLookup instances USING PRIMARY KEY (instance_id = 'I3')" in text
+
+    def test_explain_shows_secondary_index_for_delete(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+        text = plan_text(fleet_db, "DELETE FROM sims WHERE instance_id = 'I2' AND time > 5")
+        assert "Delete on sims" in text
+        assert "IndexLookup sims USING idx_sims_instance (instance_id = 'I2')" in text
+
+    def test_explain_without_usable_index_stays_a_scan(self, fleet_db):
+        text = plan_text(fleet_db, "UPDATE sims SET value = 0 WHERE time = 1")
+        assert "Update on sims" in text
+        assert "IndexLookup" not in text
+
+    def test_routed_update_only_examines_index_candidates(self, fleet_db, monkeypatch):
+        from repro.sqldb.table import Table
+
+        seen = {}
+        original = Table.update_where
+
+        def spy(self, predicate, updater, candidate_positions=None):
+            seen["candidates"] = candidate_positions
+            return original(self, predicate, updater, candidate_positions=candidate_positions)
+
+        monkeypatch.setattr(Table, "update_where", spy)
+        result = fleet_db.execute(
+            "UPDATE instances SET model = 'HPX' WHERE instance_id = $1", ["I5"]
+        )
+        assert result.rowcount == 1
+        assert seen["candidates"] is not None and len(seen["candidates"]) == 1
+        assert fleet_db.execute(
+            "SELECT model FROM instances WHERE instance_id = 'I5'"
+        ).scalar() == "HPX"
+
+    def test_routed_delete_applies_residual_conjuncts_exactly(self, fleet_db):
+        fleet_db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+        before = fleet_db.execute("SELECT count(*) FROM sims").scalar()
+        result = fleet_db.execute(
+            "DELETE FROM sims WHERE instance_id = 'I2' AND time > 20"
+        )
+        # 25 rows per instance, times 0..24: exactly 4 satisfy time > 20.
+        assert result.rowcount == 4
+        assert fleet_db.execute("SELECT count(*) FROM sims").scalar() == before - 4
+        assert fleet_db.execute(
+            "SELECT count(*) FROM sims WHERE instance_id = 'I2'"
+        ).scalar() == 21
+
+    def test_routed_dml_matches_scan_semantics(self):
+        """The same statements against an indexed and an unindexed copy of a
+        table must leave identical contents behind."""
+        statements = [
+            ("UPDATE t SET v = v + 100 WHERE id = 3", []),
+            ("UPDATE t SET grp = 'moved' WHERE grp = $1", ["g1"]),
+            ("DELETE FROM t WHERE id = $1", [7]),
+            ("DELETE FROM t WHERE grp = 'g2' AND v < 10", []),
+            ("UPDATE t SET v = 0 WHERE id = 999", []),  # no match
+            ("DELETE FROM t WHERE id = NULL", []),  # never true
+        ]
+        contents = []
+        for indexed in (True, False):
+            db = Database()
+            db.execute(
+                "CREATE TABLE t (id integer PRIMARY KEY, grp text, v double precision)"
+            )
+            db.insert_rows("t", [[i, f"g{i % 3}", float(i)] for i in range(30)])
+            if indexed:
+                db.execute("CREATE INDEX idx_t_grp ON t (grp)")
+            for sql, params in statements:
+                db.execute(sql, params)
+            contents.append(db.execute("SELECT * FROM t ORDER BY id").rows)
+        assert contents[0] == contents[1]
+
+    def test_routed_dml_maintains_indexes_and_rollback(self):
+        with connect() as conn:
+            cursor = conn.cursor()
+            cursor.execute("CREATE TABLE t (id integer PRIMARY KEY, grp text)")
+            for i in range(10):
+                cursor.execute("INSERT INTO t VALUES ($1, $2)", [i, f"g{i % 2}"])
+            cursor.execute("CREATE INDEX idx_grp ON t (grp)")
+            conn.begin()
+            cursor.execute("DELETE FROM t WHERE id = 4")
+            cursor.execute("UPDATE t SET grp = 'gX' WHERE id = 5")
+            conn.rollback()
+            cursor.execute("SELECT count(*) FROM t WHERE grp = 'g0'")
+            assert cursor.fetchone()[0] == 5
+            cursor.execute("SELECT count(*) FROM t WHERE id = 4")
+            assert cursor.fetchone()[0] == 1
