@@ -11,7 +11,8 @@ Python library.  The public API is layered like a real database system:
 * :class:`repro.core.Session` - the **object layer**: ``session.create(...)``
   returns fluent :class:`~repro.core.handles.InstanceHandle` objects
   (``inst.set_initial(...).simulate(...)``) and ``session.simulate_many``
-  batches a fleet through one shared input pass.
+  batches a same-model fleet through one shared input pass and one
+  vectorized ``(N, d)`` integration.
 * ``database.install_extension("pgfmu" | "madlib")`` - the **extension
   layer**: UDF packs are declared with decorators and installed like
   PostgreSQL extensions; ``SELECT * FROM fmu_extensions()`` lists them.
@@ -22,7 +23,9 @@ Python library.  The public API is layered like a real database system:
   Modelica compiler and FMU runtime.
 * :mod:`repro.harness` - one function per table/figure of the paper.
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+See README.md for a quickstart, docs/architecture.md for the layer
+walkthrough and module map, and docs/sql_reference.md for the full SQL
+surface.
 """
 
 from typing import Optional

@@ -57,7 +57,18 @@ class _Handle(str):
 
 
 class ModelHandle(_Handle):
-    """A handle to one row of the ``Model`` catalogue table."""
+    """A handle to one row of the ``Model`` catalogue table.
+
+    Obtained from :meth:`Session.model <repro.core.session.Session.model>`
+    or :attr:`InstanceHandle.model`.  The handle *is* the model UUID (a
+    :class:`str` subclass), extended with catalogue operations::
+
+        model = session.model(model_id)
+        model.name                   # 'HP1'
+        model.instances()            # [InstanceHandle('HP1Instance1'), ...]
+        model.new_instance("HP1b")   # register another instance
+        model.delete()               # cascade-delete model + instances
+    """
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -93,11 +104,26 @@ class ModelHandle(_Handle):
 class InstanceHandle(_Handle):
     """A handle to one model instance, with fluent catalogue operations.
 
+    Obtained from :meth:`Session.create <repro.core.session.Session.create>`
+    / :meth:`Session.instance <repro.core.session.Session.instance>`.  The
+    handle *is* the instance id (a :class:`str` subclass), so it formats
+    into SQL literals and keys dictionaries unchanged.
+
     Mutating methods (``set_initial``, ``set_bounds``, ``reset``, ...) return
     the handle itself so calls chain; computing methods (``simulate``,
     ``variables``, ``get``) return their results.  ``calibrate`` is fluent
     too - the most recent :class:`~repro.core.parest.ParestOutcome` is kept
-    on :attr:`last_calibration`.
+    on :attr:`last_calibration`::
+
+        inst = session.create(hp1_source(), "HP1Instance1")
+        result = (
+            inst.set_initial("Cp", 2.0)
+                .set_bounds("R", 0.1, 10.0)
+                .simulate("SELECT * FROM measurements")
+        )
+        inst.calibrate("SELECT * FROM measurements", parameters=["Cp", "R"])
+        inst.last_calibration.error    # calibration fit error
+        inst.parameters                # current estimable parameter values
     """
 
     last_calibration: Optional[ParestOutcome] = None

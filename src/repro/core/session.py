@@ -45,6 +45,21 @@ from repro.sqldb.result import ResultSet
 class Session:
     """A pgFMU session: database + model catalogue + installed extensions.
 
+    The session is the object-layer entry point.  It owns the SQL database,
+    creates the four catalogue tables and FMU storage, installs the
+    ``pgfmu`` extension (and optionally ``madlib``), and hands out fluent
+    handles::
+
+        session = Session()                      # or repro.connect().session
+        inst = session.create(model_source, "HP1Instance1")
+        inst.set_initial("Cp", 2.0).calibrate("SELECT * FROM measurements")
+        result = inst.simulate("SELECT * FROM measurements")
+        fleet = session.simulate_many([inst, inst.copy()], "SELECT * FROM measurements")
+
+    SQL is always available through :meth:`execute` / :meth:`cursor`, and
+    every ``fmu_*`` UDF routes back into this object's managers - the SQL
+    and Python surfaces cannot diverge.
+
     Parameters
     ----------
     database:
@@ -58,6 +73,16 @@ class Session:
         Seed for the calibration global search.
     register_ml:
         Also install the ``"madlib"`` extension (``arima_train`` etc.).
+
+    Attributes
+    ----------
+    database:
+        The underlying :class:`~repro.sqldb.database.Database`.
+    catalog:
+        The :class:`~repro.core.catalog.ModelCatalog` (catalogue tables +
+        FMU storage + runtime-model caches).
+    instances / simulator / estimator:
+        The managers behind the ``fmu_*`` UDFs.
     """
 
     def __init__(
@@ -168,10 +193,28 @@ class Session:
         time_from: Optional[float] = None,
         time_to: Optional[float] = None,
     ) -> Dict[str, SimulationResult]:
-        """Batch ``fmu_simulate``: one shared input pass for a whole fleet.
+        """Batch ``fmu_simulate``: simulate a whole fleet in one pass.
 
-        The measurement query executes once (instead of once per instance);
-        results are keyed by instance id.
+        The measurement query executes once (instead of once per instance),
+        and instances of the same model integrate as a single batched
+        ``(N, d)`` solve through one vectorized right-hand side
+        (:meth:`~repro.fmi.model.FmuModel.simulate_batch`), which scales
+        sub-linearly in fleet size.  Batched trajectories match the
+        sequential per-instance path within 1e-9; systems that cannot batch
+        fall back to it automatically.  Results are keyed by instance id in
+        input order.
+
+        Parameters
+        ----------
+        instance_ids:
+            Instance ids (or handles) to simulate; duplicates are simulated
+            once.  The instances may belong to different models - each
+            same-model group batches separately.
+        input_sql:
+            Optional measurement query; its time column defines the output
+            grid and its remaining columns bind to model inputs by name.
+        time_from / time_to:
+            Optional simulation window overrides.
         """
         return self.simulator.simulate_many(instance_ids, input_sql, time_from, time_to)
 

@@ -7,11 +7,16 @@ the simulation window, integrates the model, and emits the results as a long
 table ``(simulationTime, instanceId, varName, value)`` - one row per time
 step and variable, the shape the paper's Table 4 shows.
 
-For fleets, :meth:`Simulator.simulate_many` amortizes the per-call overhead:
-the ``input_sql`` query is executed and its series bound **once**, then every
-instance is integrated against the shared prepared inputs - this backs both
-``Session.simulate_many`` and the array-literal overload of the
-``fmu_simulate`` UDF.
+For fleets, :meth:`Simulator.simulate_many` amortizes the per-call overhead
+twice over: the ``input_sql`` query is executed and its series bound
+**once**, and instances of the same model are *batched* - their states are
+stacked into an ``(N, d)`` matrix and integrated together through one
+numpy-vectorized right-hand side
+(:meth:`repro.fmi.model.FmuModel.simulate_batch`), so the fleet costs one
+solver loop instead of N.  This backs both ``Session.simulate_many`` and
+the array-literal overload of the ``fmu_simulate`` UDF.  Setting
+:attr:`Simulator.batch_enabled` to False restores the sequential
+per-instance path (the escape hatch equivalence tests and benchmarks use).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 from repro.core.catalog import ModelCatalog
 from repro.core.instances import InstanceManager
 from repro.errors import SimulationInputError
+from repro.fmi.model import FmuModel
 from repro.fmi.results import SimulationResult
 
 
@@ -63,6 +69,11 @@ class Simulator:
     #: Solver used for simulation; the adaptive solver is the default because
     #: simulation (unlike calibration) runs once and accuracy matters most.
     solver: str = "rk45"
+    #: Batch same-model fleets through one vectorized integration pass
+    #: (:meth:`FmuModel.simulate_batch`).  False forces the sequential
+    #: per-instance path - the escape hatch equivalence tests and the fleet
+    #: benchmark use to compare the two.
+    batch_enabled: bool = True
 
     # ------------------------------------------------------------------ #
     # Core simulation
@@ -89,6 +100,32 @@ class Simulator:
             instance_id, self.prepare_inputs(input_sql), time_from, time_to, output_step
         )
 
+    def _bind_call(
+        self,
+        instance_id: str,
+        model,
+        prepared: _PreparedInputs,
+        time_from: Optional[float],
+        time_to: Optional[float],
+    ) -> tuple:
+        """Resolve the ``(inputs, start, stop, output_times)`` of one call."""
+        input_names = set(model.input_names())
+        inputs, measured_time = prepared.bind(input_names)
+        if prepared.rows is None and input_names:
+            raise SimulationInputError(
+                f"model instance {instance_id!r} declares input variables "
+                f"({', '.join(sorted(input_names))}) but no input query was supplied"
+            )
+        start, stop = self._resolve_window(
+            instance_id, measured_time, time_from, time_to
+        )
+        output_times = None
+        if measured_time is not None:
+            mask = (measured_time >= start) & (measured_time <= stop)
+            if mask.sum() >= 2:
+                output_times = measured_time[mask]
+        return inputs, start, stop, output_times
+
     def _simulate_prepared(
         self,
         instance_id: str,
@@ -98,24 +135,9 @@ class Simulator:
         output_step: Optional[float] = None,
     ) -> SimulationResult:
         model = self.catalog.runtime_model(instance_id)
-        input_names = set(model.input_names())
-
-        inputs, measured_time = prepared.bind(input_names)
-        if prepared.rows is None and input_names:
-            raise SimulationInputError(
-                f"model instance {instance_id!r} declares input variables "
-                f"({', '.join(sorted(input_names))}) but no input query was supplied"
-            )
-
-        start, stop = self._resolve_window(
-            instance_id, measured_time, time_from, time_to
+        inputs, start, stop, output_times = self._bind_call(
+            instance_id, model, prepared, time_from, time_to
         )
-        output_times = None
-        if measured_time is not None:
-            mask = (measured_time >= start) & (measured_time <= stop)
-            if mask.sum() >= 2:
-                output_times = measured_time[mask]
-
         return model.simulate(
             inputs=inputs,
             start_time=start,
@@ -132,20 +154,55 @@ class Simulator:
         time_from: Optional[float] = None,
         time_to: Optional[float] = None,
     ) -> Dict[str, SimulationResult]:
-        """Simulate many instances against one shared input pass.
+        """Simulate many instances against one shared input pass, batching
+        same-model fleets through one vectorized integration.
 
         The measurement query runs once and each distinct input-variable set
         is bound once, instead of once per instance as N sequential
-        ``simulate`` calls would; results are keyed by instance id in input
+        ``simulate`` calls would.  Instances are then grouped by model: each
+        group of two or more integrates as one ``(N, d)`` batched solve
+        (:meth:`FmuModel.simulate_batch`; trajectories match the sequential
+        path to floating-point rounding, and non-batchable systems fall back
+        to it automatically).  Results are keyed by instance id in input
         order.  Duplicate ids are simulated (and returned) once.
         """
         prepared = self.prepare_inputs(input_sql)
-        return {
-            instance_id: self._simulate_prepared(
-                instance_id, prepared, time_from, time_to
+        unique_ids = list(dict.fromkeys(str(i) for i in instance_ids))
+        if not self.batch_enabled:
+            return {
+                instance_id: self._simulate_prepared(
+                    instance_id, prepared, time_from, time_to
+                )
+                for instance_id in unique_ids
+            }
+        groups: Dict[str, List[str]] = {}
+        for instance_id in unique_ids:
+            model_id = self.catalog.instance_row(instance_id)["modelid"]
+            groups.setdefault(model_id, []).append(instance_id)
+        results: Dict[str, SimulationResult] = {}
+        for group_ids in groups.values():
+            if len(group_ids) == 1:
+                results[group_ids[0]] = self._simulate_prepared(
+                    group_ids[0], prepared, time_from, time_to
+                )
+                continue
+            models = [self.catalog.runtime_model(i) for i in group_ids]
+            # Same model => same catalogue defaults and same shared series,
+            # so the window and grid resolved for the first instance hold
+            # for the whole group.
+            inputs, start, stop, output_times = self._bind_call(
+                group_ids[0], models[0], prepared, time_from, time_to
             )
-            for instance_id in dict.fromkeys(str(i) for i in instance_ids)
-        }
+            fleet = FmuModel.simulate_batch(
+                models,
+                inputs=inputs,
+                start_time=start,
+                stop_time=stop,
+                output_times=output_times,
+                solver=self.solver,
+            )
+            results.update(zip(group_ids, fleet))
+        return {instance_id: results[instance_id] for instance_id in unique_ids}
 
     def simulate_rows(
         self,
@@ -164,17 +221,18 @@ class Simulator:
         time_from: Optional[float] = None,
         time_to: Optional[float] = None,
     ) -> List[List[Any]]:
-        """Long-format rows for one or more instances (one shared input pass).
+        """Long-format rows for one or more instances (one shared input pass,
+        same-model fleets batched - see :meth:`simulate_many`).
 
         Duplicate ids contribute rows once, matching :meth:`simulate_many`.
         """
-        prepared = self.prepare_inputs(input_sql)
+        results = self.simulate_many(instance_ids, input_sql, time_from, time_to)
         rows: List[List[Any]] = []
-        for instance_id in dict.fromkeys(str(i) for i in instance_ids):
+        for instance_id, result in results.items():
             model = self.catalog.runtime_model(instance_id)
-            result = self._simulate_prepared(instance_id, prepared, time_from, time_to)
-            reported = list(model.state_names()) + [
-                name for name in model.output_names() if name not in model.state_names()
+            state_names = list(model.state_names())
+            reported = state_names + [
+                name for name in model.output_names() if name not in state_names
             ]
             for i, t in enumerate(result.time):
                 for name in reported:

@@ -10,9 +10,16 @@ per model from the already-validated equation ASTs,
 * ``derivs(t, x, u, p, out) -> out`` - the scalar ODE right-hand side with
   states/inputs/parameters as positional array indexing (no namespace dict),
 * ``outputs_scalar(t, x, u, p) -> tuple`` - all output equations at one
-  point, and
+  point,
 * ``outputs(t, X, U, p) -> dict of ndarrays`` - all output equations
-  vectorized over a whole trajectory in a single numpy pass,
+  vectorized over a whole trajectory in a single numpy pass, and
+* the **batched fleet pair** ``derivs_batch(t, X, U, P, out)`` /
+  ``outputs_batch(times, states, inputs, P)`` - the same equations with one
+  *row per model instance*: states are an ``(N, d)`` matrix, inputs an
+  ``(N, n_u)`` matrix and parameters an ``(N, n_p)`` matrix, so a whole
+  fleet integrates through one numpy-vectorized right-hand-side call
+  (``t`` may be a scalar shared by all rows, or a per-row vector for
+  solvers whose rows are at different times),
 
 and compiles them under the same sandbox rules as the interpreted path: an
 empty ``__builtins__`` and only the whitelisted math functions.  Named
@@ -34,6 +41,12 @@ Semantics notes
   time (e.g. an output referenced from another equation) is not compilable;
   :func:`build_kernel` returns ``None`` and callers keep the interpreted
   path, which raises the same runtime error it always did.
+* The batched kernels use the vectorized lowering, so their per-row values
+  match the scalar path to floating-point rounding (bit-identical for pure
+  arithmetic; transcendental ufuncs may differ in the last ulp).  When the
+  vectorized lowering fails for an otherwise compilable system,
+  :attr:`SimulationKernel.supports_batch` is False and fleet callers fall
+  back to per-instance scalar kernels.
 """
 
 from __future__ import annotations
@@ -100,6 +113,93 @@ def _bcast(value, n: int) -> np.ndarray:
     return arr
 
 
+def _scalar_or_nan(fn, *values: float) -> float:
+    """One strict scalar evaluation with numpy-style error *values*.
+
+    The vectorized lowering evaluates **both** branches of a conditional
+    (``a if c else b`` becomes ``_where(c, a, b)``), so a domain error in
+    the branch that will be discarded must yield a discardable element -
+    exactly what the plain numpy ufuncs do (nan/inf + warning) - rather
+    than raise the way the scalar kernels' short-circuiting path never
+    would.  Non-finite values that survive into a *taken* branch are caught
+    downstream (solver divergence -> sequential rerun reports the scalar
+    path's exact error).
+    """
+    try:
+        result = fn(*values)
+    except ValueError:  # math domain error -> numpy nan
+        return float("nan")
+    except OverflowError:  # e.g. exp(800) -> numpy inf
+        return float("inf")
+    except ZeroDivisionError:  # 0.0 ** negative -> numpy inf
+        return float("inf")
+    if isinstance(result, complex):  # negative base ** fractional -> numpy nan
+        return float("nan")
+    return result
+
+
+def _strict_elementwise(fn):
+    """Elementwise libm evaluation matching the scalar kernels bit-for-bit.
+
+    numpy's SIMD transcendental ufuncs (sin, exp, ...) round differently
+    from libm in the last ulp.  That is harmless for output evaluation (one
+    pass, no feedback), but inside a batched ODE right-hand side the
+    adaptive solver's step controller amplifies ulp-level differences into
+    diverging step sequences - so the batched *derivative* kernel evaluates
+    these functions through the exact scalar callables, element by element.
+    Domain errors produce numpy-style nan/inf elements (see
+    :func:`_scalar_or_nan`); the happy path stays a C-speed ``map``.
+    Extra arguments (``log(x, base)``) broadcast elementwise like a ufunc.
+    """
+
+    def wrapped(*values):
+        arrays = [np.asarray(value, dtype=float) for value in values]
+        if all(arr.ndim == 0 for arr in arrays):
+            return _scalar_or_nan(fn, *(float(arr) for arr in arrays))
+        broadcast = np.broadcast_arrays(*arrays)
+        columns = [arr.ravel().tolist() for arr in broadcast]
+        count = len(columns[0])
+        try:
+            return np.fromiter(map(fn, *columns), dtype=float, count=count).reshape(
+                broadcast[0].shape
+            )
+        except (ValueError, OverflowError, ZeroDivisionError, TypeError):
+            return np.fromiter(
+                (_scalar_or_nan(fn, *row) for row in zip(*columns)),
+                dtype=float,
+                count=count,
+            ).reshape(broadcast[0].shape)
+
+    return wrapped
+
+
+def _strict_pow(a, b):
+    """Elementwise ``a ** b`` through CPython's float pow (see _strict_elementwise).
+
+    numpy's vectorized power ufunc rounds differently from scalar pow in a
+    few percent of inputs; the batched derivative kernel lowers ``**`` to
+    this helper instead.  Error inputs follow numpy's value semantics
+    (``0.0 ** -1`` -> inf, negative base ** fractional -> nan) so that a
+    discarded conditional branch cannot raise - see :func:`_scalar_or_nan`.
+    """
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.ndim == 0 and b_arr.ndim == 0:
+        return _scalar_or_nan(lambda base: base ** float(b_arr), float(a_arr))
+    a_b, b_b = np.broadcast_arrays(a_arr, b_arr)
+    pairs = zip(a_b.ravel().tolist(), b_b.ravel().tolist())
+    try:
+        flat = np.fromiter((x ** y for x, y in pairs), dtype=float, count=a_b.size)
+    except (ValueError, OverflowError, ZeroDivisionError, TypeError):
+        pairs = zip(a_b.ravel().tolist(), b_b.ravel().tolist())
+        flat = np.fromiter(
+            (_scalar_or_nan(lambda base, _y=y: base ** _y, x) for x, y in pairs),
+            dtype=float,
+            count=a_b.size,
+        )
+    return flat.reshape(a_b.shape)
+
+
 #: Globals of the vectorized output kernel: numpy ufunc equivalents.
 _VECTOR_GLOBALS: Dict[str, object] = {
     "__builtins__": {},
@@ -122,6 +222,18 @@ _VECTOR_GLOBALS: Dict[str, object] = {
     "_lor": _logical_or,
     "_bcast": _bcast,
 }
+
+#: Globals of the batched derivative kernel: as _VECTOR_GLOBALS, but the
+#: transcendental functions (the ones whose SIMD ufuncs are not correctly
+#: rounded) evaluate through the exact scalar callables so batched and
+#: scalar right-hand sides are bit-identical, keeping the adaptive batch
+#: solver's per-row step sequences in lockstep with sequential solves.
+#: Arithmetic, comparisons, abs/min/max/sqrt/floor/ceil/sign and the
+#: where/bool helpers are exact in SIMD form and stay vectorized.
+_BATCH_GLOBALS: Dict[str, object] = dict(_VECTOR_GLOBALS)
+for _name in ("sin", "cos", "tan", "exp", "log", "log10", "tanh"):
+    _BATCH_GLOBALS[_name] = _strict_elementwise(ALLOWED_FUNCTIONS[_name])
+_BATCH_GLOBALS["_pow"] = _strict_pow
 
 
 # --------------------------------------------------------------------------- #
@@ -272,11 +384,37 @@ class _FoldConstants(ast.NodeTransformer):
         return node
 
 
-def _lower(text: str, slots: Mapping[str, str], vector: bool) -> str:
+class _StrictPow(ast.NodeTransformer):
+    """Rewrite remaining ``**`` into ``_pow(a, b)`` calls (batched derivatives).
+
+    Runs *after* constant folding, so constant power subexpressions are
+    folded to literals at codegen time (with the same CPython pow the
+    helper would use) and only data-dependent powers pay the strict
+    elementwise evaluation.
+    """
+
+    def visit_BinOp(self, node: ast.BinOp) -> ast.expr:
+        node = ast.BinOp(
+            op=node.op, left=self.visit(node.left), right=self.visit(node.right)
+        )
+        if isinstance(node.op, ast.Pow):
+            return ast.Call(
+                func=ast.Name(id="_pow", ctx=ast.Load()),
+                args=[node.left, node.right],
+                keywords=[],
+            )
+        return node
+
+
+def _lower(
+    text: str, slots: Mapping[str, str], vector: bool, strict_pow: bool = False
+) -> str:
     """Parse, sandbox-validate, lower and fold one equation into source text."""
     tree = CompiledExpression._parse(str(text))
     lowered = _LowerNames(slots, vector).visit(tree.body)
     folded = _FoldConstants().visit(lowered)
+    if strict_pow:
+        folded = _StrictPow().visit(folded)
     ast.fix_missing_locations(folded)
     return ast.unparse(folded)
 
@@ -314,6 +452,8 @@ class SimulationKernel:
         "_derivs",
         "_outputs_scalar",
         "_outputs_vector",
+        "_derivs_batch",
+        "_outputs_batch",
     )
 
     def __init__(self, system):
@@ -336,15 +476,19 @@ class SimulationKernel:
 
         scalar_slots = {TIME_NAME: "_t"}
         vector_slots = {TIME_NAME: "_t"}
+        batch_slots = {TIME_NAME: "_t"}
         for i, name in enumerate(self.state_names):
             scalar_slots[name] = f"_x[{i}]"
             vector_slots[name] = f"_X[:, {i}]"
+            batch_slots[name] = f"_X[:, {i}]"
         for i, name in enumerate(self.input_names):
             scalar_slots[name] = f"_u[{i}]"
             vector_slots[name] = f"_U[:, {i}]"
+            batch_slots[name] = f"_U[:, {i}]"
         for i, name in enumerate(self.parameter_names):
             scalar_slots[name] = f"_p[{i}]"
             vector_slots[name] = f"_p[{i}]"
+            batch_slots[name] = f"_P[:, {i}]"
 
         derivs_lines = ["def _derivs(_t, _x, _u, _p, _out):", "    _x = _x.tolist()"]
         for i, state in enumerate(system.states):
@@ -372,7 +516,7 @@ class SimulationKernel:
         derivs_source = "\n".join(derivs_lines)
         out_scalar_source = "\n".join(out_scalar_lines)
         out_vector_source = "\n".join(out_vector_lines)
-        self.source = "\n\n".join([derivs_source, out_scalar_source, out_vector_source])
+        sources = [derivs_source, out_scalar_source, out_vector_source]
 
         self._derivs = _compile_function(derivs_source, _SCALAR_GLOBALS, "_derivs")
         self._outputs_scalar = _compile_function(
@@ -381,6 +525,41 @@ class SimulationKernel:
         self._outputs_vector = _compile_function(
             out_vector_source, _VECTOR_GLOBALS, "_outputs_vector"
         )
+
+        # Batched fleet kernels: one row per instance, parameters as a
+        # per-row matrix.  Generated separately so a system whose equations
+        # resist the vectorized lowering keeps its scalar kernels and merely
+        # reports supports_batch=False (fleet callers then fall back to
+        # per-instance integration).
+        self._derivs_batch = None
+        self._outputs_batch = None
+        try:
+            db_lines = ["def _derivs_batch(_t, _X, _U, _P, _out):"]
+            for i, state in enumerate(system.states):
+                db_lines.append(
+                    f"    _out[:, {i}] = "
+                    f"{_lower(state.derivative, batch_slots, vector=True, strict_pow=True)}"
+                )
+            db_lines.append("    return _out")
+            ob_lines = ["def _outputs_batch(_t, _X, _U, _P, _n):"]
+            returns_batch: List[str] = []
+            for i, output in enumerate(system.outputs):
+                ob_lines.append(
+                    f"    _y{i} = _bcast({_lower(output.expression, batch_slots, vector=True)}, _n)"
+                )
+                returns_batch.append(f"_y{i}")
+            ob_lines.append(
+                f"    return ({', '.join(returns_batch)}{',' if returns_batch else ''})"
+            )
+            db_source = "\n".join(db_lines)
+            ob_source = "\n".join(ob_lines)
+            self._derivs_batch = _compile_function(db_source, _BATCH_GLOBALS, "_derivs_batch")
+            self._outputs_batch = _compile_function(ob_source, _VECTOR_GLOBALS, "_outputs_batch")
+            sources += [db_source, ob_source]
+        except _NotCompilable:
+            self._derivs_batch = None
+            self._outputs_batch = None
+        self.source = "\n\n".join(sources)
 
     # ------------------------------------------------------------------ #
     # Argument packing
@@ -393,6 +572,15 @@ class SimulationKernel:
         return tuple(
             float(overrides.get(name, defaults[name])) for name in self.parameter_names
         )
+
+    def parameter_matrix(
+        self, overrides_per_row: Sequence[Optional[Mapping[str, float]]]
+    ) -> np.ndarray:
+        """Per-row parameter values in kernel order as an ``(N, n_p)`` matrix."""
+        return np.array(
+            [self.parameter_vector(overrides) for overrides in overrides_per_row],
+            dtype=float,
+        ).reshape(len(overrides_per_row), len(self.parameter_names))
 
     def input_vector(
         self,
@@ -466,6 +654,89 @@ class SimulationKernel:
             # semantics exactly.
             return self._outputs_pointwise(times, states, inputs, p)
         return dict(zip(self.output_names, values))
+
+    # ------------------------------------------------------------------ #
+    # Batched (fleet) evaluation
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the batched fleet kernels could be generated."""
+        return self._derivs_batch is not None
+
+    def derivs_batch(
+        self,
+        t,
+        X: np.ndarray,
+        U: np.ndarray,
+        P: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Evaluate the state derivatives of a whole fleet in one call.
+
+        Parameters
+        ----------
+        t:
+            Scalar time shared by all rows, or an ``(N,)`` vector of per-row
+            times (adaptive batch solvers advance rows independently).
+        X / U / P:
+            ``(N, n_states)`` states, ``(N, n_inputs)`` inputs and
+            ``(N, n_params)`` parameters, one row per instance.
+        out:
+            Optional ``(N, n_states)`` result buffer.
+
+        Division by zero follows numpy semantics (``inf``/``nan`` elements)
+        except for integer-constant divisions, which raise
+        :class:`ZeroDivisionError` exactly like the scalar kernels.
+        """
+        if out is None:
+            out = np.empty_like(X)
+        return self._derivs_batch(t, X, U, P, out)
+
+    def outputs_batch(
+        self,
+        times: np.ndarray,
+        states: np.ndarray,
+        inputs: np.ndarray,
+        P: np.ndarray,
+    ) -> List[Dict[str, np.ndarray]]:
+        """Evaluate all output equations over a whole fleet x grid in one pass.
+
+        Parameters
+        ----------
+        times:
+            1-D array of the n output times (shared by every row).
+        states:
+            ``(N, n, n_states)`` per-row state trajectories.
+        inputs:
+            ``(N, n, n_inputs)`` per-row input trajectories.
+        P:
+            ``(N, n_params)`` per-row parameter values in kernel order.
+
+        Returns one ``{output name: (n,) trajectory}`` dict per row.  Rows
+        whose vectorized evaluation produced non-finite values are re-run
+        through the per-instance :meth:`outputs` path so error behaviour
+        (and legitimate infinities) match the scalar semantics.
+        """
+        times = np.asarray(times, dtype=float)
+        n_rows, n_times = states.shape[0], states.shape[1]
+        flat_t = np.tile(times, n_rows)
+        flat_x = np.ascontiguousarray(states).reshape(n_rows * n_times, states.shape[2])
+        flat_u = np.ascontiguousarray(inputs).reshape(n_rows * n_times, inputs.shape[2])
+        flat_p = np.repeat(np.asarray(P, dtype=float), n_times, axis=0)
+        with np.errstate(all="ignore"):
+            values = self._outputs_batch(flat_t, flat_x, flat_u, flat_p, flat_t.shape[0])
+        if any(not np.isfinite(column).all() for column in values):
+            return [
+                self.outputs(times, states[r], inputs[r], P[r])
+                for r in range(n_rows)
+            ]
+        columns = [column.reshape(n_rows, n_times) for column in values]
+        # Copies, not views: a row slice would pin the whole fleet x grid
+        # column in memory through its .base.
+        return [
+            dict(zip(self.output_names, (column[r].copy() for column in columns)))
+            for r in range(n_rows)
+        ]
 
     def _outputs_pointwise(
         self,

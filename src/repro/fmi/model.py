@@ -14,14 +14,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from repro.errors import FmuStateError, FmuVariableError, SimulationInputError
+from repro.errors import FmuStateError, FmuVariableError, SimulationInputError, SolverError
 from repro.fmi.archive import FmuArchive, read_fmu
 from repro.fmi.dynamics import OdeSystem
 from repro.fmi.model_description import ModelDescription
 from repro.fmi.results import SimulationResult
 from repro.fmi.variables import Causality, ScalarVariable
 from repro.solvers import get_solver
-from repro.solvers.base import OdeProblem
+from repro.solvers.base import BatchOdeProblem, OdeProblem
 
 PathLike = Union[str, Path]
 
@@ -116,6 +116,50 @@ class _KernelBindings:
         for slot, _, _, series_times, series_values in self.series:
             matrix[:, slot] = np.interp(times, series_times, series_values)
         return matrix
+
+
+class _BatchKernelBindings:
+    """Fleet inputs bound once per ``simulate_batch`` call.
+
+    Every instance of a fleet shares the measured input series (bound
+    columns are identical across rows); per-instance input *start* values
+    fill the unbound columns, one row per instance.  ``inputs_at`` follows
+    the :class:`~repro.solvers.base.BatchOdeProblem` time contract: a
+    scalar time fills each bound column with one interpolated value, an
+    ``(N,)`` per-row time vector interpolates each row at its own time.
+    """
+
+    __slots__ = ("base", "series", "_buffer")
+
+    def __init__(self, kernel, interp: _InputInterpolator, input_starts_per_row):
+        n_rows = len(input_starts_per_row)
+        self.base = np.empty((n_rows, kernel.n_inputs))
+        for slot, name in enumerate(kernel.input_names):
+            for row, starts in enumerate(input_starts_per_row):
+                self.base[row, slot] = float(starts.get(name, 0.0))
+        self.series: List[tuple] = []
+        for slot, name in enumerate(kernel.input_names):
+            pair = interp._series.get(name)
+            if pair is not None:
+                self.series.append((slot, pair[0], pair[1]))
+        # One reusable (N, n_inputs) buffer: the kernel consumes the values
+        # within the same rhs call, so per-stage reuse is safe.
+        self._buffer = self.base.copy()
+
+    def inputs_at(self, t) -> np.ndarray:
+        """The ``(N, n_inputs)`` input matrix at time ``t`` (scalar or per-row)."""
+        u = self._buffer
+        for slot, times, values in self.series:
+            u[:, slot] = np.interp(t, times, values)
+        return u
+
+    def input_tensor(self, grid: np.ndarray) -> np.ndarray:
+        """The ``(N, n_grid, n_inputs)`` input trajectories for vectorized outputs."""
+        n_rows = self.base.shape[0]
+        tensor = np.repeat(self.base[:, None, :], len(grid), axis=1)
+        for slot, times, values in self.series:
+            tensor[:, :, slot] = np.interp(grid, times, values)[None, :]
+        return tensor
 
 
 class FmuModel:
@@ -344,6 +388,153 @@ class FmuModel:
                 "n_rejected": solution.n_rejected,
             },
         )
+
+    @staticmethod
+    def simulate_batch(
+        models: Sequence["FmuModel"],
+        inputs: Optional[Mapping[str, InputSeries]] = None,
+        start_time: Optional[float] = None,
+        stop_time: Optional[float] = None,
+        output_step: Optional[float] = None,
+        output_times: Optional[Sequence[float]] = None,
+        solver: str = "rk45",
+        solver_options: Optional[dict] = None,
+    ) -> List[SimulationResult]:
+        """Simulate a fleet of instances of **one** model in a single batched pass.
+
+        All ``models`` must wrap the same FMU archive (they are the fleet's
+        instances: same equations, per-instance parameter/start values) and
+        share the input series and simulation window.  The fleet's states
+        are stacked into an ``(N, d)`` matrix and integrated through one
+        numpy-vectorized right-hand side
+        (:meth:`~repro.fmi.kernel.SimulationKernel.derivs_batch` via
+        :meth:`~repro.solvers.base.OdeSolver.solve_batch`): parameters are
+        bound once per call as an ``(N, n_p)`` matrix and output equations
+        are evaluated vectorized over the whole fleet x grid.
+
+        Results are returned in ``models`` order and agree with per-instance
+        :meth:`simulate` calls to floating-point rounding (the adaptive RK45
+        batch solver controls errors per row, so every row walks the same
+        step sequence the sequential solver would).
+
+        Falls back to sequential per-instance :meth:`simulate` calls when
+        the fleet cannot batch - no compiled kernel
+        (``compiled_enabled=False`` or non-compilable equations), a kernel
+        whose equations resist the vectorized lowering
+        (``supports_batch=False``), or a batched integration that fails
+        mid-flight (divergence, step-limit): the sequential rerun then
+        reproduces the exact per-instance error semantics.
+        """
+        models = list(models)
+        if not models:
+            return []
+        lead = models[0]
+        for model in models:
+            if model._archive.guid != lead._archive.guid:
+                raise SimulationInputError(
+                    "simulate_batch requires instances of one model; got "
+                    f"{model.model_name!r} (guid {model.guid!r}) alongside "
+                    f"{lead.model_name!r} (guid {lead.guid!r})"
+                )
+            if not model._instantiated:
+                raise FmuStateError("the FMU instance has been terminated")
+
+        interp = lead._build_interpolator(inputs or {})
+        t0, t1 = lead._resolve_window(interp, start_time, stop_time)
+        grid = lead._resolve_grid(t0, t1, output_step, output_times)
+
+        def simulate_sequentially() -> List[SimulationResult]:
+            return [
+                model.simulate(
+                    inputs=inputs,
+                    start_time=start_time,
+                    stop_time=stop_time,
+                    output_step=output_step,
+                    output_times=output_times,
+                    solver=solver,
+                    solver_options=solver_options,
+                )
+                for model in models
+            ]
+
+        system = lead.ode_system
+        kernel = system.kernel if system.compiled_enabled else None
+        if kernel is None or not kernel.supports_batch:
+            return simulate_sequentially()
+
+        # Bind the whole fleet once: per-row parameter matrix, per-row input
+        # start values overlaid with the shared measured series, stacked
+        # initial states.
+        bindings = _BatchKernelBindings(
+            kernel, interp, [model._input_starts for model in models]
+        )
+        P = kernel.parameter_matrix([model._parameter_values for model in models])
+        x0 = np.array(
+            [
+                [model._state_starts[name] for name in system.state_names]
+                for model in models
+            ],
+            dtype=float,
+        )
+        kernel_derivs_batch = kernel._derivs_batch
+
+        def rhs(t, X, U):
+            try:
+                return kernel_derivs_batch(t, X, U, P, np.empty_like(X))
+            except ZeroDivisionError:
+                raise kernel.division_error() from None
+
+        try:
+            problem = BatchOdeProblem(
+                rhs=rhs, x0=x0, t0=t0, t1=t1, inputs=bindings.inputs_at
+            )
+            options = dict(solver_options or {})
+            solution = get_solver(solver, **options).solve_batch(
+                problem, output_times=grid
+            )
+        except SolverError:
+            # Rerun sequentially so the error (divergence, step limit) is
+            # reported with the exact per-instance message and semantics.
+            return simulate_sequentially()
+
+        # Vectorized outputs over the whole fleet x grid in one pass.
+        input_tensor = bindings.input_tensor(solution.times)
+        states = np.ascontiguousarray(solution.states.swapaxes(0, 1))
+        try:
+            output_rows = kernel.outputs_batch(solution.times, states, input_tensor, P)
+        except ZeroDivisionError:
+            raise kernel.division_error() from None
+
+        measured: Dict[str, np.ndarray] = {}
+        for name in interp.names():
+            series_times, series_values = interp._series[name]
+            measured[name] = np.interp(solution.times, series_times, series_values)
+
+        results: List[SimulationResult] = []
+        for row, model in enumerate(models):
+            trajectories: Dict[str, np.ndarray] = {}
+            for j, name in enumerate(system.state_names):
+                # Copy the column out of the (n, N, d) fleet tensor so one
+                # retained result does not pin the whole fleet's solution.
+                trajectories[name] = solution.states[:, row, j].copy()
+            trajectories.update(output_rows[row])
+            for name, values in measured.items():
+                trajectories[name] = values.copy()
+            results.append(
+                SimulationResult(
+                    time=solution.times,
+                    trajectories=trajectories,
+                    solver_stats={
+                        "solver": solution.solver_name,
+                        "n_rhs_evals": solution.n_rhs_evals,
+                        "n_steps": int(solution.n_steps[row]),
+                        "n_rejected": int(solution.n_rejected[row]),
+                        "batched": True,
+                        "fleet_size": len(models),
+                    },
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------ #
     # Helpers

@@ -8,9 +8,21 @@ all operating on plain callables ``f(t, x, u) -> dx/dt``.
 The solver interface is deliberately tiny so that the FMI runtime
 (:mod:`repro.fmi.model`) can swap solvers via the ``solver`` simulation option
 without caring about their internals.
+
+Every solver also integrates *fleets*: ``solve_batch`` steps an ``(N, d)``
+state matrix through a batched right-hand side ``F(t, X, U) -> (N, d)``
+(see :class:`~repro.solvers.base.BatchOdeProblem`), which is how
+``Session.simulate_many`` scales sub-linearly in the number of instances.
 """
 
-from repro.solvers.base import OdeProblem, OdeSolution, OdeSolver, solve_ode
+from repro.solvers.base import (
+    BatchOdeProblem,
+    BatchOdeSolution,
+    OdeProblem,
+    OdeSolution,
+    OdeSolver,
+    solve_ode,
+)
 from repro.solvers.euler import EulerSolver
 from repro.solvers.rk4 import RungeKutta4Solver
 from repro.solvers.rk45 import DormandPrince45Solver
@@ -43,6 +55,8 @@ def get_solver(name, **options):
 
 
 __all__ = [
+    "BatchOdeProblem",
+    "BatchOdeSolution",
     "OdeProblem",
     "OdeSolution",
     "OdeSolver",

@@ -1,4 +1,17 @@
-"""Common solver abstractions: problem description, solution container, base class."""
+"""Common solver abstractions: problem description, solution containers, base class.
+
+Two problem shapes are supported:
+
+* :class:`OdeProblem` - one instance, state vector ``x`` of length ``d``,
+  solved by :meth:`OdeSolver.solve`.
+* :class:`BatchOdeProblem` - a *fleet* of ``N`` instances stacked into an
+  ``(N, d)`` state matrix sharing one integration window, solved by
+  :meth:`OdeSolver.solve_batch`.  The right-hand side is evaluated once per
+  step for the whole fleet (one numpy-vectorized call instead of ``N``
+  scalar ones); the concrete solvers override ``solve_batch`` with matrix
+  stepping, and the base class provides a row-by-row fallback so any solver
+  can integrate a batch problem.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +24,11 @@ from repro.errors import SolverError
 
 RhsFunction = Callable[[float, np.ndarray, np.ndarray], np.ndarray]
 InputFunction = Callable[[float], np.ndarray]
+#: Batched right-hand side ``F(t, X, U) -> (N, d)``; ``t`` is a scalar shared
+#: by all rows or an ``(N,)`` per-row time vector.
+BatchRhsFunction = Callable[[object, np.ndarray, np.ndarray], np.ndarray]
+#: Batched input function ``U(t) -> (N, n_u)`` under the same time contract.
+BatchInputFunction = Callable[[object], np.ndarray]
 
 
 @dataclass
@@ -50,6 +68,87 @@ class OdeProblem:
         if self.inputs is None:
             return np.empty(0)
         return np.atleast_1d(np.asarray(self.inputs(t), dtype=float))
+
+
+@dataclass
+class BatchOdeProblem:
+    """A fleet of initial value problems ``X' = F(t, X, U(t))`` on ``[t0, t1]``.
+
+    All rows share the integration window and the input function; states,
+    derivatives and inputs are matrices with one row per instance.
+
+    Attributes
+    ----------
+    rhs:
+        Batched right-hand side ``F(t, X, U) -> dX/dt`` over the ``(N, d)``
+        state matrix.  ``t`` is a scalar when all rows are at the same time
+        (fixed-step solvers) or an ``(N,)`` vector when rows advance
+        independently (adaptive solvers).
+    x0:
+        ``(N, d)`` matrix of initial states.
+    t0, t1:
+        Shared integration interval; ``t1`` must be strictly greater.
+    inputs:
+        Optional callable mapping time (same scalar-or-vector contract as
+        ``rhs``) to the ``(N, n_u)`` input matrix.  When omitted an empty
+        ``(N, 0)`` matrix is passed to ``rhs``.
+    """
+
+    rhs: BatchRhsFunction
+    x0: np.ndarray
+    t0: float
+    t1: float
+    inputs: Optional[BatchInputFunction] = None
+
+    def __post_init__(self):
+        self.x0 = np.asarray(self.x0, dtype=float)
+        if self.x0.ndim != 2:
+            raise SolverError(
+                f"batch initial state must be an (N, d) matrix, got shape {self.x0.shape}"
+            )
+        if self.x0.shape[0] == 0:
+            raise SolverError("a batch problem needs at least one row")
+        if not np.isfinite(self.x0).all():
+            raise SolverError("batch initial state contains non-finite values")
+        if not (self.t1 > self.t0):
+            raise SolverError(
+                f"invalid integration interval: t1={self.t1} must be > t0={self.t0}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return self.x0.shape[0]
+
+    @property
+    def n_states(self) -> int:
+        return self.x0.shape[1]
+
+    def row_problem(self, row: int) -> "OdeProblem":
+        """Row ``row`` as an independent scalar :class:`OdeProblem`.
+
+        Used by the base-class ``solve_batch`` fallback.  The batched rhs
+        may close over per-row data (parameter matrices), so it is always
+        called at full fleet width: the candidate state is broadcast to
+        every row and the requested row of the result is returned.  That
+        costs ``N`` redundant row evaluations per call - acceptable for a
+        correctness fallback, not a fast path.
+        """
+        rhs = self.rhs
+        batch_inputs = self.inputs
+        n_rows, n_states = self.n_rows, self.n_states
+        empty_u = np.empty((n_rows, 0))
+
+        def scalar_rhs(t: float, x: np.ndarray, _u: np.ndarray) -> np.ndarray:
+            X = np.broadcast_to(x, (n_rows, n_states))
+            U = batch_inputs(t) if batch_inputs is not None else empty_u
+            return np.asarray(rhs(t, X, U), dtype=float)[row]
+
+        return OdeProblem(
+            rhs=scalar_rhs,
+            x0=self.x0[row],
+            t0=self.t0,
+            t1=self.t1,
+        )
 
 
 @dataclass
@@ -107,6 +206,57 @@ class OdeSolution:
         return sampled
 
 
+@dataclass
+class BatchOdeSolution:
+    """Dense batched solver output: ``(n, N, d)`` states sampled at ``times``.
+
+    Step statistics are per-row arrays (each row of an adaptive solve
+    accepts/rejects its own steps); ``n_rhs_evals`` counts *vectorized*
+    right-hand-side evaluations, each of which covers the whole fleet.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    n_rhs_evals: int = 0
+    n_steps: Optional[np.ndarray] = None
+    n_rejected: Optional[np.ndarray] = None
+    solver_name: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.times = np.asarray(self.times, dtype=float)
+        self.states = np.asarray(self.states, dtype=float)
+        if self.states.ndim != 3:
+            raise SolverError(
+                f"batch solution states must be (n_times, N, d), got shape {self.states.shape}"
+            )
+        if len(self.times) != self.states.shape[0]:
+            raise SolverError(
+                "batch solution times and states have mismatched lengths: "
+                f"{len(self.times)} vs {self.states.shape[0]}"
+            )
+        n_rows = self.states.shape[1]
+        if self.n_steps is None:
+            self.n_steps = np.zeros(n_rows, dtype=int)
+        if self.n_rejected is None:
+            self.n_rejected = np.zeros(n_rows, dtype=int)
+
+    @property
+    def n_rows(self) -> int:
+        return self.states.shape[1]
+
+    def row(self, index: int) -> OdeSolution:
+        """Row ``index`` as a scalar :class:`OdeSolution` (states copied)."""
+        return OdeSolution(
+            times=self.times,
+            states=self.states[:, index, :].copy(),
+            n_rhs_evals=self.n_rhs_evals,
+            n_steps=int(self.n_steps[index]),
+            n_rejected=int(self.n_rejected[index]),
+            solver_name=self.solver_name,
+        )
+
+
 def _stage_function(problem: "OdeProblem"):
     """The solver-facing right-hand side: inputs resolved, result coerced.
 
@@ -126,6 +276,29 @@ def _stage_function(problem: "OdeProblem"):
         if isinstance(dx, np.ndarray) and dx.ndim == 1 and dx.dtype == np.float64:
             return dx
         return np.atleast_1d(np.asarray(dx, dtype=float))
+
+    return f
+
+
+def _batch_stage_function(problem: "BatchOdeProblem"):
+    """The solver-facing batched right-hand side with inputs resolved.
+
+    Mirrors :func:`_stage_function` for the fleet case: input-less problems
+    share one empty ``(N, 0)`` matrix, and ``t`` passes through under the
+    scalar-or-vector contract of :class:`BatchOdeProblem`.
+    """
+    rhs = problem.rhs
+    inputs = problem.inputs
+    if inputs is None:
+        empty_u = np.empty((problem.n_rows, 0))
+
+        def f(t, X):
+            return rhs(t, X, empty_u)
+
+    else:
+
+        def f(t, X):
+            return rhs(t, X, inputs(t))
 
     return f
 
@@ -164,6 +337,85 @@ class TrajectoryRecorder:
         return self._times[: self._count], self._states[: self._count]
 
 
+class BatchTrajectoryRecorder:
+    """Per-row trajectory storage for batched solver main loops.
+
+    Fixed-step solvers append the same time for every row
+    (:meth:`append_all`); adaptive solvers scatter accepted steps into the
+    rows that accepted them (:meth:`append_rows`), so rows grow at their own
+    pace.  Buffers double in size when the fullest row reaches capacity.
+    """
+
+    __slots__ = ("_times", "_states", "_counts")
+
+    def __init__(self, n_rows: int, n_states: int, capacity: int = 512):
+        capacity = max(2, int(capacity))
+        self._times = np.empty((capacity, int(n_rows)))
+        self._states = np.empty((capacity, int(n_rows), int(n_states)))
+        self._counts = np.zeros(int(n_rows), dtype=np.intp)
+
+    def _grow_if_full(self) -> None:
+        capacity = self._times.shape[0]
+        if int(self._counts.max(initial=0)) < capacity:
+            return
+        grown_times = np.empty((2 * capacity,) + self._times.shape[1:])
+        grown_times[:capacity] = self._times
+        self._times = grown_times
+        grown_states = np.empty((2 * capacity,) + self._states.shape[1:])
+        grown_states[:capacity] = self._states
+        self._states = grown_states
+
+    def append_all(self, t: float, X: np.ndarray) -> None:
+        """Record time ``t`` and the ``(N, d)`` state matrix for every row."""
+        self._grow_if_full()
+        counts = self._counts
+        n = int(counts[0])
+        if (counts == n).all():
+            self._times[n] = t
+            self._states[n] = X
+        else:
+            # Rows have diverged (append_rows was used); scatter at each
+            # row's own position instead of clobbering row 0's.
+            rows = np.arange(counts.shape[0])
+            self._times[counts, rows] = t
+            self._states[counts, rows] = X
+        self._counts += 1
+
+    def append_rows(self, rows: np.ndarray, t_rows: np.ndarray, x_rows: np.ndarray) -> None:
+        """Scatter accepted steps: ``t_rows``/``x_rows`` align with ``rows``."""
+        if rows.size == 0:
+            return
+        self._grow_if_full()
+        positions = self._counts[rows]
+        self._times[positions, rows] = t_rows
+        self._states[positions, rows] = x_rows
+        self._counts[rows] += 1
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of recorded points per row."""
+        return self._counts
+
+    def sample(self, grid: np.ndarray) -> np.ndarray:
+        """Interpolate every row's trajectory onto ``grid`` as ``(n, N, d)``.
+
+        Each row is interpolated over its own recorded times with
+        ``np.interp`` (clamping outside the solved interval), exactly as
+        :meth:`OdeSolution.sample` does for a scalar solve - so a batched
+        row samples bit-identically to the sequential solve that recorded
+        the same points.
+        """
+        grid = np.asarray(grid, dtype=float)
+        n_rows, n_states = self._states.shape[1], self._states.shape[2]
+        sampled = np.empty((grid.size, n_rows, n_states))
+        for row in range(n_rows):
+            count = int(self._counts[row])
+            row_times = self._times[:count, row]
+            for j in range(n_states):
+                sampled[:, row, j] = np.interp(grid, row_times, self._states[:count, row, j])
+        return sampled
+
+
 class OdeSolver:
     """Base class for ODE solvers.
 
@@ -188,6 +440,33 @@ class OdeSolver:
             reported.  Solvers always include ``t0`` and ``t1``.
         """
         raise NotImplementedError
+
+    def solve_batch(
+        self,
+        problem: BatchOdeProblem,
+        output_times: Optional[Sequence[float]] = None,
+    ) -> BatchOdeSolution:
+        """Integrate a fleet problem and return a :class:`BatchOdeSolution`.
+
+        The base implementation is a row-by-row fallback: each row is
+        integrated as an independent scalar problem through :meth:`solve`
+        (via :meth:`BatchOdeProblem.row_problem`, which evaluates the
+        batched rhs at full fleet width).  Concrete solvers override this
+        with true matrix stepping; the fallback keeps any third-party
+        solver usable for fleets, just without the vectorization win.
+        """
+        rows = [
+            self.solve(problem.row_problem(row), output_times=output_times)
+            for row in range(problem.n_rows)
+        ]
+        return BatchOdeSolution(
+            times=rows[0].times,
+            states=np.stack([solution.states for solution in rows], axis=1),
+            n_rhs_evals=sum(solution.n_rhs_evals for solution in rows),
+            n_steps=np.array([solution.n_steps for solution in rows], dtype=int),
+            n_rejected=np.array([solution.n_rejected for solution in rows], dtype=int),
+            solver_name=self.name,
+        )
 
     def _normalized_output_times(
         self, problem: OdeProblem, output_times: Optional[Sequence[float]]

@@ -15,10 +15,14 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.solvers.base import (
+    BatchOdeProblem,
+    BatchOdeSolution,
+    BatchTrajectoryRecorder,
     OdeProblem,
     OdeSolution,
     OdeSolver,
     TrajectoryRecorder,
+    _batch_stage_function,
     _stage_function,
 )
 
@@ -38,11 +42,25 @@ _B4 = np.array(
     [5179 / 57600, 0.0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40]
 )
 
-# Dense square form of _A so stage combinations run as one matrix-vector
-# product over the stacked stage array instead of a Python generator sum.
+# Dense square form of _A so stage combinations run as one vectorized
+# combination over the stacked stage array instead of a Python generator sum.
 _A_MAT = np.zeros((7, 7))
 for _i, _row in enumerate(_A):
     _A_MAT[_i, : len(_row)] = _row
+
+# Stage combinations are computed as elementwise multiply + axis-0 sum
+# rather than a BLAS dot: BLAS gemv kernels round differently depending on
+# the matrix width (column blocking, FMA), so a dot over an (i, d) stage
+# block and over an (i, N*d) batched block disagree in the last ulp - which
+# desynchronizes the batched solver's per-row step sequence from the scalar
+# one.  The multiply+sum form reduces every element in the same order
+# regardless of trailing width, making scalar and batched solves
+# bit-comparable.  Coefficients are precomputed as broadcast-ready columns
+# for the scalar (i, 1) and batched (i, 1, 1) stage shapes.
+_A_COLS = [_A_MAT[_i, :_i].reshape(-1, 1) for _i in range(7)]
+_A_COLS_BATCH = [_A_MAT[_i, :_i].reshape(-1, 1, 1) for _i in range(7)]
+_B5_COL, _B5_COL_BATCH = _B5.reshape(-1, 1), _B5.reshape(-1, 1, 1)
+_B4_COL, _B4_COL_BATCH = _B4.reshape(-1, 1), _B4.reshape(-1, 1, 1)
 
 
 class DormandPrince45Solver(OdeSolver):
@@ -112,12 +130,12 @@ class DormandPrince45Solver(OdeSolver):
                 h = min(h, self.max_step)
 
             for i in range(1, 7):
-                xi = x + h * (_A_MAT[i, :i] @ stages[:i])
+                xi = x + h * (_A_COLS[i] * stages[:i]).sum(axis=0)
                 stages[i] = f(t + _C[i] * h, xi)
             n_evals += 6
 
-            x5 = x + h * (_B5 @ stages)
-            x4 = x + h * (_B4 @ stages)
+            x5 = x + h * (_B5_COL * stages).sum(axis=0)
+            x4 = x + h * (_B4_COL * stages).sum(axis=0)
 
             scale = self.atol + self.rtol * np.maximum(np.abs(x), np.abs(x5))
             err = np.sqrt(np.mean(((x5 - x4) / scale) ** 2)) if scale.size else 0.0
@@ -154,6 +172,118 @@ class DormandPrince45Solver(OdeSolver):
         return OdeSolution(
             times=grid,
             states=sampled,
+            n_rhs_evals=n_evals,
+            n_steps=n_steps,
+            n_rejected=n_rejected,
+            solver_name=self.name,
+        )
+
+    def solve_batch(
+        self,
+        problem: BatchOdeProblem,
+        output_times: Optional[Sequence[float]] = None,
+    ) -> BatchOdeSolution:
+        """Integrate a fleet with **per-row** adaptive error control.
+
+        Every row carries its own time, step size and accept/reject state,
+        and the step controller applies the scalar :meth:`solve` arithmetic
+        row-wise - so each row walks the same step sequence the sequential
+        solver would, and batched trajectories match sequential ones to
+        floating-point rounding.  Each iteration evaluates the six
+        Dormand-Prince stages for the *whole* fleet in one vectorized rhs
+        call; rows that have reached ``t1`` (or are between accepted steps)
+        are still evaluated but their results are discarded, which keeps
+        the hot loop free of per-row branching.  The iteration count is
+        therefore the maximum of the per-row step counts, not their sum -
+        the fleet finishes when its slowest row does.
+        """
+        grid = self._normalized_output_times(problem, output_times)
+        f = _batch_stage_function(problem)
+        n_rows, n_states = problem.n_rows, problem.n_states
+        span = problem.t1 - problem.t0
+        t1 = problem.t1
+        h0 = span / 100.0
+        if self.max_step is not None:
+            h0 = min(h0, self.max_step)
+
+        t = np.full(n_rows, problem.t0)
+        h = np.full(n_rows, h0)
+        X = problem.x0.copy()
+        recorder = BatchTrajectoryRecorder(n_rows, n_states)
+        recorder.append_all(problem.t0, X)
+        n_steps = np.zeros(n_rows, dtype=int)
+        n_rejected = np.zeros(n_rows, dtype=int)
+        # Stacked stages: K[i] is the i-th stage derivative for every row.
+        # K[0] is rewritten only for rows that accept (FSAL), so a rejected
+        # row retries with the same first stage.
+        stages = np.empty((7, n_rows, n_states))
+        n_evals = 1
+
+        with np.errstate(over="ignore", invalid="ignore"):
+            stages[0] = f(t, X)
+            while True:
+                active = t < t1 - 1e-14
+                if not active.any():
+                    break
+                attempts = n_steps + n_rejected
+                if np.any(attempts[active] > self.max_steps):
+                    row = int(np.where(active & (attempts > self.max_steps))[0][0])
+                    raise SolverError(
+                        f"RK45 exceeded {self.max_steps} steps "
+                        f"(row {row}, t={t[row]}, interval ends at {t1})"
+                    )
+                # The scalar solver clamps h before the stages and feeds the
+                # clamped value into the controller; replicate that row-wise.
+                h_eff = np.minimum(h, t1 - t)
+                if self.max_step is not None:
+                    h_eff = np.minimum(h_eff, self.max_step)
+
+                for i in range(1, 7):
+                    xi = X + h_eff[:, None] * (_A_COLS_BATCH[i] * stages[:i]).sum(axis=0)
+                    stages[i] = f(t + _C[i] * h_eff, xi)
+                n_evals += 6
+
+                x5 = X + h_eff[:, None] * (_B5_COL_BATCH * stages).sum(axis=0)
+                x4 = X + h_eff[:, None] * (_B4_COL_BATCH * stages).sum(axis=0)
+
+                scale = self.atol + self.rtol * np.maximum(np.abs(X), np.abs(x5))
+                err = np.sqrt(np.mean(((x5 - x4) / scale) ** 2, axis=1))
+
+                accept = active & ((err <= 1.0) | (h_eff <= 1e-12 * span))
+                if accept.any():
+                    rows = np.where(accept)[0]
+                    t = np.where(accept, t + h_eff, t)
+                    X = np.where(accept[:, None], x5, X)
+                    stages[0][rows] = stages[6][rows]  # FSAL, per accepted row
+                    accepted_states = X[rows]
+                    if not np.isfinite(accepted_states).all():
+                        bad = rows[~np.isfinite(accepted_states).all(axis=1)]
+                        raise SolverError(
+                            f"RK45 integration diverged (rows {bad.tolist()})"
+                        )
+                    recorder.append_rows(rows, t[rows], accepted_states)
+                    n_steps[accept] += 1
+                n_rejected[active & ~accept] += 1
+
+                # Row-wise standard controller, computed with *scalar* pow:
+                # numpy's vectorized power ufunc rounds differently from the
+                # scalar pow in ~5% of inputs, and a 1-ulp difference in the
+                # factor desynchronizes the batched step sequence from the
+                # sequential one.  Python floats hit the same libm pow the
+                # scalar solver does (Python max/min also clamp a nan error
+                # from a diverging trial step to 0.2 the same way).  One pow
+                # per row per attempt is far off the hot path.
+                factor = np.array(
+                    [
+                        5.0 if e == 0.0 else min(5.0, max(0.2, 0.9 * e ** (-0.2)))
+                        for e in err.tolist()
+                    ]
+                )
+                h = np.where(active, h_eff * factor, h)
+
+        return BatchOdeSolution(
+            times=grid,
+            states=recorder.sample(grid),
             n_rhs_evals=n_evals,
             n_steps=n_steps,
             n_rejected=n_rejected,

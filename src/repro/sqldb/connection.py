@@ -49,7 +49,19 @@ class Cursor:
     Supports ``execute``/``executemany``, the ``fetchone``/``fetchmany``/
     ``fetchall`` family, iteration, and a PEP-249 ``description``/
     ``rowcount`` pair.  Cursors are cheap; create one per logical statement
-    stream.
+    stream::
+
+        cur = conn.cursor()
+        cur.execute("SELECT * FROM m WHERE x > $1", [20.8])
+        cur.description          # [('time', None, ...), ('x', None, ...)]
+        for row in cur:          # or cur.fetchone() / fetchmany() / fetchall()
+            ...
+
+    ``execute`` returns the cursor, so one-liners chain:
+    ``conn.cursor().execute("SELECT 1").fetchone()``.  Beyond PEP-249, the
+    :attr:`result` property exposes the underlying
+    :class:`~repro.sqldb.result.ResultSet` (column names, ``to_text()``,
+    ``scalar()``).
     """
 
     def __init__(self, connection: "Connection"):
@@ -184,6 +196,14 @@ class Cursor:
 
 class Connection:
     """A DB-API-style connection over a :class:`~repro.sqldb.database.Database`.
+
+    Obtained from :func:`repro.connect` (full pgFMU session) or
+    :func:`repro.sqldb.connect` (bare engine).  Supports cursors
+    (:meth:`cursor`, or the :meth:`execute` convenience), explicit
+    transactions (:meth:`begin` / :meth:`commit` / :meth:`rollback`;
+    autocommit otherwise), :meth:`explain` for query plans, and the
+    context-manager protocol (``with ... as conn:`` commits on success,
+    rolls back on error, then closes).
 
     ``session`` optionally carries the pgFMU object layer
     (:class:`repro.core.session.Session`) so driver users can reach handles:

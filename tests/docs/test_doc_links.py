@@ -1,0 +1,47 @@
+"""The documentation link/anchor checker must pass on the committed docs."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_docs_links_and_anchors_ok():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_doc_links.py"),
+            str(ROOT / "README.md"),
+            str(ROOT / "docs"),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_checker_flags_broken_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("[missing file](nope.md)\n[missing anchor](#nowhere)\n")
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_doc_links.py"), str(page)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "nope.md" in proc.stderr
+    assert "#nowhere" in proc.stderr
+
+
+def test_checker_ignores_inline_code_spans(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("Use the `[label](not-a-real-file.md)` syntax for links.\n")
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_doc_links.py"), str(page)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,444 @@
+"""Batched fleet simulation tests: kernels, solvers, model and session layer.
+
+The randomized corpus (shared with ``test_kernel``) builds fleets of
+instances with per-instance parameters and start values, then asserts that
+batched trajectories match per-instance compiled runs within 1e-9 for every
+solver - including RK45, whose batched variant controls errors per row so
+each row walks the same step sequence the sequential solver would.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+import test_kernel as corpus
+from repro.errors import FmuStateError, SimulationInputError, SolverError
+from repro.fmi.model import FmuModel
+from repro.solvers import get_solver
+from repro.solvers.base import (
+    BatchOdeProblem,
+    BatchOdeSolution,
+    BatchTrajectoryRecorder,
+    OdeProblem,
+    OdeSolver,
+)
+from repro.solvers.euler import EulerSolver
+
+ALL_SOLVERS = ("euler", "rk4", "rk45")
+
+
+def _fleet_for(system, archive, n_rows: int, seed: int):
+    """N instances of one archive with randomized parameters and starts."""
+    rng = random.Random(seed)
+    models = []
+    for i in range(n_rows):
+        model = FmuModel(archive, instance_name=f"row{i}")
+        for name in system.parameters:
+            model.set(name, rng.uniform(0.5, 2.0))
+        for name in system.state_names:
+            model.set(name, rng.uniform(-1.0, 1.0))
+        models.append(model)
+    return models
+
+
+def _corpus_inputs(system):
+    return {
+        name: (np.linspace(0.0, 2.0, 21), np.sin(np.linspace(0.0, 6.0, 21) + i))
+        for i, name in enumerate(system.inputs)
+    } or None
+
+
+# --------------------------------------------------------------------------- #
+# Kernel layer
+# --------------------------------------------------------------------------- #
+class TestBatchKernel:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_derivs_batch_matches_scalar_rows(self, seed):
+        system = corpus._random_system(seed)
+        kernel = system.kernel
+        assert kernel is not None and kernel.supports_batch
+        rng = random.Random(100 + seed)
+        n_rows = 5
+        P = kernel.parameter_matrix(
+            [
+                {name: rng.uniform(0.5, 2.0) for name in kernel.parameter_names}
+                for _ in range(n_rows)
+            ]
+        )
+        X = np.array(
+            [[rng.uniform(-2.0, 2.0) for _ in kernel.state_names] for _ in range(n_rows)]
+        )
+        U = np.array(
+            [[rng.uniform(-1.0, 1.0) for _ in kernel.input_names] for _ in range(n_rows)]
+        )
+        t = rng.uniform(0.0, 5.0)
+        batched = kernel.derivs_batch(t, X, U, P)
+        for row in range(n_rows):
+            scalar = kernel.derivs(t, X[row], list(U[row]), tuple(P[row]))
+            np.testing.assert_array_equal(batched[row], scalar)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_outputs_batch_matches_per_row_outputs(self, seed):
+        system = corpus._random_system(seed)
+        kernel = system.kernel
+        rng = np.random.default_rng(200 + seed)
+        n_rows, n_times = 4, 11
+        times = np.linspace(0.0, 2.0, n_times)
+        states = rng.uniform(-2.0, 2.0, (n_rows, n_times, len(kernel.state_names)))
+        inputs = rng.uniform(-1.0, 1.0, (n_rows, n_times, len(kernel.input_names)))
+        P = kernel.parameter_matrix([None] * n_rows)
+        batched = kernel.outputs_batch(times, states, inputs, P)
+        assert len(batched) == n_rows
+        for row in range(n_rows):
+            single = kernel.outputs(times, states[row], inputs[row], tuple(P[row]))
+            assert set(batched[row]) == set(single)
+            for name in single:
+                np.testing.assert_allclose(
+                    batched[row][name], single[name], rtol=0, atol=1e-12
+                )
+
+    def test_parameter_matrix_layout(self, hp1_archive):
+        kernel = hp1_archive.ode_system.kernel
+        P = kernel.parameter_matrix([{"Cp": 9.0}, None])
+        assert P.shape == (2, len(kernel.parameter_names))
+        assert P[0, kernel.parameter_names.index("Cp")] == 9.0
+        np.testing.assert_array_equal(P[1], kernel.parameter_vector(None))
+
+    def test_per_row_time_vector_broadcasts(self, hp1_archive):
+        kernel = hp1_archive.ode_system.kernel
+        n_rows = 3
+        P = kernel.parameter_matrix([None] * n_rows)
+        X = np.full((n_rows, kernel.n_states), 20.0)
+        U = np.full((n_rows, kernel.n_inputs), 0.5)
+        t_rows = np.array([0.0, 1.0, 2.0])
+        batched = kernel.derivs_batch(t_rows, X, U, P)
+        for row in range(n_rows):
+            scalar = kernel.derivs(float(t_rows[row]), X[row], list(U[row]), tuple(P[row]))
+            np.testing.assert_array_equal(batched[row], scalar)
+
+
+# --------------------------------------------------------------------------- #
+# Solver layer
+# --------------------------------------------------------------------------- #
+def _linear_batch_problem(n_rows: int = 4):
+    """Independent exponential decays with per-row rates."""
+    rates = np.linspace(0.5, 2.0, n_rows)
+
+    def rhs(t, X, _u):
+        return -rates[:, None] * X
+
+    x0 = np.linspace(1.0, 2.0, n_rows)[:, None]
+    return BatchOdeProblem(rhs=rhs, x0=x0, t0=0.0, t1=2.0), rates
+
+
+class TestBatchSolvers:
+    @pytest.mark.parametrize("name", ALL_SOLVERS)
+    def test_solve_batch_matches_row_solves(self, name):
+        problem, rates = _linear_batch_problem()
+        grid = np.linspace(0.0, 2.0, 21)
+        solver = get_solver(name)
+        batched = solver.solve_batch(problem, output_times=grid)
+        assert isinstance(batched, BatchOdeSolution)
+        assert batched.states.shape[1] == problem.n_rows
+        for row in range(problem.n_rows):
+            rate = rates[row]
+            scalar = get_solver(name).solve(
+                OdeProblem(
+                    rhs=lambda t, x, u, _r=rate: -_r * x,
+                    x0=problem.x0[row],
+                    t0=0.0,
+                    t1=2.0,
+                ),
+                output_times=grid,
+            )
+            np.testing.assert_array_equal(batched.states[:, row, :], scalar.states)
+            assert int(batched.n_steps[row]) == scalar.n_steps
+            if name == "rk45":
+                assert int(batched.n_rejected[row]) == scalar.n_rejected
+
+    def test_rk45_rows_step_at_their_own_pace(self):
+        # A stiff row needs more accepted steps than a tame one.
+        rates = np.array([0.5, 40.0])
+
+        def rhs(t, X, _u):
+            return -rates[:, None] * X
+
+        problem = BatchOdeProblem(rhs=rhs, x0=np.ones((2, 1)), t0=0.0, t1=2.0)
+        solution = get_solver("rk45").solve_batch(problem)
+        assert int(solution.n_steps[1]) > int(solution.n_steps[0])
+
+    def test_base_class_fallback_matches_override(self):
+        class FallbackEuler(EulerSolver):
+            solve_batch = OdeSolver.solve_batch
+
+        problem, _ = _linear_batch_problem()
+        grid = np.linspace(0.0, 2.0, 11)
+        vectorized = EulerSolver().solve_batch(problem, output_times=grid)
+        problem2, _ = _linear_batch_problem()
+        rowwise = FallbackEuler().solve_batch(problem2, output_times=grid)
+        np.testing.assert_allclose(vectorized.states, rowwise.states, rtol=0, atol=1e-12)
+
+    def test_batch_divergence_raises(self):
+        def rhs(t, X, _u):
+            return X ** 2
+
+        problem = BatchOdeProblem(
+            rhs=rhs, x0=np.array([[0.1], [50.0]]), t0=0.0, t1=10.0
+        )
+        with pytest.raises(SolverError, match="diverged"):
+            EulerSolver(step=0.5).solve_batch(problem)
+
+    def test_batch_problem_validation(self):
+        with pytest.raises(SolverError, match="matrix"):
+            BatchOdeProblem(rhs=lambda t, X, u: X, x0=np.ones(3), t0=0.0, t1=1.0)
+        with pytest.raises(SolverError, match="at least one row"):
+            BatchOdeProblem(rhs=lambda t, X, u: X, x0=np.ones((0, 2)), t0=0.0, t1=1.0)
+        with pytest.raises(SolverError, match="non-finite"):
+            BatchOdeProblem(
+                rhs=lambda t, X, u: X, x0=np.array([[np.nan]]), t0=0.0, t1=1.0
+            )
+
+    def test_recorder_scatter_and_sample(self):
+        recorder = BatchTrajectoryRecorder(2, 1, capacity=2)
+        recorder.append_all(0.0, np.array([[0.0], [10.0]]))
+        # Row 0 accepts twice, row 1 once; growth is exercised by capacity=2.
+        recorder.append_rows(np.array([0]), np.array([1.0]), np.array([[1.0]]))
+        recorder.append_rows(np.array([0, 1]), np.array([2.0, 2.0]), np.array([[2.0], [12.0]]))
+        assert recorder.counts.tolist() == [3, 2]
+        sampled = recorder.sample(np.array([0.0, 1.0, 2.0]))
+        np.testing.assert_allclose(sampled[:, 0, 0], [0.0, 1.0, 2.0])
+        np.testing.assert_allclose(sampled[:, 1, 0], [10.0, 11.0, 12.0])
+        # append_all after the counts diverged must scatter per row, not
+        # clobber everything at row 0's position.
+        recorder.append_rows(np.array([0]), np.array([3.0]), np.array([[3.0]]))
+        recorder.append_all(4.0, np.array([[4.0], [14.0]]))
+        assert recorder.counts.tolist() == [5, 3]
+        sampled = recorder.sample(np.array([4.0]))
+        np.testing.assert_allclose(sampled[0, :, 0], [4.0, 14.0])
+
+
+# --------------------------------------------------------------------------- #
+# Model layer: randomized fleet corpus
+# --------------------------------------------------------------------------- #
+class TestSimulateBatchCorpus:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_fleet_matches_sequential_within_1e9(self, seed, solver):
+        system = corpus._random_system(seed)
+        archive = corpus._archive_for(f"batch{seed}", system)
+        assert archive.ode_system.kernel.supports_batch
+        models = _fleet_for(system, archive, n_rows=4, seed=3000 + seed)
+        inputs = _corpus_inputs(system)
+        grid = np.linspace(0.0, 2.0, 41)
+        batched = FmuModel.simulate_batch(
+            models, inputs=inputs, start_time=0.0, stop_time=2.0,
+            output_times=grid, solver=solver,
+        )
+        for model, result in zip(models, batched):
+            sequential = model.simulate(
+                inputs=inputs, start_time=0.0, stop_time=2.0,
+                output_times=grid, solver=solver,
+            )
+            for name in list(system.state_names) + list(system.output_names):
+                np.testing.assert_allclose(
+                    result[name], sequential[name], rtol=0, atol=1e-9,
+                    err_msg=f"seed={seed} solver={solver} variable={name}",
+                )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_non_vectorizable_fallback_matches_per_instance_kernels(self, seed):
+        # Force supports_batch=False: the fleet must fall back to the
+        # per-instance *compiled* path and agree exactly.
+        system = corpus._random_system(seed)
+        archive = corpus._archive_for(f"fallback{seed}", system)
+        kernel = archive.ode_system.kernel
+        saved = kernel._derivs_batch
+        kernel._derivs_batch = None
+        try:
+            assert not kernel.supports_batch
+            models = _fleet_for(system, archive, n_rows=3, seed=4000 + seed)
+            inputs = _corpus_inputs(system)
+            batched = FmuModel.simulate_batch(
+                models, inputs=inputs, start_time=0.0, stop_time=2.0, solver="rk45"
+            )
+            for model, result in zip(models, batched):
+                sequential = model.simulate(
+                    inputs=inputs, start_time=0.0, stop_time=2.0, solver="rk45"
+                )
+                assert "batched" not in result.solver_stats
+                for name in system.state_names:
+                    np.testing.assert_array_equal(result[name], sequential[name])
+        finally:
+            kernel._derivs_batch = saved
+
+    @pytest.mark.parametrize(
+        "derivative",
+        [
+            # The vectorized lowering evaluates both conditional branches;
+            # a domain error in the discarded branch must not raise (the
+            # scalar path short-circuits and never sees it).
+            "log(x) if x > 0.5 else 0.1 - 0.2 * x",
+            "sqrt(x) if x > 0.5 else 0.1 - 0.2 * x",
+            "x ** (-0.5) if x > 0.5 else 0.1 - 0.2 * x",
+            "x ** 0.5 if x > 0.5 else 0.1 - 0.2 * x",
+            # Two-argument log: the strict wrappers must broadcast extra
+            # arguments elementwise like a ufunc.
+            "log(x, 2.0) if x > 0.5 else 0.1 - 0.2 * x",
+        ],
+    )
+    def test_discarded_branch_domain_errors_do_not_raise(self, derivative):
+        from repro.fmi.archive import FmuArchive
+        from repro.fmi.dynamics import OdeSystem, StateEquation
+        from repro.fmi.model_description import DefaultExperiment, ModelDescription
+        from repro.fmi.variables import ScalarVariable
+
+        system = OdeSystem(
+            states=[StateEquation(name="x", derivative=derivative, start=-1.0)]
+        )
+        description = ModelDescription(
+            model_name="guarded",
+            default_experiment=DefaultExperiment(start_time=0.0, stop_time=2.0),
+        )
+        description.add_variable(ScalarVariable(name="x", causality="local", start=-1.0))
+        archive = FmuArchive(model_description=description, ode_system=system)
+        models = [FmuModel(archive) for _ in range(2)]
+        models[1].set("x", -2.0)
+        batched = FmuModel.simulate_batch(models, start_time=0.0, stop_time=2.0)
+        for model, result in zip(models, batched):
+            sequential = model.simulate(start_time=0.0, stop_time=2.0)
+            np.testing.assert_allclose(
+                result["x"], sequential["x"], rtol=0, atol=1e-9, err_msg=derivative
+            )
+
+    def test_interpreted_fallback_when_kernel_disabled(self, hp1_archive):
+        models = [FmuModel(hp1_archive, instance_name=f"i{i}") for i in range(2)]
+        hours = np.linspace(0.0, 10.0, 11)
+        inputs = {"u": (hours, 0.5 + 0.4 * np.sin(hours))}
+        hp1_archive.ode_system.compiled_enabled = False
+        try:
+            batched = FmuModel.simulate_batch(
+                models, inputs=inputs, start_time=0.0, stop_time=10.0
+            )
+            sequential = models[0].simulate(
+                inputs=inputs, start_time=0.0, stop_time=10.0
+            )
+        finally:
+            hp1_archive.ode_system.compiled_enabled = True
+        np.testing.assert_array_equal(batched[0]["x"], sequential["x"])
+
+
+class TestSimulateBatchApi:
+    def test_empty_fleet(self):
+        assert FmuModel.simulate_batch([]) == []
+
+    def test_mixed_models_rejected(self, hp1_archive):
+        other = corpus._archive_for("other", corpus._random_system(0))
+        models = [FmuModel(hp1_archive), FmuModel(other)]
+        with pytest.raises(SimulationInputError, match="one model"):
+            FmuModel.simulate_batch(models, start_time=0.0, stop_time=1.0)
+
+    def test_terminated_instance_rejected(self, hp1_archive):
+        models = [FmuModel(hp1_archive), FmuModel(hp1_archive)]
+        models[1].terminate()
+        with pytest.raises(FmuStateError, match="terminated"):
+            FmuModel.simulate_batch(models, start_time=0.0, stop_time=1.0)
+
+    def test_solver_error_reported_sequentially(self):
+        # der(x) = x*x diverges; the batched solve fails mid-flight and the
+        # sequential rerun reports the usual per-instance error.
+        from repro.fmi.archive import FmuArchive
+        from repro.fmi.dynamics import OdeSystem, StateEquation
+        from repro.fmi.model_description import DefaultExperiment, ModelDescription
+        from repro.fmi.variables import ScalarVariable
+
+        system = OdeSystem(states=[StateEquation(name="x", derivative="x * x", start=30.0)])
+        description = ModelDescription(
+            model_name="diverge",
+            default_experiment=DefaultExperiment(start_time=0.0, stop_time=10.0),
+        )
+        description.add_variable(ScalarVariable(name="x", causality="local", start=30.0))
+        archive = FmuArchive(model_description=description, ode_system=system)
+        models = [FmuModel(archive) for _ in range(2)]
+        with pytest.raises(SolverError, match="diverged"):
+            FmuModel.simulate_batch(
+                models, start_time=0.0, stop_time=10.0,
+                solver="euler", solver_options={"step": 0.5},
+            )
+
+    def test_batched_stats_reported(self, hp1_archive):
+        models = [FmuModel(hp1_archive, instance_name=f"i{i}") for i in range(3)]
+        hours = np.linspace(0.0, 10.0, 11)
+        inputs = {"u": (hours, np.full(11, 0.5))}
+        results = FmuModel.simulate_batch(
+            models, inputs=inputs, start_time=0.0, stop_time=10.0
+        )
+        for result in results:
+            assert result.solver_stats["batched"] is True
+            assert result.solver_stats["fleet_size"] == 3
+            assert result.solver_stats["n_steps"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Session layer
+# --------------------------------------------------------------------------- #
+class TestSimulateManyBatching:
+    @pytest.fixture()
+    def fleet_session(self, session_with_data):
+        base = session_with_data.instance("HP1Instance1")
+        ids = ["HP1Instance1"]
+        for i in range(2, 5):
+            clone = base.copy(f"HP1Instance{i}")
+            clone.set_initial("Cp", 1.0 + 0.2 * i)
+            clone.set_initial("R", 0.8 + 0.1 * i)
+            ids.append(str(clone))
+        return session_with_data, ids
+
+    def test_batched_equals_sequential_path(self, fleet_session):
+        session, ids = fleet_session
+        query = "SELECT * FROM measurements"
+        session.simulator.batch_enabled = True
+        batched = session.simulate_many(ids, query)
+        session.simulator.batch_enabled = False
+        sequential = session.simulate_many(ids, query)
+        session.simulator.batch_enabled = True
+        assert list(batched) == list(sequential) == ids
+        for instance_id in ids:
+            assert batched[instance_id].solver_stats.get("batched") is True
+            for name in sequential[instance_id].variables:
+                np.testing.assert_allclose(
+                    batched[instance_id][name],
+                    sequential[instance_id][name],
+                    rtol=0,
+                    atol=1e-9,
+                )
+
+    def test_udf_array_rows_match_sequential(self, fleet_session):
+        session, ids = fleet_session
+        literal = "{" + ", ".join(ids) + "}"
+        batched_rows = session.execute(
+            f"SELECT * FROM fmu_simulate('{literal}', 'SELECT * FROM measurements')"
+        ).rows
+        session.simulator.batch_enabled = False
+        sequential_rows = session.execute(
+            f"SELECT * FROM fmu_simulate('{literal}', 'SELECT * FROM measurements')"
+        ).rows
+        session.simulator.batch_enabled = True
+        assert len(batched_rows) == len(sequential_rows) > 0
+        for got, want in zip(batched_rows, sequential_rows):
+            assert got[:3] == want[:3]
+            assert got[3] == pytest.approx(want[3], abs=1e-9)
+
+    def test_duplicate_ids_simulated_once(self, fleet_session):
+        session, ids = fleet_session
+        results = session.simulate_many(
+            [ids[0], ids[1], ids[0]], "SELECT * FROM measurements"
+        )
+        assert list(results) == [ids[0], ids[1]]
+
+    def test_single_instance_stays_unbatched(self, fleet_session):
+        session, ids = fleet_session
+        results = session.simulate_many([ids[0]], "SELECT * FROM measurements")
+        assert "batched" not in results[ids[0]].solver_stats

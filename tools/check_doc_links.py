@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Check markdown links and anchors in the documentation.
+
+Scans the given markdown files (or directories of ``*.md``) for inline
+links ``[text](target)`` and verifies that
+
+* relative file targets exist on disk (anything that is not http(s)/mailto),
+* ``#anchor`` fragments - both in-page and cross-file - match a heading in
+  the target document, using GitHub's heading-slug rules.
+
+Exits non-zero listing every broken link.  Used by CI over ``docs/`` and
+``README.md``; runnable locally the same way:
+
+    python tools/check_doc_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links; images share the syntax (with a leading ``!``).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    """All heading anchors of a markdown file (with GitHub dedup suffixes)."""
+    slugs: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline link outside code.
+
+    Code fences and inline code spans are skipped, so documenting markdown
+    link *syntax* in backticks does not produce spurious broken links.
+    """
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        line = re.sub(r"`[^`]*`", "", line)
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    """Broken-link messages for one markdown file."""
+    problems: List[str] = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{lineno}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                problems.append(
+                    f"{path}:{lineno}: anchor on non-markdown target {target!r}"
+                )
+            elif fragment not in heading_slugs(resolved):
+                problems.append(f"{path}:{lineno}: missing anchor {target!r}")
+    return problems
+
+
+def collect_markdown(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or ["README.md", "docs"]
+    files = collect_markdown(targets)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(f) for f in files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across: {checked}", file=sys.stderr)
+        return 1
+    print(f"docs links ok: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
