@@ -1,0 +1,232 @@
+"""Population-batched parameter estimation vs. the sequential path (not a paper table).
+
+``fmu_parest`` used to simulate one candidate at a time: population x
+generations full model simulations per calibrated instance.  With
+population batching, every GA generation (and every local-search
+finite-difference stencil) is scored as **one** ``(pop, d)`` batched fleet
+solve through :meth:`repro.fmi.model.FmuModel.simulate_batch` - roughly an
+order of magnitude fewer solver invocations per calibration.
+
+This benchmark calibrates a five-zone heat pump instance end to end through
+``fmu_parest`` (measurement query, GA global stage at population 48, SLSQP
+local refinement, catalogue write-back) with ``batch_enabled`` on and off,
+after asserting the two paths return **identical** estimates (parameters,
+error and evaluation counts are bit-equal - the batched solver walks the
+same step sequences).  Target: >= 3x end-to-end at population >= 24; the
+record also reports the smaller populations to show the scaling.
+
+Run with:  pytest benchmarks/bench_population_estimation.py
+      or:  python benchmarks/bench_population_estimation.py [--smoke]
+
+``--smoke`` runs a reduced-budget pass (used by CI to exercise the batched
+estimation path and the equivalence check on every push without timing
+flakiness); it still writes ``BENCH_population_estimation.json``, flagged
+with ``"smoke": true``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation path
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+    _HERE = Path(__file__).resolve().parent
+    if str(_HERE) not in sys.path:
+        sys.path.insert(0, str(_HERE))
+
+from bench_simulation_kernels import HP5_SOURCE
+
+from repro.core.session import Session
+from repro.fmi.model import FmuModel
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_population_estimation.json"
+
+POPULATION = 48
+GENERATIONS = 12
+PARAMETERS = ["Cp1", "R12"]
+TRUE_VALUES = {"Cp1": 1.8, "R12": 1.0}
+
+
+def _build_session(population: int, generations: int, hours: float) -> Session:
+    """A session with one HP5 instance and truth-derived measurements."""
+    session = Session(
+        register_ml=False,
+        ga_options={"population_size": population, "generations": generations,
+                    "patience": None},
+        local_options={"max_iterations": 5},
+        seed=1,
+    )
+    instance = session.create(HP5_SOURCE, "HP5Cal")
+    # Informed bounds, as a pgFMU user would set them with fmu_set_minimum /
+    # fmu_set_maximum: the box stays inside the objective solver's stable
+    # region, so candidates calibrate instead of diverging.
+    instance.set_bounds("Cp1", 0.8, 6.0)
+    instance.set_bounds("R12", 0.4, 6.0)
+
+    grid = np.linspace(0.0, hours, int(hours * 4) + 1)
+    u = 0.5 + 0.4 * np.sin(grid / 5.0)
+    truth = session.catalog.runtime_model("HP5Cal").clone()
+    truth.set_many(TRUE_VALUES)
+    measured = truth.simulate(
+        inputs={"u": (grid, u)},
+        start_time=0.0,
+        stop_time=hours,
+        output_times=grid,
+        solver="rk4",
+        solver_options={"step": float(grid[1] - grid[0])},
+    )
+    cursor = session.cursor()
+    cursor.execute(
+        "CREATE TABLE m (time double precision, u double precision, x1 double precision)"
+    )
+    cursor.executemany(
+        "INSERT INTO m VALUES ($1, $2, $3)",
+        [
+            [float(t), float(uv), float(xv)]
+            for t, uv, xv in zip(grid, u, measured["x1"])
+        ],
+    )
+    return session
+
+
+def _run_parest(population: int, generations: int, hours: float, batch: bool):
+    """One end-to-end fmu_parest run; returns (seconds, outcome, solver calls)."""
+    session = _build_session(population, generations, hours)
+    session.estimator.batch_enabled = batch
+
+    solve_calls = {"sequential": 0, "batched": 0}
+    real_simulate = FmuModel.simulate
+    real_simulate_batch = FmuModel.simulate_batch
+
+    def counting_simulate(self, *args, **kwargs):
+        solve_calls["sequential"] += 1
+        return real_simulate(self, *args, **kwargs)
+
+    def counting_simulate_batch(models, *args, **kwargs):
+        solve_calls["batched"] += 1
+        return real_simulate_batch(models, *args, **kwargs)
+
+    FmuModel.simulate = counting_simulate
+    FmuModel.simulate_batch = staticmethod(counting_simulate_batch)
+    try:
+        started = time.perf_counter()
+        outcomes = session.parest(
+            ["HP5Cal"], ["SELECT * FROM m"], parameters=list(PARAMETERS)
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        FmuModel.simulate = real_simulate
+        FmuModel.simulate_batch = staticmethod(real_simulate_batch)
+    return elapsed, outcomes[0], solve_calls
+
+
+def measure_population_estimation(
+    population: int = POPULATION,
+    generations: int = GENERATIONS,
+    hours: float = 48.0,
+    rounds: int = 3,
+) -> dict:
+    # Equivalence first: the two paths must return identical estimates.
+    _, batched_outcome, batched_calls = _run_parest(population, generations, hours, True)
+    _, sequential_outcome, sequential_calls = _run_parest(
+        population, generations, hours, False
+    )
+    assert batched_outcome.parameters == sequential_outcome.parameters, (
+        "batched and sequential fmu_parest disagree: "
+        f"{batched_outcome.parameters} vs {sequential_outcome.parameters}"
+    )
+    assert batched_outcome.error == sequential_outcome.error
+    assert batched_outcome.n_evaluations == sequential_outcome.n_evaluations
+
+    # Symmetric, interleaved best-of-N timing (see bench_simulation_kernels):
+    # alternating the two paths keeps CPU frequency drift off the ratio.
+    batched_s = sequential_s = float("inf")
+    for _ in range(rounds):
+        elapsed, _, _ = _run_parest(population, generations, hours, True)
+        batched_s = min(batched_s, elapsed)
+        elapsed, _, _ = _run_parest(population, generations, hours, False)
+        sequential_s = min(sequential_s, elapsed)
+
+    total_sequential_solves = sequential_calls["sequential"]
+    total_batched_solves = batched_calls["batched"] + batched_calls["sequential"]
+    return {
+        "benchmark": "population_estimation",
+        "model": "HP5",
+        "parameters": list(PARAMETERS),
+        "population": population,
+        "generations": generations,
+        "hours": hours,
+        "error": batched_outcome.error,
+        "estimates": batched_outcome.parameters,
+        "n_evaluations": batched_outcome.n_evaluations,
+        "sequential_solver_invocations": total_sequential_solves,
+        "batched_solver_invocations": total_batched_solves,
+        "solver_invocation_ratio": round(
+            total_sequential_solves / max(1, total_batched_solves), 1
+        ),
+        "sequential_s": round(sequential_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup": round(sequential_s / batched_s, 2),
+    }
+
+
+def write_record(record: dict) -> Path:
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return RECORD_PATH
+
+
+def test_population_estimation_speedup():
+    record = measure_population_estimation()
+    # Scaling context: smaller populations, one timing round each.
+    record["scaling"] = [
+        {
+            "population": population,
+            "speedup": measure_population_estimation(
+                population=population, rounds=1
+            )["speedup"],
+        }
+        for population in (24, 32)
+    ]
+    write_record(record)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    assert record["population"] >= 24
+    assert record["speedup"] >= 3.0
+    assert record["solver_invocation_ratio"] >= 5.0
+
+
+def smoke() -> None:
+    """Exercise (not gate) the batched estimation path: equivalence plus a
+    short timing at a reduced budget."""
+    record = measure_population_estimation(
+        population=24, generations=4, hours=24.0, rounds=1
+    )
+    record["smoke"] = True
+    write_record(record)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    print("smoke ok: batched and sequential fmu_parest estimates are identical")
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+    else:
+        record = measure_population_estimation()
+        record["scaling"] = [
+            {
+                "population": population,
+                "speedup": measure_population_estimation(
+                    population=population, rounds=1
+                )["speedup"],
+            }
+            for population in (24, 32)
+        ]
+        write_record(record)
+        print(json.dumps(record, indent=2, sort_keys=True))

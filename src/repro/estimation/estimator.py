@@ -72,6 +72,14 @@ class Estimation:
         ...).  Benchmarks use these to scale the experiment budget.
     seed:
         Seed for the GA stage.
+    batch_enabled:
+        Score whole GA generations and local-search gradient stencils as
+        one batched ``(pop, d)`` fleet solve
+        (:meth:`SimulationObjective.evaluate_population`) instead of one
+        simulation per candidate.  Results are identical either way for a
+        fixed seed; ``False`` forces the sequential per-candidate loop.
+        Non-batchable models (interpreted path, non-vectorizable kernels)
+        fall back to it automatically.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class Estimation:
         solver_options: Optional[dict] = None,
         seed: Optional[int] = 1,
         memo: bool = True,
+        batch_enabled: bool = True,
     ):
         self.model = model
         self.measurements = measurements
@@ -105,6 +114,7 @@ class Estimation:
             solver=solver,
             solver_options=solver_options,
             memo=memo,
+            batch_enabled=batch_enabled,
         )
 
     # ------------------------------------------------------------------ #
@@ -173,7 +183,14 @@ class Estimation:
         if method in ("global+local", "global"):
             ga = GeneticAlgorithm(self.bounds, seed=self.seed, **self.ga_options)
             started = time.perf_counter()
-            ga_result = ga.run(self.objective, initial_guess=guess)
+            # Each generation scores as one batched fleet solve; the scorer
+            # itself falls back to the sequential per-candidate loop when
+            # batching is disabled or the model cannot batch.
+            ga_result = ga.run(
+                self.objective,
+                initial_guess=guess,
+                population_objective=self.objective.evaluate_population,
+            )
             global_time = time.perf_counter() - started
             n_evaluations += ga_result.n_evaluations
             history.extend(ga_result.history)
@@ -191,7 +208,11 @@ class Estimation:
         if method in ("global+local", "local"):
             local = LocalSearch(self.bounds, **self.local_options)
             started = time.perf_counter()
-            local_result = local.run(self.objective, best)
+            local_result = local.run(
+                self.objective,
+                best,
+                population_objective=self.objective.evaluate_population,
+            )
             local_time = time.perf_counter() - started
             n_evaluations += local_result.n_evaluations
             history.extend(local_result.history)

@@ -131,12 +131,38 @@ class GeneticAlgorithm:
         self,
         objective: Callable[[np.ndarray], float],
         initial_guess: Optional[Sequence[float]] = None,
+        population_objective: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> GaResult:
-        """Minimize ``objective`` within the bounds and return the best point."""
+        """Minimize ``objective`` within the bounds and return the best point.
+
+        Parameters
+        ----------
+        objective:
+            Per-candidate objective ``theta -> error``.
+        initial_guess:
+            Optional starting point copied into the initial population.
+        population_objective:
+            Optional population scorer ``(pop, d) matrix -> (pop,) errors``
+            used to evaluate each generation in one call (e.g.
+            :meth:`SimulationObjective.evaluate_population`, which runs all
+            candidates as one batched fleet solve).  The GA draws all of a
+            generation's random numbers *before* scoring it, so swapping the
+            scorer never changes the RNG stream: seeded runs are
+            bit-identical whether candidates are scored one by one or as a
+            population.
+        """
         lows, highs = self._lows_highs()
         guess = None if initial_guess is None else np.asarray(initial_guess, dtype=float)
+
+        if population_objective is not None:
+            def score(population: np.ndarray) -> np.ndarray:
+                return np.asarray(population_objective(population), dtype=float)
+        else:
+            def score(population: np.ndarray) -> np.ndarray:
+                return np.array([objective(ind) for ind in population])
+
         population = self._initial_population(guess)
-        errors = np.array([objective(ind) for ind in population])
+        errors = score(population)
         n_evaluations = len(population)
         history: List[float] = [float(np.min(errors))]
 
@@ -155,7 +181,7 @@ class GeneticAlgorithm:
                 child = self._mutate(self._crossover(parent_a, parent_b))
                 next_population.append(np.clip(child, lows, highs))
             population = np.vstack(next_population)
-            errors = np.array([objective(ind) for ind in population])
+            errors = score(population)
             n_evaluations += len(population)
 
             generation_best = int(np.argmin(errors))

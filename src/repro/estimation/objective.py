@@ -146,6 +146,16 @@ class SimulationObjective:
         configuration are fixed for the lifetime of an objective, so a cache
         entry can never go stale within one estimation; disable with
         ``memo=False`` when mutating the model between calls.
+    batch_enabled:
+        Evaluate whole candidate populations as one batched ``(pop, d)``
+        fleet solve (:meth:`evaluate_population` via
+        :meth:`FmuModel.simulate_batch`) instead of one simulation per
+        candidate.  Batched values, evaluation counts and cache-hit counts
+        are identical to the sequential path; ``False`` forces the
+        per-candidate loop (the escape hatch the equivalence corpus and the
+        population benchmark flip).  Models that cannot batch (interpreted
+        path, non-vectorizable kernels) fall back to the sequential loop
+        automatically, as does a batched solve that fails mid-flight.
     """
 
     def __init__(
@@ -158,6 +168,7 @@ class SimulationObjective:
         solver_options: Optional[dict] = None,
         align_initial_state: bool = True,
         memo: bool = True,
+        batch_enabled: bool = True,
     ):
         self.model = model
         self.measurements = measurements
@@ -211,6 +222,7 @@ class SimulationObjective:
                         self.initial_state_values[name] = float(finite[0])
         self.n_evaluations = 0
         self.memo_enabled = bool(memo)
+        self.batch_enabled = bool(batch_enabled)
         self.n_cache_hits = 0
         self._memo: Dict[bytes, float] = {}
 
@@ -282,6 +294,10 @@ class SimulationObjective:
         except Exception:
             # A diverging candidate (e.g. an unstable pole) is penalized, not fatal.
             return float("inf")
+        return self._score(result)
+
+    def _score(self, result) -> float:
+        """Mean RMSE of a simulation result against the observed series."""
         errors = []
         for name in self.observed_names:
             measured = self.measurements.series[name]
@@ -293,6 +309,142 @@ class SimulationObjective:
         if not errors:
             return float("inf")
         return float(np.mean(errors))
+
+    # ------------------------------------------------------------------ #
+    # Population evaluation (batched fleet solve)
+    # ------------------------------------------------------------------ #
+    def population_batchable(self) -> bool:
+        """Whether candidate populations can run as one batched fleet solve."""
+        system = self.model.ode_system
+        if not system.compiled_enabled:
+            return False
+        kernel = system.kernel
+        return kernel is not None and kernel.supports_batch
+
+    def evaluate_population(self, thetas) -> np.ndarray:
+        """Score a whole ``(pop, d)`` population of candidate vectors.
+
+        The population's inputs, measurement window and output grid are
+        bound once and all cache-missing candidates integrate as a single
+        batched fleet solve (:meth:`FmuModel.simulate_batch` over one clone
+        per candidate), instead of one simulation per candidate.  Semantics
+        match scoring the rows one by one in order:
+
+        * the memo cache is consulted per row before the solve, and a row
+          repeating an **earlier row of the same population** (GA elitism
+          duplicates) counts as a cache hit - exactly as it would
+          sequentially, where the first occurrence simulates and populates
+          the cache before the repeat is scored;
+        * misses are deduplicated, batched together, and counted in
+          :attr:`n_evaluations` once each;
+        * with the memo disabled every row simulates, duplicates included,
+          so counters stay comparable across configurations;
+        * the model is left holding the last row's candidate values, the
+          state the sequential loop's ``simulate`` side effect leaves.
+
+        Falls back to the sequential per-candidate loop when
+        ``batch_enabled`` is off, when the model cannot batch (interpreted
+        path or non-vectorizable kernel), or when the batched solve fails
+        mid-flight (the sequential rerun then penalizes the diverging
+        candidates with ``inf`` exactly as :meth:`__call__` would).
+        """
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.ndim != 2 or thetas.shape[1] != len(self.parameter_names):
+            raise EstimationError(
+                f"population must be a (pop, {len(self.parameter_names)}) "
+                f"matrix, got shape {thetas.shape}"
+            )
+        n_rows = thetas.shape[0]
+        if n_rows == 0:
+            return np.empty(0)
+        if not (self.batch_enabled and self.population_batchable()):
+            return np.array([self(theta) for theta in thetas])
+
+        errors = np.empty(n_rows)
+        if self.memo_enabled:
+            keys = [self._memo_key(theta) for theta in thetas]
+            resolved = np.zeros(n_rows, dtype=bool)
+            scheduled: Dict[bytes, int] = {}
+            miss_rows: List[int] = []
+            hits = 0
+            for row, key in enumerate(keys):
+                cached = self._memo.get(key)
+                if cached is not None:
+                    errors[row] = cached
+                    resolved[row] = True
+                    hits += 1
+                elif key in scheduled:
+                    # Duplicate within this population: resolved from the
+                    # memo after the batch fills it.
+                    hits += 1
+                else:
+                    scheduled[key] = row
+                    miss_rows.append(row)
+            self.n_cache_hits += hits
+            if miss_rows:
+                miss_errors = self._evaluate_batch(thetas[miss_rows])
+                for row, error in zip(miss_rows, miss_errors):
+                    errors[row] = error
+                    resolved[row] = True
+                    self._memo[keys[row]] = float(error)
+            for row in np.where(~resolved)[0]:
+                errors[row] = self._memo[keys[row]]
+        else:
+            errors[:] = self._evaluate_batch(thetas)
+
+        # Preserve the sequential loop's side effect: the model reflects the
+        # last candidate that was scored (see ``simulate``/``__call__``).
+        self.model.set_many(dict(zip(self.parameter_names, thetas[-1])))
+        if self.initial_state_values:
+            self.model.set_many(self.initial_state_values)
+        return errors
+
+    def _evaluate_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """Simulate the given candidates as one fleet and score each row.
+
+        A batched solve aborts wholesale when *any* row diverges (the solver
+        raises before the stable rows finish), and a GA population searching
+        a wide box routinely contains such candidates - so a failed fleet is
+        **bisected** rather than rerun row by row: stable halves still solve
+        batched, and only the genuinely diverging candidates degrade to a
+        single sequential evaluation (which penalizes them with ``inf``,
+        exactly as the sequential path would).  Per-row results are
+        independent of the batch they solve in, so the split does not change
+        any candidate's score.
+        """
+        if len(thetas) == 1:
+            return np.array([self._evaluate(thetas[0])])
+        try:
+            results = self._simulate_population(thetas)
+        except Exception:
+            mid = len(thetas) // 2
+            return np.concatenate(
+                [self._evaluate_batch(thetas[:mid]), self._evaluate_batch(thetas[mid:])]
+            )
+        self.n_evaluations += len(thetas)
+        return np.array([self._score(result) for result in results])
+
+    def _simulate_population(self, thetas: np.ndarray):
+        """One batched fleet solve over a clone of the model per candidate."""
+        candidates = []
+        for theta in thetas:
+            candidate = self.model.clone()
+            candidate.set_many(dict(zip(self.parameter_names, theta)))
+            if self.initial_state_values:
+                candidate.set_many(self.initial_state_values)
+            candidates.append(candidate)
+        return FmuModel.simulate_batch(
+            candidates,
+            inputs=self.input_series,
+            start_time=float(self.measurements.time[0]),
+            stop_time=float(self.measurements.time[-1]),
+            output_times=self.measurements.time,
+            solver=self.solver,
+            solver_options=self.solver_options,
+            # A diverging candidate should cost one aborted batch, not a
+            # sequential rerun of the whole fleet; _evaluate_batch bisects.
+            sequential_fallback=False,
+        )
 
     def error_for(self, parameter_values: Mapping[str, float]) -> float:
         """Convenience: evaluate the objective for named parameter values."""

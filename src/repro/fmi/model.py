@@ -153,6 +153,19 @@ class _BatchKernelBindings:
             u[:, slot] = np.interp(t, times, values)
         return u
 
+    def restricted(self, rows: np.ndarray) -> "_BatchKernelBindings":
+        """Bindings for a subset of the fleet's rows (active-set compaction).
+
+        The measured series are shared by every row, so restriction only
+        narrows the per-row start-value matrix; interpolation stays
+        elementwise and therefore bit-identical for the kept rows.
+        """
+        sub = object.__new__(_BatchKernelBindings)
+        sub.base = self.base[rows]
+        sub.series = self.series
+        sub._buffer = sub.base.copy()
+        return sub
+
     def input_tensor(self, grid: np.ndarray) -> np.ndarray:
         """The ``(N, n_grid, n_inputs)`` input trajectories for vectorized outputs."""
         n_rows = self.base.shape[0]
@@ -278,6 +291,21 @@ class FmuModel:
         """Snapshot of current parameter values."""
         return dict(self._parameter_values)
 
+    def clone(self, instance_name: Optional[str] = None) -> "FmuModel":
+        """A new instance of the same archive carrying this instance's
+        current parameter, state-start and input-start values.
+
+        Cloning shares the archive (and therefore the compiled kernel) -
+        only the per-instance value dictionaries are copied.  The
+        estimation layer uses this to stage a whole population of candidate
+        parameter vectors as a fleet for :meth:`simulate_batch`.
+        """
+        twin = FmuModel(self._archive, instance_name=instance_name or self.instance_name)
+        twin._parameter_values = dict(self._parameter_values)
+        twin._state_starts = dict(self._state_starts)
+        twin._input_starts = dict(self._input_starts)
+        return twin
+
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
@@ -399,6 +427,7 @@ class FmuModel:
         output_times: Optional[Sequence[float]] = None,
         solver: str = "rk45",
         solver_options: Optional[dict] = None,
+        sequential_fallback: bool = True,
     ) -> List[SimulationResult]:
         """Simulate a fleet of instances of **one** model in a single batched pass.
 
@@ -424,6 +453,14 @@ class FmuModel:
         (``supports_batch=False``), or a batched integration that fails
         mid-flight (divergence, step-limit): the sequential rerun then
         reproduces the exact per-instance error semantics.
+
+        ``sequential_fallback=False`` suppresses only the *mid-flight* rerun:
+        a :class:`~repro.errors.SolverError` from the batched integration
+        propagates immediately instead of re-simulating every instance.
+        Callers that score fleets where individual rows are *expected* to
+        diverge (the estimation layer's candidate populations) use this to
+        bisect the fleet themselves rather than pay a full sequential pass
+        per failure.  The non-batchable fallbacks above are unaffected.
         """
         models = list(models)
         if not models:
@@ -484,9 +521,26 @@ class FmuModel:
             except ZeroDivisionError:
                 raise kernel.division_error() from None
 
+        def restrict(rows):
+            # Active-set compaction support: the adaptive batch solver drops
+            # finished rows, so the rhs/inputs must re-bind to the survivors
+            # (row-sliced parameter matrix and start values; the kernel is
+            # elementwise over rows, so the kept rows' values are bit-exact).
+            P_rows = P[rows]
+            sub_bindings = bindings.restricted(rows)
+
+            def rhs_rows(t, X, U):
+                try:
+                    return kernel_derivs_batch(t, X, U, P_rows, np.empty_like(X))
+                except ZeroDivisionError:
+                    raise kernel.division_error() from None
+
+            return rhs_rows, sub_bindings.inputs_at
+
         try:
             problem = BatchOdeProblem(
-                rhs=rhs, x0=x0, t0=t0, t1=t1, inputs=bindings.inputs_at
+                rhs=rhs, x0=x0, t0=t0, t1=t1, inputs=bindings.inputs_at,
+                restrict=restrict,
             )
             options = dict(solver_options or {})
             solution = get_solver(solver, **options).solve_batch(
@@ -495,6 +549,8 @@ class FmuModel:
         except SolverError:
             # Rerun sequentially so the error (divergence, step limit) is
             # reported with the exact per-instance message and semantics.
+            if not sequential_fallback:
+                raise
             return simulate_sequentially()
 
         # Vectorized outputs over the whole fleet x grid in one pass.

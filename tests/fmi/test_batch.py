@@ -1,10 +1,12 @@
 """Batched fleet simulation tests: kernels, solvers, model and session layer.
 
-The randomized corpus (shared with ``test_kernel``) builds fleets of
-instances with per-instance parameters and start values, then asserts that
-batched trajectories match per-instance compiled runs within 1e-9 for every
-solver - including RK45, whose batched variant controls errors per row so
-each row walks the same step sequence the sequential solver would.
+The randomized corpus (drawn from the shared factory in
+``tests/conftest.py``) builds fleets of instances with per-instance
+parameters and start values, then asserts that batched trajectories match
+per-instance compiled runs within 1e-9 for every solver - including RK45,
+whose batched variant controls errors per row so each row walks the same
+step sequence the sequential solver would, and whose active set compacts
+as rows finish.
 """
 
 from __future__ import annotations
@@ -14,7 +16,6 @@ import random
 import numpy as np
 import pytest
 
-import test_kernel as corpus
 from repro.errors import FmuStateError, SimulationInputError, SolverError
 from repro.fmi.model import FmuModel
 from repro.solvers import get_solver
@@ -30,34 +31,13 @@ from repro.solvers.euler import EulerSolver
 ALL_SOLVERS = ("euler", "rk4", "rk45")
 
 
-def _fleet_for(system, archive, n_rows: int, seed: int):
-    """N instances of one archive with randomized parameters and starts."""
-    rng = random.Random(seed)
-    models = []
-    for i in range(n_rows):
-        model = FmuModel(archive, instance_name=f"row{i}")
-        for name in system.parameters:
-            model.set(name, rng.uniform(0.5, 2.0))
-        for name in system.state_names:
-            model.set(name, rng.uniform(-1.0, 1.0))
-        models.append(model)
-    return models
-
-
-def _corpus_inputs(system):
-    return {
-        name: (np.linspace(0.0, 2.0, 21), np.sin(np.linspace(0.0, 6.0, 21) + i))
-        for i, name in enumerate(system.inputs)
-    } or None
-
-
 # --------------------------------------------------------------------------- #
 # Kernel layer
 # --------------------------------------------------------------------------- #
 class TestBatchKernel:
     @pytest.mark.parametrize("seed", range(8))
-    def test_derivs_batch_matches_scalar_rows(self, seed):
-        system = corpus._random_system(seed)
+    def test_derivs_batch_matches_scalar_rows(self, seed, random_system):
+        system = random_system(seed)
         kernel = system.kernel
         assert kernel is not None and kernel.supports_batch
         rng = random.Random(100 + seed)
@@ -81,8 +61,8 @@ class TestBatchKernel:
             np.testing.assert_array_equal(batched[row], scalar)
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_outputs_batch_matches_per_row_outputs(self, seed):
-        system = corpus._random_system(seed)
+    def test_outputs_batch_matches_per_row_outputs(self, seed, random_system):
+        system = random_system(seed)
         kernel = system.kernel
         rng = np.random.default_rng(200 + seed)
         n_rows, n_times = 4, 11
@@ -221,17 +201,140 @@ class TestBatchSolvers:
 
 
 # --------------------------------------------------------------------------- #
+# RK45 active-set compaction
+# --------------------------------------------------------------------------- #
+def _compactable_decay_problem(rates: np.ndarray, t1: float = 2.0):
+    """Per-row exponential decays with a restrict hook and an RHS probe.
+
+    Returns ``(problem, calls, widths)`` where ``calls[row]`` counts how
+    many rhs evaluations covered the (original) row and ``widths`` records
+    the working-set width of every rhs call.
+    """
+    n_rows = len(rates)
+    calls = np.zeros(n_rows, dtype=int)
+    widths: list = []
+
+    def make_rhs(sub_rates, sub_rows):
+        def rhs(t, X, _u):
+            calls[sub_rows] += 1
+            widths.append(X.shape[0])
+            return -sub_rates[:, None] * X
+
+        return rhs
+
+    def restrict(rows):
+        return make_rhs(rates[rows], np.asarray(rows)), None
+
+    problem = BatchOdeProblem(
+        rhs=make_rhs(rates, np.arange(n_rows)),
+        x0=np.ones((n_rows, 1)),
+        t0=0.0,
+        t1=t1,
+        restrict=restrict,
+    )
+    return problem, calls, widths
+
+
+class TestActiveSetCompaction:
+    def test_one_slow_row_stays_bit_exact(self):
+        # Rows 0/1 are tame and finish in few steps; row 2 is stiff and
+        # keeps the solve alive long after they are compacted away.
+        rates = np.array([0.5, 0.8, 60.0])
+        problem, _, widths = _compactable_decay_problem(rates)
+        grid = np.linspace(0.0, 2.0, 21)
+        batched = get_solver("rk45").solve_batch(problem, output_times=grid)
+        assert min(widths) == 1  # eventually only the stiff row is evaluated
+        for row, rate in enumerate(rates):
+            scalar = get_solver("rk45").solve(
+                OdeProblem(
+                    rhs=lambda t, x, u, _r=rate: -_r * x,
+                    x0=problem.x0[row],
+                    t0=0.0,
+                    t1=2.0,
+                ),
+                output_times=grid,
+            )
+            np.testing.assert_array_equal(batched.states[:, row, :], scalar.states)
+            assert int(batched.n_steps[row]) == scalar.n_steps
+            assert int(batched.n_rejected[row]) == scalar.n_rejected
+
+    def test_finished_rows_stop_being_evaluated(self):
+        rates = np.array([0.5, 60.0])
+        problem, calls, widths = _compactable_decay_problem(rates)
+        get_solver("rk45").solve_batch(problem)
+        # The tame row stops accumulating rhs calls once it finishes; the
+        # stiff row keeps stepping at width 1 afterwards.
+        assert calls[0] < calls[1]
+        assert widths[-1] == 1
+        # Width-1 iterations evaluate only the stiff row: the tame row was
+        # touched by exactly the full-width calls, nothing after compaction.
+        assert calls[0] == sum(1 for w in widths if w == 2)
+        assert calls[1] == len(widths)
+
+    def test_without_restrict_full_width_is_evaluated(self):
+        rates = np.array([0.5, 60.0])
+        n_rows = len(rates)
+        calls = np.zeros(n_rows, dtype=int)
+
+        def rhs(t, X, _u):
+            calls[:] += 1
+            return -rates[:, None] * X
+
+        problem = BatchOdeProblem(rhs=rhs, x0=np.ones((n_rows, 1)), t0=0.0, t1=2.0)
+        get_solver("rk45").solve_batch(problem)
+        # No restrict hook: finished rows are still evaluated (and
+        # discarded), so both counters stay in lockstep.
+        assert calls[0] == calls[1]
+
+    def test_compaction_matches_uncompacted_solve(self):
+        rates = np.array([0.4, 1.1, 7.0, 45.0])
+        compactable, _, _ = _compactable_decay_problem(rates)
+        plain = BatchOdeProblem(
+            rhs=lambda t, X, _u: -rates[:, None] * X,
+            x0=np.ones((len(rates), 1)),
+            t0=0.0,
+            t1=2.0,
+        )
+        grid = np.linspace(0.0, 2.0, 31)
+        with_compaction = get_solver("rk45").solve_batch(compactable, output_times=grid)
+        without = get_solver("rk45").solve_batch(plain, output_times=grid)
+        np.testing.assert_array_equal(with_compaction.states, without.states)
+        np.testing.assert_array_equal(with_compaction.n_steps, without.n_steps)
+        np.testing.assert_array_equal(with_compaction.n_rejected, without.n_rejected)
+
+    def test_model_layer_ragged_fleet_matches_sequential(self, hp1_archive):
+        # Per-instance parameters that make row time constants differ by two
+        # orders of magnitude, so compaction kicks in inside simulate_batch.
+        models = [FmuModel(hp1_archive, instance_name=f"i{i}") for i in range(3)]
+        for model, cp in zip(models, (1.5, 0.15, 0.015)):
+            model.set("Cp", cp)
+        hours = np.linspace(0.0, 10.0, 11)
+        inputs = {"u": (hours, 0.5 + 0.4 * np.sin(hours))}
+        batched = FmuModel.simulate_batch(
+            models, inputs=inputs, start_time=0.0, stop_time=10.0
+        )
+        assert int(batched[2].solver_stats["n_steps"]) > int(batched[0].solver_stats["n_steps"])
+        for model, result in zip(models, batched):
+            sequential = model.simulate(inputs=inputs, start_time=0.0, stop_time=10.0)
+            for name in ("x", "y"):
+                np.testing.assert_array_equal(result[name], sequential[name])
+            assert result.solver_stats["n_steps"] == sequential.solver_stats["n_steps"]
+
+
+# --------------------------------------------------------------------------- #
 # Model layer: randomized fleet corpus
 # --------------------------------------------------------------------------- #
 class TestSimulateBatchCorpus:
     @pytest.mark.parametrize("seed", range(10))
     @pytest.mark.parametrize("solver", ALL_SOLVERS)
-    def test_fleet_matches_sequential_within_1e9(self, seed, solver):
-        system = corpus._random_system(seed)
-        archive = corpus._archive_for(f"batch{seed}", system)
+    def test_fleet_matches_sequential_within_1e9(
+        self, seed, solver, random_system, random_archive, random_fleet, corpus_inputs
+    ):
+        system = random_system(seed)
+        archive = random_archive(f"batch{seed}", system)
         assert archive.ode_system.kernel.supports_batch
-        models = _fleet_for(system, archive, n_rows=4, seed=3000 + seed)
-        inputs = _corpus_inputs(system)
+        models = random_fleet(system, archive, n_rows=4, seed=3000 + seed)
+        inputs = corpus_inputs(system)
         grid = np.linspace(0.0, 2.0, 41)
         batched = FmuModel.simulate_batch(
             models, inputs=inputs, start_time=0.0, stop_time=2.0,
@@ -249,18 +352,20 @@ class TestSimulateBatchCorpus:
                 )
 
     @pytest.mark.parametrize("seed", range(3))
-    def test_non_vectorizable_fallback_matches_per_instance_kernels(self, seed):
+    def test_non_vectorizable_fallback_matches_per_instance_kernels(
+        self, seed, random_system, random_archive, random_fleet, corpus_inputs
+    ):
         # Force supports_batch=False: the fleet must fall back to the
         # per-instance *compiled* path and agree exactly.
-        system = corpus._random_system(seed)
-        archive = corpus._archive_for(f"fallback{seed}", system)
+        system = random_system(seed)
+        archive = random_archive(f"fallback{seed}", system)
         kernel = archive.ode_system.kernel
         saved = kernel._derivs_batch
         kernel._derivs_batch = None
         try:
             assert not kernel.supports_batch
-            models = _fleet_for(system, archive, n_rows=3, seed=4000 + seed)
-            inputs = _corpus_inputs(system)
+            models = random_fleet(system, archive, n_rows=3, seed=4000 + seed)
+            inputs = corpus_inputs(system)
             batched = FmuModel.simulate_batch(
                 models, inputs=inputs, start_time=0.0, stop_time=2.0, solver="rk45"
             )
@@ -334,8 +439,8 @@ class TestSimulateBatchApi:
     def test_empty_fleet(self):
         assert FmuModel.simulate_batch([]) == []
 
-    def test_mixed_models_rejected(self, hp1_archive):
-        other = corpus._archive_for("other", corpus._random_system(0))
+    def test_mixed_models_rejected(self, hp1_archive, random_system, random_archive):
+        other = random_archive("other", random_system(0))
         models = [FmuModel(hp1_archive), FmuModel(other)]
         with pytest.raises(SimulationInputError, match="one model"):
             FmuModel.simulate_batch(models, start_time=0.0, stop_time=1.0)

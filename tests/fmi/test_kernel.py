@@ -1,9 +1,10 @@
 """Compiled-kernel tests: codegen, equivalence corpus, and the fast simulate path.
 
-The corpus generates random ODE systems exercising every whitelisted
-function plus conditionals, boolean operators, chained comparisons and
-min/max, then asserts that full simulations agree between the compiled
-kernel and the interpreted path within 1e-9 on every trajectory.
+The corpus draws random ODE systems from the shared factory in
+``tests/conftest.py`` (every whitelisted function plus conditionals,
+boolean operators, chained comparisons and min/max) and asserts that full
+simulations agree between the compiled kernel and the interpreted path
+within 1e-9 on every trajectory.
 """
 
 from __future__ import annotations
@@ -20,126 +21,12 @@ from repro.fmi.kernel import SimulationKernel, build_kernel
 
 
 # --------------------------------------------------------------------------- #
-# Random system generation
-# --------------------------------------------------------------------------- #
-def _leaf(rng: random.Random, names) -> str:
-    if rng.random() < 0.55 and names:
-        return rng.choice(names)
-    if rng.random() < 0.15:
-        return rng.choice(["pi", "e"])
-    return f"{rng.uniform(-2.0, 2.0):.4f}"
-
-
-def _expr(rng: random.Random, names, depth: int) -> str:
-    """A random, numerically tame expression over the given names.
-
-    Divisors are bounded away from zero and growth is damped with tanh so
-    random systems never diverge over the simulated window.
-    """
-    if depth <= 0:
-        return _leaf(rng, names)
-    a = _expr(rng, names, depth - 1)
-    b = _expr(rng, names, depth - 1)
-    form = rng.randrange(14)
-    if form == 0:
-        return f"({a} + {b})"
-    if form == 1:
-        return f"({a} - {b})"
-    if form == 2:
-        return f"(0.5 * {a} * tanh({b}))"
-    if form == 3:
-        return f"({a} / (1.5 + abs({b})))"
-    if form == 4:
-        fn = rng.choice(["sin", "cos", "tanh"])
-        return f"{fn}({a})"
-    if form == 5:
-        fn = rng.choice(["sqrt", "log", "log10"])
-        return f"{fn}(1.0 + abs({a}))"
-    if form == 6:
-        return f"exp(-abs({a}))"
-    if form == 7:
-        return f"min({a}, {b}, 1.5)" if rng.random() < 0.5 else f"max({a}, {b})"
-    if form == 8:
-        return f"({a} if {b} > 0.1 else -0.5 * {b})"
-    if form == 9:
-        return f"(1.0 if {a} > 0 and {b} < 1 else 0.25)"
-    if form == 10:
-        return f"(0.5 if -1 < {a} < 1 else sign({a}))"
-    if form == 11:
-        fn = rng.choice(["floor", "ceil"])
-        return f"(0.1 * {fn}({a}))"
-    if form == 12:
-        return f"({a} % 3.7)"
-    return f"(-{a}) ** 2 % 2.5"
-
-
-def _random_system(seed: int) -> OdeSystem:
-    rng = random.Random(seed)
-    n_states = rng.randint(1, 3)
-    n_inputs = rng.randint(0, 2)
-    n_params = rng.randint(1, 3)
-    n_outputs = rng.randint(1, 3)
-    state_names = [f"x{i}" for i in range(n_states)]
-    input_names = [f"u{i}" for i in range(n_inputs)]
-    param_names = [f"p{i}" for i in range(n_params)]
-    names = state_names + input_names + param_names + ["time"]
-    states = [
-        StateEquation(
-            name=name,
-            # Bounded drive plus linear damping keeps every trajectory finite.
-            derivative=f"tanh({_expr(rng, names, 3)}) - 0.3 * {name}",
-            start=rng.uniform(-1.0, 1.0),
-        )
-        for name in state_names
-    ]
-    outputs = [
-        OutputEquation(name=f"y{i}", expression=_expr(rng, names, 3))
-        for i in range(n_outputs)
-    ]
-    return OdeSystem(
-        states=states,
-        outputs=outputs,
-        inputs=input_names,
-        parameters={name: rng.uniform(0.5, 2.0) for name in param_names},
-    )
-
-
-def _archive_for(name: str, system: OdeSystem):
-    """Wrap a raw OdeSystem into a loadable FMU archive."""
-    from repro.fmi.archive import FmuArchive
-    from repro.fmi.model_description import DefaultExperiment, ModelDescription
-    from repro.fmi.variables import ScalarVariable
-
-    description = ModelDescription(
-        model_name=name,
-        default_experiment=DefaultExperiment(
-            start_time=0.0, stop_time=2.0, step_size=0.05
-        ),
-    )
-    for state in system.states:
-        description.add_variable(
-            ScalarVariable(name=state.name, causality="local", start=state.start)
-        )
-    for output in system.outputs:
-        description.add_variable(ScalarVariable(name=output.name, causality="output"))
-    for input_name in system.inputs:
-        description.add_variable(
-            ScalarVariable(name=input_name, causality="input", start=0.0)
-        )
-    for param, value in system.parameters.items():
-        description.add_variable(
-            ScalarVariable(name=param, causality="parameter", start=value)
-        )
-    return FmuArchive(model_description=description, ode_system=system)
-
-
-# --------------------------------------------------------------------------- #
 # Randomized equivalence corpus
 # --------------------------------------------------------------------------- #
 class TestEquivalenceCorpus:
     @pytest.mark.parametrize("seed", range(25))
-    def test_pointwise_derivatives_and_outputs_agree(self, seed):
-        system = _random_system(seed)
+    def test_pointwise_derivatives_and_outputs_agree(self, seed, random_system):
+        system = random_system(seed)
         assert system.kernel is not None
         rng = random.Random(1000 + seed)
         for _ in range(10):
@@ -161,11 +48,11 @@ class TestEquivalenceCorpus:
 
     @pytest.mark.parametrize("seed", range(25))
     @pytest.mark.parametrize("solver", ["rk4", "rk45"])
-    def test_full_simulation_trajectories_agree(self, seed, solver):
+    def test_full_simulation_trajectories_agree(self, seed, solver, random_system, random_archive):
         from repro.fmi.model import FmuModel
 
-        system = _random_system(seed)
-        archive = _archive_for(f"corpus{seed}", system)
+        system = random_system(seed)
+        archive = random_archive(f"corpus{seed}", system)
         inputs = {
             name: (np.linspace(0.0, 2.0, 21), np.sin(np.linspace(0.0, 6.0, 21) + i))
             for i, name in enumerate(system.inputs)
@@ -197,8 +84,8 @@ class TestEquivalenceCorpus:
 # Targeted kernel behaviour
 # --------------------------------------------------------------------------- #
 class TestKernelCodegen:
-    def test_scalar_kernel_is_bit_identical(self):
-        system = _random_system(7)
+    def test_scalar_kernel_is_bit_identical(self, random_system):
+        system = random_system(7)
         rng = random.Random(99)
         x = np.array([rng.uniform(-1, 1) for _ in system.state_names])
         u = {name: 0.5 for name in system.inputs}
@@ -261,8 +148,8 @@ class TestKernelCodegen:
         assert kernel.parameter_vector() == (2.0,)
         assert kernel.parameter_vector({"k": 5.0}) == (5.0,)
 
-    def test_vectorized_outputs_match_scalar_outputs(self):
-        system = _random_system(11)
+    def test_vectorized_outputs_match_scalar_outputs(self, random_system):
+        system = random_system(11)
         kernel = system.kernel
         rng = random.Random(3)
         n = 17
@@ -327,13 +214,13 @@ class TestKernelSemanticsEdgeCases:
         system.compiled_enabled = True
         assert compiled[0] == interpreted[0] == 10.0
 
-    def test_vectorized_output_division_by_zero_raises_like_interpreted(self):
+    def test_vectorized_output_division_by_zero_raises_like_interpreted(self, random_archive):
         system = OdeSystem(
             states=[StateEquation("x", "-1.0", start=1.0)],
             outputs=[OutputEquation("y", "1.0 / x")],
             parameters={},
         )
-        archive = _archive_for("divzero", system)
+        archive = random_archive("divzero", system)
         from repro.fmi.model import FmuModel
 
         # x crosses zero at t = 1; the output grid samples it exactly there.

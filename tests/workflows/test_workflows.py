@@ -87,8 +87,11 @@ class TestPythonWorkflow:
         assert result.validation_error is not None
 
     def test_calibration_dominates_runtime(self, hp1_week_dataset, tmp_path):
+        # Population-batched estimation cut calibration's wall-clock share
+        # (it used to be > 0.8 of the workflow); it still dominates every
+        # other step by far.
         _, result = self._run(hp1_week_dataset, tmp_path)
-        assert result.step_seconds("recalibrate") / result.total_seconds > 0.8
+        assert result.step_seconds("recalibrate") / result.total_seconds > 0.5
 
     def test_predictions_are_exported_to_the_database(self, hp1_week_dataset, tmp_path):
         db, _ = self._run(hp1_week_dataset, tmp_path)
