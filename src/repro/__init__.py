@@ -42,6 +42,8 @@ def connect(
     database: Optional[Database] = None,
     storage_dir: Optional[str] = None,
     register_ml: bool = True,
+    path: Optional[str] = None,
+    fsync: bool = True,
     **session_options,
 ) -> Connection:
     """Open a pgFMU connection (the application-level driver entry point).
@@ -57,9 +59,40 @@ def connect(
             inst = conn.session.instance(cur.fetchone()[0])
             inst.calibrate(measurements="SELECT * FROM measurements")
 
-    ``session_options`` are forwarded to :class:`~repro.core.Session`
-    (``ga_options``, ``local_options``, ``seed``).
+    ``path`` makes the database **durable**: the SQL state (model
+    catalogue, measurements, FMU archive blobs) lives in a write-ahead
+    log + page store at ``path`` / ``path + ".wal"`` and is recovered on
+    the next ``connect(path=...)`` - committed transactions survive a
+    crash, models stay calibrated across process restarts.  A string or
+    ``Path`` first argument is taken as the path, so the short form reads
+    like ``sqlite3.connect``::
+
+        with repro.connect("fleet.db") as conn:
+            ...
+
+    ``storage_dir`` is the directory for the FMU archive *file* store
+    (defaults to a temp dir); with ``path`` set, archives are additionally
+    persisted as blobs inside the database, so the file store is just a
+    cache.  ``session_options`` are forwarded to
+    :class:`~repro.core.Session` (``ga_options``, ``local_options``,
+    ``seed``).
     """
+    from pathlib import Path
+
+    if isinstance(database, (str, Path)):
+        if path is not None:
+            raise ValueError(
+                "pass either an existing database or a storage path, not both"
+            )
+        database, path = None, database
+    if path is not None:
+        if database is not None:
+            raise ValueError(
+                "pass either an existing database or a storage path, not both"
+            )
+        from repro.sqldb.storage import StorageEngine
+
+        database = Database(storage=StorageEngine(path, fsync=fsync))
     session = Session(
         database=database,
         storage_dir=storage_dir,

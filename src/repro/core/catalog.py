@@ -35,6 +35,10 @@ MODEL_TABLE = "model"
 VARIABLE_TABLE = "modelvariable"
 INSTANCE_TABLE = "modelinstance"
 VALUES_TABLE = "modelinstancevalues"
+#: Blob store for FMU archives, created only on databases with durable
+#: storage attached - the zip bytes then live in the WAL/page store and
+#: survive restarts, making the file store a rebuildable cache.
+ARCHIVE_TABLE = "fmuarchive"
 
 #: Causality classes stored in ``modelvariable.vartype``.
 VARTYPE_PARAMETER = "parameter"
@@ -120,6 +124,17 @@ class ModelCatalog:
                     primary_key=["modelid", "instanceid", "varname"],
                 )
             )
+        if self.database.storage is not None and not self.database.has_table(ARCHIVE_TABLE):
+            self.database.create_table(
+                TableSchema(
+                    name=ARCHIVE_TABLE,
+                    columns=[
+                        ColumnDefinition("modelid", SqlType.TEXT, not_null=True),
+                        ColumnDefinition("archive", SqlType.BYTEA, not_null=True),
+                    ],
+                    primary_key=["modelid"],
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # FMU storage
@@ -146,19 +161,52 @@ class ModelCatalog:
                     path.unlink()
 
             self.database.on_rollback(undo_store)
+        self._persist_archive_blob(archive)
         self._archive_cache[guid] = archive
         return path
 
+    def _persist_archive_blob(self, archive: FmuArchive) -> None:
+        """Upsert the archive zip bytes into the blob table (durable DBs only).
+
+        Row inserts go through the normal table path, so the blob is
+        WAL-logged with the rest of the registration transaction and rolls
+        back with it.
+        """
+        if not self.database.has_table(ARCHIVE_TABLE):
+            return
+        table = self.database.table(ARCHIVE_TABLE)
+        if table.lookup_pk([archive.guid]) is None:
+            table.insert([archive.guid, archive.to_bytes()])
+
     def load_archive(self, model_id: str) -> FmuArchive:
-        """Load an FMU archive by model UUID, using the in-memory cache."""
+        """Load an FMU archive by model UUID.
+
+        Lookup order: in-memory cache, then the ``<uuid>.fmu`` file in FMU
+        storage, then (durable databases) the blob table - a reopened
+        database with a fresh file-store directory still finds every
+        archive.
+        """
         if model_id in self._archive_cache:
             return self._archive_cache[model_id]
         path = self._storage_dir / f"{model_id}.fmu"
-        if not path.exists():
-            raise UnknownModelError(f"model {model_id!r} is not present in FMU storage")
-        archive = FmuArchive.read(path)
+        if path.exists():
+            archive = FmuArchive.read(path)
+        else:
+            archive = self._load_archive_blob(model_id)
+            if archive is None:
+                raise UnknownModelError(
+                    f"model {model_id!r} is not present in FMU storage"
+                )
         self._archive_cache[model_id] = archive
         return archive
+
+    def _load_archive_blob(self, model_id: str) -> Optional[FmuArchive]:
+        if not self.database.has_table(ARCHIVE_TABLE):
+            return None
+        row = self.database.table(ARCHIVE_TABLE).lookup_pk([model_id])
+        if row is None:
+            return None
+        return FmuArchive.from_bytes(row["archive"])
 
     def remove_archive(self, model_id: str) -> None:
         """Remove a stored FMU archive and its cached runtimes.
@@ -170,6 +218,14 @@ class ModelCatalog:
         """
         self._archive_cache.pop(model_id, None)
         path = self._storage_dir / f"{model_id}.fmu"
+        if self.database.has_table(ARCHIVE_TABLE):
+            # The blob row is table data, so this delete is transactional on
+            # its own: a rollback restores it with the catalogue rows.
+            blob_table = self.database.table(ARCHIVE_TABLE)
+            blob_table.delete_where(
+                lambda row: row["modelid"] == model_id,
+                candidate_positions=blob_table.pk_positions_for([model_id]),
+            )
 
         def unlink_archive() -> None:
             # The model may have been re-created between the (transactional)

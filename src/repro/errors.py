@@ -37,6 +37,20 @@ class SqlExecutionError(SqlError):
     """A runtime failure while executing an otherwise valid query."""
 
 
+class SqlStorageError(SqlError):
+    """The durable storage layer (WAL, page store, recovery) failed."""
+
+
+class InjectedCrash(SqlStorageError):
+    """Raised by the storage fault injector to simulate a process crash.
+
+    Recovery tests arm a :class:`repro.sqldb.storage.wal.FaultInjector`, let
+    it cut a write short, catch this exception, and reopen the database from
+    whatever bytes made it to disk - the in-process equivalent of
+    ``kill -9``.
+    """
+
+
 class FmiError(ReproError):
     """Base class for FMU archive / runtime errors."""
 

@@ -18,6 +18,10 @@ paper's queries and workflows exercise:
   ``fmu_simulate`` and friends, and how the MADlib-like ML routines are
   exposed.
 * Prepared statements with positional parameters (``$1``, ``$2``, ...).
+* Optional durable storage (:mod:`repro.sqldb.storage`): ``connect(path=
+  "fleet.db")`` attaches a write-ahead log + page store with crash
+  recovery on open and a ``CHECKPOINT`` statement; the in-memory engine
+  then acts as the cache over the on-disk state.
 * A PEP-249-style driver layer (:func:`connect`, :class:`Connection`,
   :class:`Cursor`) with snapshot-based transactions.
 * An extension mechanism (:func:`scalar_udf` / :func:`table_udf` decorators,
@@ -36,6 +40,7 @@ from repro.sqldb.connection import Connection, Cursor, connect
 from repro.sqldb.database import Database
 from repro.sqldb.result import ResultSet
 from repro.sqldb.schema import ColumnDefinition, ForeignKey, TableSchema
+from repro.sqldb.storage import FaultInjector, StorageEngine
 from repro.sqldb.types import SqlType, Variant
 from repro.sqldb.udf import (
     Extension,
@@ -59,6 +64,8 @@ __all__ = [
     "TableSchema",
     "SqlType",
     "Variant",
+    "StorageEngine",
+    "FaultInjector",
     "ScalarUdf",
     "TableUdf",
     "UdfSpec",

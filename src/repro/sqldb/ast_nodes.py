@@ -290,6 +290,15 @@ class ExplainStatement:
 
 
 @dataclass
+class CheckpointStatement:
+    """``CHECKPOINT`` - snapshot durable storage and reset the WAL.
+
+    A no-op on a purely in-memory database, mirroring PostgreSQL where
+    CHECKPOINT always succeeds.
+    """
+
+
+@dataclass
 class InsertStatement:
     """``INSERT INTO name [(cols)] VALUES (...), ... | SELECT ...``."""
 
@@ -323,6 +332,7 @@ Statement = Union[
     CreateIndexStatement,
     DropIndexStatement,
     ExplainStatement,
+    CheckpointStatement,
     InsertStatement,
     UpdateStatement,
     DeleteStatement,

@@ -307,10 +307,32 @@ class Connection:
         return f"Connection({state}, tables={len(self.database.table_names())})"
 
 
-def connect(database: Optional[Database] = None) -> Connection:
+def connect(
+    database: Optional[Database] = None,
+    path: Optional[str] = None,
+    fsync: bool = True,
+) -> Connection:
     """Open a driver-layer connection to a (possibly fresh) bare database.
 
-    This is the engine-level entry point; :func:`repro.connect` is the
-    application-level one that also boots the pgFMU session and extensions.
+    With ``path`` the database is durable: a
+    :class:`~repro.sqldb.storage.StorageEngine` is attached at ``path``
+    (page store) and ``path + ".wal"`` (write-ahead log), existing state is
+    recovered, and every committed transaction survives process death::
+
+        with repro.sqldb.connect(path="fleet.db") as conn:
+            conn.execute("CREATE TABLE m (t double precision, x double precision)")
+
+    Without ``path`` the database is purely in-memory (the default,
+    behaviorally unchanged).  This is the engine-level entry point;
+    :func:`repro.connect` is the application-level one that also boots the
+    pgFMU session and extensions.
     """
+    if path is not None:
+        if database is not None:
+            raise SqlExecutionError(
+                "pass either an existing database or a storage path, not both"
+            )
+        from repro.sqldb.storage import StorageEngine
+
+        database = Database(storage=StorageEngine(path, fsync=fsync))
     return Connection(database)

@@ -66,7 +66,7 @@ class Database:
     routines use exactly this mechanism.
     """
 
-    def __init__(self):
+    def __init__(self, storage: Optional[Any] = None):
         self._tables: Dict[str, Table] = {}
         self.udfs = UdfRegistry()
         self._executor = Executor(self)
@@ -92,6 +92,28 @@ class Database:
             max_args=0,
             description="All extensions installed on this database",
         )
+        #: Durable storage engine (:class:`repro.sqldb.storage.StorageEngine`)
+        #: or None for a purely in-memory database (the default).
+        self.storage: Optional[Any] = None
+        if storage is not None:
+            self.attach_storage(storage)
+
+    def attach_storage(self, storage: Any) -> None:
+        """Attach a durable storage engine and recover its on-disk state.
+
+        Existing tables are recovered *into* this database (the in-memory
+        structures act as the cache over the page store + WAL), so attach
+        happens before any tables are created.
+        """
+        if self.storage is not None:
+            raise SqlExecutionError("database already has a storage engine attached")
+        if self._tables:
+            raise SqlExecutionError(
+                "storage must be attached to an empty database (tables would "
+                "not be recovered consistently)"
+            )
+        self.storage = storage
+        storage.attach(self)
 
     # ------------------------------------------------------------------ #
     # Catalogue
@@ -108,12 +130,19 @@ class Database:
                     f"{fk.referenced_table!r}"
                 )
         table = Table(schema)
-        table.write_hook = self._table_write_hook
-        self._tables[name] = table
+        self._register_table(table)
         if self._txn is not None and name not in self._txn.tables_before:
             self._txn.tables_before[name] = None  # did not exist before BEGIN
         self._bump_catalog_version()
+        if self.storage is not None:
+            self.storage.log_ddl({"op": "create_table", "schema": schema.to_payload()})
         return table
+
+    def _register_table(self, table: Table) -> None:
+        """Install a table object: database hooks, storage sink, catalogue."""
+        table.write_hook = self._table_write_hook
+        table.log_sink = self.storage
+        self._tables[table.schema.name] = table
 
     def drop_table(self, name: str) -> None:
         name = name.lower()
@@ -126,6 +155,8 @@ class Database:
         for index_name in [i for i, t in self._indexes.items() if t == name]:
             del self._indexes[index_name]
         self._bump_catalog_version()
+        if self.storage is not None:
+            self.storage.log_ddl({"op": "drop_table", "name": name})
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -151,6 +182,15 @@ class Database:
         table.add_index(name, columns)
         self._indexes[name] = table.schema.name
         self._bump_catalog_version()
+        if self.storage is not None:
+            self.storage.log_ddl(
+                {
+                    "op": "create_index",
+                    "name": name,
+                    "table": table.schema.name,
+                    "columns": [c.lower() for c in columns],
+                }
+            )
 
     def drop_index(self, name: str) -> None:
         name = name.lower()
@@ -160,6 +200,8 @@ class Database:
         self.table(table_name).remove_index(name)
         del self._indexes[name]
         self._bump_catalog_version()
+        if self.storage is not None:
+            self.storage.log_ddl({"op": "drop_index", "name": name})
 
     def has_index(self, name: str) -> bool:
         return name.lower() in self._indexes
@@ -333,14 +375,43 @@ class Database:
                 dict(self.udfs.tables),
             ),
         )
+        if self.storage is not None:
+            self.storage.begin()
 
     def commit(self) -> None:
-        """Make the changes since :meth:`begin` permanent (no-op outside one)."""
+        """Make the changes since :meth:`begin` permanent (no-op outside one).
+
+        With durable storage attached, the WAL sync happens first - a
+        commit hook that fails cannot un-persist the transaction.  Commit
+        hooks then all run even if some raise; the first exception is
+        re-raised after the last hook finished, so one failing side effect
+        cannot silently swallow the others.
+        """
         self._txn = None
         self._rollback_hooks.clear()
+        if self.storage is not None:
+            self.storage.commit()
         hooks, self._commit_hooks = self._commit_hooks, []
+        first_error: Optional[BaseException] = None
         for hook in hooks:
-            hook()
+            try:
+                hook()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def checkpoint(self) -> int:
+        """Write a storage checkpoint (snapshot + WAL reset).
+
+        Returns the new checkpoint id, or 0 when the database is purely
+        in-memory (``CHECKPOINT`` is then a harmless no-op, as in
+        PostgreSQL on an idle cluster).
+        """
+        if self.storage is None:
+            return 0
+        return self.storage.checkpoint()
 
     def rollback(self) -> None:
         """Undo every change since :meth:`begin` (no-op outside one).
@@ -355,6 +426,8 @@ class Database:
         for hook in hooks:
             hook()
         txn, self._txn = self._txn, None
+        if self.storage is not None:
+            self.storage.rollback()
         if txn is None:
             return
         extensions, scalars, table_udfs = txn.registry
@@ -368,8 +441,7 @@ class Database:
             table = self._tables.get(name)
             if table is None:
                 table = Table(before.schema)
-                table.write_hook = self._table_write_hook
-                self._tables[name] = table
+                self._register_table(table)
             table.restore(before)
         self._indexes = txn.index_catalog
         self._bump_catalog_version()

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
 from repro.sqldb.ast_nodes import (
+    CheckpointStatement,
     ColumnRef,
     CreateIndexStatement,
     CreateTableStatement,
@@ -90,6 +91,9 @@ class Executor:
             return self._execute_drop_index(statement)
         if isinstance(statement, ExplainStatement):
             return self._execute_explain(statement)
+        if isinstance(statement, CheckpointStatement):
+            checkpoint_id = self.database.checkpoint()
+            return ResultSet(columns=["status"], rows=[[f"checkpoint {checkpoint_id}"]], rowcount=0)
         raise SqlExecutionError(f"unsupported statement type: {type(statement).__name__}")
 
     # ------------------------------------------------------------------ #

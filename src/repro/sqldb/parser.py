@@ -10,6 +10,7 @@ from repro.sqldb.ast_nodes import (
     BinaryOp,
     CaseExpression,
     Cast,
+    CheckpointStatement,
     ColumnRef,
     ColumnSpec,
     CreateIndexStatement,
@@ -146,6 +147,9 @@ class Parser:
         if self._word_at("explain"):
             self._advance()
             return ExplainStatement(statement=self._parse_bare_statement())
+        if self._word_at("checkpoint"):
+            self._advance()
+            return CheckpointStatement()
         raise self._error("expected a SQL statement")
 
     # ------------------------------------------------------------------ #

@@ -1,12 +1,43 @@
-"""Table schema definitions: columns, keys and constraints."""
+"""Table schema definitions: columns, keys and constraints.
+
+Schemas can round-trip through plain-JSON payloads (:meth:`TableSchema.
+to_payload` / :meth:`TableSchema.from_payload`); the durable storage layer
+uses this to log ``CREATE TABLE`` logically in the write-ahead log and to
+store the table directory inside checkpoint pages.
+"""
 
 from __future__ import annotations
 
+import datetime as _dt
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import SqlCatalogError, SqlTypeError
 from repro.sqldb.types import SqlType, coerce
+
+
+def _default_to_payload(value: Any) -> Optional[Dict[str, Any]]:
+    """Serialize a column DEFAULT value into a JSON-safe tagged dict."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return {"k": "bool", "v": value}
+    if isinstance(value, int):
+        return {"k": "int", "v": value}
+    if isinstance(value, float):
+        return {"k": "float", "v": value}
+    if isinstance(value, _dt.datetime):
+        return {"k": "timestamp", "v": value.isoformat()}
+    return {"k": "text", "v": str(value)}
+
+
+def _default_from_payload(payload: Optional[Dict[str, Any]]) -> Any:
+    if payload is None:
+        return None
+    kind, value = payload["k"], payload["v"]
+    if kind == "timestamp":
+        return _dt.datetime.fromisoformat(value)
+    return value
 
 
 @dataclass
@@ -33,6 +64,24 @@ class ColumnDefinition:
             else:
                 return None
         return coerce(value, self.sql_type)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe description of this column (storage-layer DDL log)."""
+        return {
+            "name": self.name,
+            "type": self.sql_type.value,
+            "not_null": self.not_null,
+            "default": _default_to_payload(self.default),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ColumnDefinition":
+        return cls(
+            name=payload["name"],
+            sql_type=SqlType.parse(payload["type"]),
+            not_null=bool(payload.get("not_null", False)),
+            default=_default_from_payload(payload.get("default")),
+        )
 
 
 @dataclass
@@ -137,3 +186,43 @@ class TableSchema:
                 )
             provided = dict(zip(lowered, values))
         return [column.coerce(provided.get(column.name)) for column in self.columns]
+
+    # ------------------------------------------------------------------ #
+    # Storage-layer serialization
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe description of the whole schema.
+
+        Round-trips through :meth:`from_payload`; the WAL logs ``CREATE
+        TABLE`` as this payload and checkpoints store one per table, so a
+        reopened database rebuilds identical schemas.
+        """
+        return {
+            "name": self.name,
+            "columns": [column.to_payload() for column in self.columns],
+            "primary_key": list(self.primary_key),
+            "foreign_keys": [
+                {
+                    "columns": list(fk.columns),
+                    "referenced_table": fk.referenced_table,
+                    "referenced_columns": list(fk.referenced_columns),
+                }
+                for fk in self.foreign_keys
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TableSchema":
+        return cls(
+            name=payload["name"],
+            columns=[ColumnDefinition.from_payload(c) for c in payload["columns"]],
+            primary_key=list(payload.get("primary_key", [])),
+            foreign_keys=[
+                ForeignKey(
+                    columns=list(fk["columns"]),
+                    referenced_table=fk["referenced_table"],
+                    referenced_columns=list(fk["referenced_columns"]),
+                )
+                for fk in payload.get("foreign_keys", [])
+            ],
+        )

@@ -1,0 +1,25 @@
+"""Durable storage for the SQL engine: WAL, page store, crash recovery.
+
+The in-memory engine stays the default; attaching a
+:class:`~repro.sqldb.storage.engine.StorageEngine` to a
+:class:`~repro.sqldb.database.Database` (``Database(storage=...)`` or
+``repro.connect(path="fleet.db")``) makes every committed transaction
+durable:
+
+* :mod:`~repro.sqldb.storage.record` - tagged binary codec for SQL values
+  and rows (all engine types, including ``bytea`` FMU archives and
+  ``double precision[]`` trajectories);
+* :mod:`~repro.sqldb.storage.wal` - CRC-framed append-only log, fsynced
+  once per transaction, plus the fault injector used by recovery tests;
+* :mod:`~repro.sqldb.storage.pager` - fixed-size page chains holding
+  checkpoint snapshots, flipped atomically via a single header write;
+* :mod:`~repro.sqldb.storage.recovery` - replay-on-open of committed
+  transactions, discarding uncommitted and torn tails;
+* :mod:`~repro.sqldb.storage.engine` - the façade tying them together.
+"""
+
+from repro.sqldb.storage.engine import StorageEngine
+from repro.sqldb.storage.pager import PAGE_SIZE, Pager
+from repro.sqldb.storage.wal import FaultInjector, WalWriter
+
+__all__ = ["StorageEngine", "Pager", "PAGE_SIZE", "FaultInjector", "WalWriter"]

@@ -1,0 +1,251 @@
+"""The storage engine: glues the WAL, the page store and recovery together.
+
+A :class:`StorageEngine` owns two files derived from the database path
+(``fleet.db`` -> page store, ``fleet.db.wal`` -> write-ahead log) and is
+attached to exactly one :class:`~repro.sqldb.database.Database`:
+
+* **logging** - every table mutation and every DDL statement calls one of
+  the ``log_*`` methods (tables hold the engine as their ``log_sink``).
+  Inside an explicit transaction records buffer until :meth:`commit`, which
+  appends the COMMIT frame and fsyncs once; outside one each operation is
+  wrapped in an implicit BEGIN/COMMIT and synced immediately (autocommit).
+* **checkpointing** - :meth:`checkpoint` serializes every table (schema +
+  rows + index definitions) into fresh page chains, flips the page-store
+  header, and resets the WAL to a single CHECKPOINT frame, bounding replay
+  time on the next open.
+* **recovery** - :meth:`attach` runs :func:`repro.sqldb.storage.recovery.
+  recover` before the database serves queries: page-store snapshot first,
+  then replay of committed WAL transactions, then truncation of any torn
+  or uncommitted tail.
+
+Not persisted by design: UDF/extension registrations (sessions reinstall
+them at boot) and secondary index *contents* (only definitions are stored;
+hash indexes rebuild from rows in one pass on open).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SqlStorageError
+from repro.sqldb.storage import wal as walmod
+from repro.sqldb.storage.pager import PAGE_SIZE, Pager
+from repro.sqldb.storage.record import decode_row, encode_row
+from repro.sqldb.storage.wal import FaultInjector, WalWriter
+
+PathLike = Union[str, Path]
+
+_ROW_FRAME = struct.Struct("<I")
+
+
+def serialize_rows(rows: Sequence[Sequence[Any]]) -> bytes:
+    """Length-framed concatenation of encoded rows (checkpoint blob format)."""
+    out = bytearray()
+    for row in rows:
+        encoded = encode_row(row)
+        out += _ROW_FRAME.pack(len(encoded))
+        out += encoded
+    return bytes(out)
+
+
+def deserialize_rows(blob: bytes) -> List[list]:
+    rows: List[list] = []
+    offset = 0
+    size = len(blob)
+    while offset < size:
+        (length,) = _ROW_FRAME.unpack_from(blob, offset)
+        offset += _ROW_FRAME.size
+        if offset + length > size:
+            raise SqlStorageError("checkpoint row blob is truncated")
+        rows.append(decode_row(blob[offset : offset + length]))
+        offset += length
+    return rows
+
+
+class StorageEngine:
+    """Durable storage for one :class:`~repro.sqldb.database.Database`.
+
+    Parameters
+    ----------
+    path:
+        Base path of the database; the page store lives at ``path`` and the
+        WAL at ``path`` + ``".wal"``.
+    fsync:
+        When False, skip ``os.fsync`` (faster, used by benchmarks to
+        isolate serialization cost; crash durability is then up to the OS).
+    fault:
+        Optional :class:`FaultInjector` for crash-recovery tests.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync: bool = True,
+        fault: Optional[FaultInjector] = None,
+        page_size: int = PAGE_SIZE,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.wal_path = Path(str(self.path) + ".wal")
+        self.fault = fault
+        self.pager = Pager(self.path, page_size=page_size, fsync=fsync)
+        self.wal = WalWriter(self.wal_path, fsync=fsync, fault=fault)
+        self.database = None
+        self._next_txn_id = 1
+        self._txn_id = 0
+        self._in_txn = False
+        self._replaying = False
+        self._live_roots: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Attachment / recovery
+    # ------------------------------------------------------------------ #
+    def attach(self, database) -> None:
+        """Bind to a database and recover its state from disk."""
+        from repro.sqldb.storage.recovery import recover
+
+        if self.database is not None:
+            raise SqlStorageError("storage engine is already attached to a database")
+        self.database = database
+        self._replaying = True
+        try:
+            recover(self, database)
+        finally:
+            self._replaying = False
+
+    # ------------------------------------------------------------------ #
+    # Transaction boundaries (driven by Database.begin/commit/rollback)
+    # ------------------------------------------------------------------ #
+    def begin(self) -> None:
+        if self._in_txn:
+            raise SqlStorageError("storage transaction already open")
+        self._txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self._in_txn = True
+        self.wal.append(walmod.begin_record(self._txn_id))
+
+    def commit(self) -> None:
+        if not self._in_txn:
+            return
+        self.wal.append(walmod.commit_record(self._txn_id))
+        self._in_txn = False
+        self.wal.sync()
+
+    def rollback(self) -> None:
+        if not self._in_txn:
+            return
+        self._in_txn = False
+        # Nothing of this transaction reached the file (frames buffer in
+        # memory until the commit-time sync), so discarding is enough.
+        self.wal.discard_pending()
+
+    # ------------------------------------------------------------------ #
+    # Logging (called from Table mutations and Database DDL)
+    # ------------------------------------------------------------------ #
+    def _log(self, payload: bytes) -> None:
+        if self._replaying:
+            return
+        if self._in_txn:
+            self.wal.append(payload)
+        else:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            self.wal.append(walmod.begin_record(txn_id))
+            self.wal.append(payload)
+            self.wal.append(walmod.commit_record(txn_id))
+            self.wal.sync()
+
+    def log_insert(self, table: str, row: Sequence[Any]) -> None:
+        self._log(walmod.insert_record(table, row))
+
+    def log_delete(self, table: str, positions: Sequence[int]) -> None:
+        self._log(walmod.delete_record(table, positions))
+
+    def log_update(self, table: str, pairs: Sequence[Tuple[int, Sequence[Any]]]) -> None:
+        self._log(walmod.update_record(table, pairs))
+
+    def log_truncate(self, table: str) -> None:
+        self._log(walmod.truncate_record(table))
+
+    def log_ddl(self, payload: Dict[str, Any]) -> None:
+        self._log(walmod.ddl_record(payload))
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> int:
+        """Write a full snapshot and reset the WAL; returns the new id.
+
+        Protocol (each step leaves a recoverable file pair):
+
+        1. serialize every table into chains allocated from *free* pages -
+           the current snapshot stays untouched;
+        2. fsync the data file, then flip the header to the new catalog in
+           one page write + fsync (the atomic commit point);
+        3. reset the WAL to a single CHECKPOINT frame via rename.  A crash
+           between 2 and 3 leaves a WAL whose base does not match the
+           header; recovery detects the mismatch and skips the stale log.
+        """
+        if self._in_txn:
+            raise SqlStorageError("CHECKPOINT is not allowed inside a transaction")
+        database = self.database
+        if database is None:
+            raise SqlStorageError("storage engine is not attached to a database")
+        new_id = self.pager.checkpoint_id + 1
+        tables = []
+        roots: List[int] = []
+        for name in sorted(database._tables):
+            table = database._tables[name]
+            blob = serialize_rows(table.raw_rows())
+            rows_page = self.pager.write_chain(blob) if blob else 0
+            if rows_page:
+                roots.append(rows_page)
+            tables.append(
+                {
+                    "schema": table.schema.to_payload(),
+                    "rows_page": rows_page,
+                    "rows_len": len(blob),
+                    "row_count": len(table),
+                    "indexes": [
+                        {"name": index.name, "columns": list(index.columns)}
+                        for index in table.indexes.values()
+                    ],
+                }
+            )
+        catalog = {
+            "version": 1,
+            "checkpoint_id": new_id,
+            "next_txn_id": self._next_txn_id,
+            "tables": tables,
+        }
+        catalog_page = self.pager.write_chain(json.dumps(catalog).encode("utf-8"))
+        roots.insert(0, catalog_page)
+        if self.fault is not None:
+            self.fault.check_point("checkpoint.before_header")
+        self.pager.sync()
+        self.pager.commit_header(catalog_page, new_id)
+        if self.fault is not None:
+            self.fault.check_point("checkpoint.after_header")
+        self._live_roots = roots
+        self.pager.set_live_chains(roots)
+        self.wal.reset(walmod.checkpoint_record(new_id))
+        return new_id
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def wal_size(self) -> int:
+        """Current WAL file size in bytes (benchmark/introspection aid)."""
+        return self.wal_path.stat().st_size if self.wal_path.exists() else 0
+
+    def close(self) -> None:
+        self.wal.close()
+        self.pager.close()
+
+    def simulate_crash(self) -> None:
+        """Drop all in-memory state without flushing (``kill -9`` stand-in)."""
+        self.wal.abandon()
+        self.pager.close()

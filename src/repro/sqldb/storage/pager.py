@@ -1,0 +1,198 @@
+"""The fixed-size page store behind checkpoints.
+
+The data file is an array of ``page_size``-byte pages.  Page 0 is the
+header::
+
+    magic (8) | u32 page_size | u32 page_count | u32 catalog_page
+    | u64 checkpoint_id | u32 CRC-32 of the preceding fields
+
+Every other page belongs to at most one *chain*: a singly linked list of
+pages (``u32 next_page | u32 data_len | data``) holding one arbitrary byte
+blob - a table's serialized rows, or the checkpoint catalog.  ``next_page
+== 0`` terminates a chain (page 0 is the header, so it can never be a
+chain member).
+
+Crash safety comes from ordering, not journaling: a checkpoint writes all
+new chains into *free* pages first, fsyncs them, and only then rewrites the
+header to point at the new catalog.  Until that single-page header write
+lands, the old snapshot stays fully intact; afterwards the old chains are
+merely garbage.  The free-page set is therefore never persisted - on open
+it is recomputed as "every page not reachable from the header", which also
+reclaims pages leaked by a crash mid-checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable, List, Set, Union
+
+from repro.errors import SqlStorageError
+
+PAGE_SIZE = 4096
+
+_MAGIC = b"PGFMUPG1"
+_HEADER = struct.Struct("<8sIIIQ")  # magic, page_size, page_count, catalog_page, checkpoint_id
+_CHAIN_HEADER = struct.Struct("<II")  # next_page, data_len
+_CRC = struct.Struct("<I")
+
+PathLike = Union[str, Path]
+
+
+class Pager:
+    """Reads and writes page chains in a single data file."""
+
+    def __init__(self, path: PathLike, page_size: int = PAGE_SIZE, fsync: bool = True):
+        self.path = Path(path)
+        self.page_size = page_size
+        self.fsync_enabled = fsync
+        self.catalog_page = 0
+        self.checkpoint_id = 0
+        self.page_count = 1
+        self._free: Set[int] = set()
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        self._file = open(self.path, "r+b" if exists else "w+b")
+        if exists:
+            self._load_header()
+        else:
+            self._write_header()
+
+    # ------------------------------------------------------------------ #
+    # Header
+    # ------------------------------------------------------------------ #
+    def _load_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(self.page_size)
+        if len(raw) < _HEADER.size + _CRC.size:
+            raise SqlStorageError(f"{self.path}: truncated page-store header")
+        magic, page_size, page_count, catalog_page, checkpoint_id = _HEADER.unpack_from(raw, 0)
+        (crc,) = _CRC.unpack_from(raw, _HEADER.size)
+        if magic != _MAGIC:
+            raise SqlStorageError(f"{self.path}: not a page-store file (bad magic)")
+        if crc != zlib.crc32(raw[: _HEADER.size]):
+            raise SqlStorageError(f"{self.path}: corrupt page-store header (CRC mismatch)")
+        if page_size != self.page_size:
+            self.page_size = page_size
+        file_pages = os.fstat(self._file.fileno()).st_size // self.page_size
+        self.page_count = max(page_count, file_pages, 1)
+        self.catalog_page = catalog_page
+        self.checkpoint_id = checkpoint_id
+
+    def _write_header(self) -> None:
+        body = _HEADER.pack(
+            _MAGIC, self.page_size, self.page_count, self.catalog_page, self.checkpoint_id
+        )
+        page = body + _CRC.pack(zlib.crc32(body))
+        self._file.seek(0)
+        self._file.write(page.ljust(self.page_size, b"\x00"))
+        self._file.flush()
+        if self.fsync_enabled:
+            os.fsync(self._file.fileno())
+
+    def commit_header(self, catalog_page: int, checkpoint_id: int) -> None:
+        """Atomically flip the snapshot: one header write + fsync.
+
+        Callers must have fsynced the new chains (:meth:`sync`) first.
+        """
+        self.catalog_page = catalog_page
+        self.checkpoint_id = checkpoint_id
+        self._write_header()
+
+    # ------------------------------------------------------------------ #
+    # Raw pages
+    # ------------------------------------------------------------------ #
+    def _read_page(self, page: int) -> bytes:
+        if page <= 0 or page >= self.page_count:
+            raise SqlStorageError(f"{self.path}: page {page} is out of bounds")
+        self._file.seek(page * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < _CHAIN_HEADER.size:
+            raise SqlStorageError(f"{self.path}: page {page} is truncated")
+        return data
+
+    def _write_page(self, page: int, next_page: int, data: bytes) -> None:
+        body = _CHAIN_HEADER.pack(next_page, len(data)) + data
+        self._file.seek(page * self.page_size)
+        self._file.write(body.ljust(self.page_size, b"\x00"))
+
+    def _allocate(self) -> int:
+        if self._free:
+            page = min(self._free)
+            self._free.remove(page)
+            return page
+        page = self.page_count
+        self.page_count += 1
+        return page
+
+    # ------------------------------------------------------------------ #
+    # Chains
+    # ------------------------------------------------------------------ #
+    @property
+    def chain_capacity(self) -> int:
+        return self.page_size - _CHAIN_HEADER.size
+
+    def chain_pages(self, first_page: int) -> List[int]:
+        """All page numbers of a chain, in order (cycle-safe)."""
+        pages: List[int] = []
+        seen: Set[int] = set()
+        page = first_page
+        while page:
+            if page in seen:
+                raise SqlStorageError(f"{self.path}: page chain cycles at page {page}")
+            seen.add(page)
+            pages.append(page)
+            (page,) = struct.unpack_from("<I", self._read_page(page), 0)
+        return pages
+
+    def read_chain(self, first_page: int) -> bytes:
+        """The full blob stored in the chain starting at ``first_page``."""
+        out = bytearray()
+        for page in self.chain_pages(first_page):
+            raw = self._read_page(page)
+            _, data_len = _CHAIN_HEADER.unpack_from(raw, 0)
+            if data_len > self.chain_capacity:
+                raise SqlStorageError(f"{self.path}: page {page} claims oversized payload")
+            out += raw[_CHAIN_HEADER.size : _CHAIN_HEADER.size + data_len]
+        return bytes(out)
+
+    def write_chain(self, data: bytes) -> int:
+        """Store a blob in freshly allocated pages; returns the first page."""
+        capacity = self.chain_capacity
+        count = max(1, -(-len(data) // capacity))
+        pages = [self._allocate() for _ in range(count)]
+        for i, page in enumerate(pages):
+            chunk = data[i * capacity : (i + 1) * capacity]
+            next_page = pages[i + 1] if i + 1 < count else 0
+            self._write_page(page, next_page, chunk)
+        return pages[0]
+
+    def free_chain(self, first_page: int) -> None:
+        """Return a chain's pages to the in-memory free set."""
+        self._free.update(self.chain_pages(first_page))
+
+    def set_live_chains(self, roots: Iterable[int]) -> None:
+        """Recompute the free set as every page not reachable from ``roots``.
+
+        Called after open (and after each checkpoint) so pages leaked by a
+        crash mid-checkpoint are reclaimed automatically.
+        """
+        live: Set[int] = {0}
+        for root in roots:
+            if root:
+                live.update(self.chain_pages(root))
+        self._free = set(range(self.page_count)) - live
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def sync(self) -> None:
+        self._file.flush()
+        if self.fsync_enabled:
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()

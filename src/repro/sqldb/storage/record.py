@@ -1,0 +1,189 @@
+"""Typed binary serialization of SQL values and rows.
+
+Every value the engine can store in a table cell - including the ``variant``
+wrapper, ``bytea`` blobs (FMU archives) and ``double precision[]`` arrays -
+round-trips through a compact tagged encoding:
+
+========  =============================================================
+tag byte  payload
+========  =============================================================
+0x00      NULL (no payload)
+0x01      BOOLEAN: one byte (0/1)
+0x02      INTEGER: little-endian signed 8-byte
+0x03      INTEGER (big): u32 length + decimal UTF-8 digits
+0x04      DOUBLE: little-endian IEEE-754 8-byte
+0x05      TEXT: u32 length + UTF-8 bytes
+0x06      TIMESTAMP: u32 length + ISO-8601 UTF-8 string
+0x07      BYTEA: u32 length + raw bytes
+0x08      FLOAT8 ARRAY: u32 count + count * 8-byte doubles
+0x09      VARIANT: u8 type-name length + name + encoded inner value
+0x0A      LIST: u32 count + count encoded values (heterogeneous)
+========  =============================================================
+
+A row is a u16 column count followed by the encoded values in column order.
+The codecs are pure functions over ``bytes``; the WAL and the page store
+both build on them.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import SqlStorageError
+from repro.sqldb.types import SqlType, Variant
+
+TAG_NULL = 0x00
+TAG_BOOL = 0x01
+TAG_INT = 0x02
+TAG_BIGINT = 0x03
+TAG_DOUBLE = 0x04
+TAG_TEXT = 0x05
+TAG_TIMESTAMP = 0x06
+TAG_BYTEA = 0x07
+TAG_FLOAT_ARRAY = 0x08
+TAG_VARIANT = 0x09
+TAG_LIST = 0x0A
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode_value(value: Any, out: bytearray) -> None:
+    """Append the tagged encoding of one value to ``out``."""
+    if value is None:
+        out.append(TAG_NULL)
+    elif isinstance(value, bool):
+        out.append(TAG_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(TAG_INT)
+            out += struct.pack("<q", value)
+        else:
+            digits = str(value).encode("ascii")
+            out.append(TAG_BIGINT)
+            out += struct.pack("<I", len(digits))
+            out += digits
+    elif isinstance(value, float):
+        out.append(TAG_DOUBLE)
+        out += struct.pack("<d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(TAG_TEXT)
+        out += struct.pack("<I", len(data))
+        out += data
+    elif isinstance(value, _dt.datetime):
+        data = value.isoformat().encode("ascii")
+        out.append(TAG_TIMESTAMP)
+        out += struct.pack("<I", len(data))
+        out += data
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(TAG_BYTEA)
+        out += struct.pack("<I", len(data))
+        out += data
+    elif isinstance(value, Variant):
+        name = value.original_type.value.encode("ascii")
+        out.append(TAG_VARIANT)
+        out.append(len(name))
+        out += name
+        encode_value(value.value, out)
+    elif isinstance(value, (list, tuple)):
+        if all(isinstance(item, float) and not isinstance(item, bool) for item in value):
+            out.append(TAG_FLOAT_ARRAY)
+            out += struct.pack("<I", len(value))
+            out += struct.pack(f"<{len(value)}d", *value)
+        else:
+            out.append(TAG_LIST)
+            out += struct.pack("<I", len(value))
+            for item in value:
+                encode_value(item, out)
+    else:
+        raise SqlStorageError(
+            f"cannot serialize value of type {type(value).__name__!r}: {value!r}"
+        )
+
+
+def decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one tagged value; returns ``(value, next_offset)``."""
+    try:
+        tag = data[offset]
+        offset += 1
+        if tag == TAG_NULL:
+            return None, offset
+        if tag == TAG_BOOL:
+            return data[offset] != 0, offset + 1
+        if tag == TAG_INT:
+            return struct.unpack_from("<q", data, offset)[0], offset + 8
+        if tag == TAG_BIGINT:
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            return int(data[offset : offset + length].decode("ascii")), offset + length
+        if tag == TAG_DOUBLE:
+            return struct.unpack_from("<d", data, offset)[0], offset + 8
+        if tag in (TAG_TEXT, TAG_TIMESTAMP):
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            text = data[offset : offset + length].decode(
+                "utf-8" if tag == TAG_TEXT else "ascii"
+            )
+            if len(data) < offset + length:
+                raise SqlStorageError("value payload is truncated")
+            offset += length
+            if tag == TAG_TIMESTAMP:
+                return _dt.datetime.fromisoformat(text), offset
+            return text, offset
+        if tag == TAG_BYTEA:
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            if len(data) < offset + length:
+                raise SqlStorageError("bytea payload is truncated")
+            return bytes(data[offset : offset + length]), offset + length
+        if tag == TAG_FLOAT_ARRAY:
+            (count,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            values = list(struct.unpack_from(f"<{count}d", data, offset))
+            return values, offset + 8 * count
+        if tag == TAG_VARIANT:
+            name_len = data[offset]
+            offset += 1
+            type_name = data[offset : offset + name_len].decode("ascii")
+            offset += name_len
+            inner, offset = decode_value(data, offset)
+            return Variant(inner, SqlType.parse(type_name)), offset
+        if tag == TAG_LIST:
+            (count,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            items: List[Any] = []
+            for _ in range(count):
+                item, offset = decode_value(data, offset)
+                items.append(item)
+            return items, offset
+    except (IndexError, struct.error, ValueError, UnicodeDecodeError) as exc:
+        raise SqlStorageError(f"corrupt value encoding at offset {offset}: {exc}") from exc
+    raise SqlStorageError(f"unknown value tag 0x{tag:02x} at offset {offset - 1}")
+
+
+def encode_row(values: Sequence[Any]) -> bytes:
+    """Encode a full table row (column count + tagged values)."""
+    out = bytearray(struct.pack("<H", len(values)))
+    for value in values:
+        encode_value(value, out)
+    return bytes(out)
+
+
+def decode_row(data: bytes) -> List[Any]:
+    """Decode a row produced by :func:`encode_row`."""
+    (count,) = struct.unpack_from("<H", data, 0)
+    offset = 2
+    values: List[Any] = []
+    for _ in range(count):
+        value, offset = decode_value(data, offset)
+        values.append(value)
+    if offset != len(data):
+        raise SqlStorageError(
+            f"row encoding has {len(data) - offset} trailing bytes"
+        )
+    return values

@@ -64,6 +64,14 @@ class Table:
     ``write_hook`` (when set by the owning database) is invoked before any
     mutation; the database uses it to take lazy copy-on-write transaction
     snapshots, so a transaction only pays for the tables it actually writes.
+
+    ``log_sink`` (set when the owning database has durable storage attached)
+    receives one logical record *after* each successful mutation - the
+    coerced inserted row, the deleted row positions, the ``(position, new
+    row)`` update pairs - which the storage engine appends to the
+    write-ahead log.  Replay of those records against the same starting
+    state reproduces the exact row array, so recovery needs neither
+    coercion nor constraint re-checks.
     """
 
     def __init__(self, schema: TableSchema):
@@ -72,6 +80,7 @@ class Table:
         self._pk_index: Dict[Tuple, int] = {}
         self.indexes: Dict[str, SecondaryIndex] = {}
         self.write_hook: Optional[Callable[["Table"], None]] = None
+        self.log_sink: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -207,6 +216,8 @@ class Table:
             self._pk_index[key] = position
         for index in self.indexes.values():
             index.add(row, position)
+        if self.log_sink is not None:
+            self.log_sink.log_insert(self.name, row)
         return list(row)
 
     def delete_where(
@@ -229,20 +240,22 @@ class Table:
         else:
             candidates = None
         kept = []
-        removed = 0
+        removed_positions: List[int] = []
         for position, row in enumerate(self._rows):
             if (candidates is None or position in candidates) and predicate(
                 dict(zip(names, row))
             ):
-                removed += 1
+                removed_positions.append(position)
             else:
                 kept.append(row)
-        if removed:
+        if removed_positions:
             self._before_write()
             self._rows = kept
             self._rebuild_pk_index()
             self._rebuild_secondary_indexes()
-        return removed
+            if self.log_sink is not None:
+                self.log_sink.log_delete(self.name, removed_positions)
+        return len(removed_positions)
 
     def update_where(
         self,
@@ -264,7 +277,7 @@ class Table:
                 return 0
         else:
             candidates = None
-        updated = 0
+        updated_pairs: List[Tuple[int, list]] = []
         new_rows: List[list] = []
         for position, row in enumerate(self._rows):
             if candidates is not None and position not in candidates:
@@ -276,16 +289,19 @@ class Table:
                 for column_name, new_value in changes.items():
                     column = self.schema.column(column_name)
                     row_dict[column_name.lower()] = column.coerce(new_value)
-                new_rows.append([row_dict[name] for name in names])
-                updated += 1
+                new_row = [row_dict[name] for name in names]
+                new_rows.append(new_row)
+                updated_pairs.append((position, new_row))
             else:
                 new_rows.append(row)
-        if updated:
+        if updated_pairs:
             self._before_write()
             self._rows = new_rows
             self._rebuild_pk_index()
             self._rebuild_secondary_indexes()
-        return updated
+            if self.log_sink is not None:
+                self.log_sink.log_update(self.name, updated_pairs)
+        return len(updated_pairs)
 
     def truncate(self) -> None:
         """Remove all rows."""
@@ -294,6 +310,8 @@ class Table:
         self._pk_index = {}
         for index in self.indexes.values():
             index.map = {}
+        if self.log_sink is not None:
+            self.log_sink.log_truncate(self.name)
 
     # ------------------------------------------------------------------ #
     # Transaction support

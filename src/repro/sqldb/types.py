@@ -26,6 +26,8 @@ class SqlType(str, enum.Enum):
     BOOLEAN = "boolean"
     TIMESTAMP = "timestamp"
     VARIANT = "variant"
+    BYTEA = "bytea"
+    DOUBLE_ARRAY = "double precision[]"
 
     @classmethod
     def parse(cls, name: str) -> "SqlType":
@@ -59,6 +61,11 @@ class SqlType(str, enum.Enum):
             "timestamp without time zone": cls.TIMESTAMP,
             "date": cls.TIMESTAMP,
             "variant": cls.VARIANT,
+            "bytea": cls.BYTEA,
+            "blob": cls.BYTEA,
+            "double precision[]": cls.DOUBLE_ARRAY,
+            "float8[]": cls.DOUBLE_ARRAY,
+            "double[]": cls.DOUBLE_ARRAY,
         }
         # Strip length suffixes such as varchar(255).
         if "(" in normalized:
@@ -172,6 +179,23 @@ def coerce(value: Any, sql_type: SqlType) -> Any:
             return parse_timestamp(value)
         if sql_type is SqlType.VARIANT:
             return Variant.wrap(value)
+        if sql_type is SqlType.BYTEA:
+            if isinstance(value, bytes):
+                return value
+            if isinstance(value, (bytearray, memoryview)):
+                return bytes(value)
+            if isinstance(value, str):
+                return value.encode("utf-8")
+            raise SqlTypeError(f"cannot convert {value!r} to bytea")
+        if sql_type is SqlType.DOUBLE_ARRAY:
+            if isinstance(value, (bytes, str)):
+                raise SqlTypeError(f"cannot convert {value!r} to double precision[]")
+            try:
+                return [float(item) for item in value]
+            except TypeError as exc:
+                raise SqlTypeError(
+                    f"cannot convert {value!r} to double precision[]: {exc}"
+                ) from exc
     except SqlTypeError:
         raise
     except (TypeError, ValueError) as exc:
@@ -193,4 +217,8 @@ def infer_type(value: Any) -> Optional[SqlType]:
         return SqlType.DOUBLE
     if isinstance(value, _dt.datetime):
         return SqlType.TIMESTAMP
+    if isinstance(value, (bytes, bytearray)):
+        return SqlType.BYTEA
+    if isinstance(value, (list, tuple)):
+        return SqlType.DOUBLE_ARRAY
     return SqlType.TEXT

@@ -1,0 +1,127 @@
+"""End-to-end persistence of the FMU layer across process restarts.
+
+The model catalogue, measurements and FMU archive *blobs* all live in the
+durable SQL database (``repro.connect(path=...)``), so a reopened session
+can simulate and calibrate models it never compiled - even when the archive
+file store (``storage_dir``) starts out empty, as after moving the ``.db``
+file to a new machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.catalog import ARCHIVE_TABLE
+from repro.data.loaders import load_dataset
+from repro.data.nist import generate_hp1_dataset
+from repro.errors import UnknownInstanceError
+from repro.models.heatpump import hp1_source
+
+FAST_GA_OPTIONS = {"population_size": 8, "generations": 4, "patience": 3}
+FAST_LOCAL_OPTIONS = {"max_iterations": 15}
+
+SIMULATE = "SELECT count(*) FROM fmu_simulate('HP1Instance1', 'SELECT * FROM measurements')"
+
+
+def _open(db_path, storage_dir):
+    return repro.connect(
+        path=str(db_path),
+        storage_dir=str(storage_dir),
+        ga_options=dict(FAST_GA_OPTIONS),
+        local_options=dict(FAST_LOCAL_OPTIONS),
+        seed=2,
+    )
+
+
+@pytest.fixture()
+def populated_db(tmp_path):
+    """A durable database with measurements and a created HP1 instance."""
+    db_path = tmp_path / "fleet.db"
+    conn = _open(db_path, tmp_path / "store_a")
+    load_dataset(
+        conn.database, generate_hp1_dataset(hours=96, seed=4), table_name="measurements"
+    )
+    created = conn.execute(
+        "SELECT fmu_create($1, 'HP1Instance1')", [hp1_source()]
+    ).fetchone()[0]
+    assert created == "HP1Instance1"
+    baseline = conn.execute(SIMULATE).result.scalar()
+    assert baseline > 0
+    conn.database.storage.close()
+    conn.close()
+    return db_path, baseline
+
+
+def test_connect_accepts_positional_path(tmp_path):
+    """``repro.connect("fleet.db")`` reads like ``sqlite3.connect``."""
+    conn = repro.connect(str(tmp_path / "fleet.db"), register_ml=False)
+    assert conn.database.storage is not None
+    conn.execute("CREATE TABLE t (id integer)")
+    conn.database.storage.close()
+    conn = repro.connect(str(tmp_path / "fleet.db"), register_ml=False)
+    assert "t" in conn.database.table_names()
+    conn.database.storage.close()
+
+
+def test_archive_blob_row_is_written(tmp_path):
+    conn = _open(tmp_path / "fleet.db", tmp_path / "store")
+    conn.execute("SELECT fmu_create($1, 'HP1Instance1')", [hp1_source()])
+    blob = conn.execute(f"SELECT archive FROM {ARCHIVE_TABLE}").result.scalar()
+    assert isinstance(blob, bytes) and len(blob) > 100
+    conn.database.storage.close()
+
+
+def test_simulate_after_reopen_with_empty_archive_store(populated_db, tmp_path):
+    db_path, baseline = populated_db
+    # store_b is empty: the archive must rehydrate from the blob table.
+    conn = _open(db_path, tmp_path / "store_b")
+    assert conn.execute(SIMULATE).result.scalar() == baseline
+    conn.database.storage.close()
+
+
+def test_reopen_and_calibrate(populated_db, tmp_path):
+    db_path, baseline = populated_db
+
+    conn = _open(db_path, tmp_path / "store_b")
+    inst = conn.session.instance("HP1Instance1")
+    inst.calibrate(measurements="SELECT * FROM measurements", parameters=["Cp", "R"])
+    assert inst.last_calibration is not None
+    assert inst.last_calibration.error < 0.2
+    calibrated = dict(inst.parameters)
+    assert set(calibrated) == {"Cp", "R"}
+    assert conn.execute(SIMULATE).result.scalar() == baseline
+    conn.database.storage.close()
+
+    # Third open: the calibrated parameter values themselves persisted.
+    conn = _open(db_path, tmp_path / "store_c")
+    inst = conn.session.instance("HP1Instance1")
+    assert inst.parameters == pytest.approx(calibrated)
+    assert conn.execute(SIMULATE).result.scalar() == baseline
+    conn.database.storage.close()
+
+
+def test_fmu_state_survives_kill(populated_db, tmp_path):
+    """An unclean shutdown (no close) must not lose the committed catalogue."""
+    db_path, baseline = populated_db
+    conn = _open(db_path, tmp_path / "store_b")
+    conn.execute("SELECT fmu_copy('HP1Instance1', 'HP1Instance2')")
+    conn.database.storage.simulate_crash()
+
+    conn = _open(db_path, tmp_path / "store_c")
+    inst = conn.session.instance("HP1Instance2")
+    assert inst is not None
+    assert conn.execute(SIMULATE).result.scalar() == baseline
+    conn.database.storage.close()
+
+
+def test_deleted_model_stays_deleted(populated_db, tmp_path):
+    db_path, _ = populated_db
+    conn = _open(db_path, tmp_path / "store_b")
+    conn.session.instance("HP1Instance1").delete()
+    conn.database.storage.close()
+
+    conn = _open(db_path, tmp_path / "store_c")
+    with pytest.raises(UnknownInstanceError):
+        conn.session.instance("HP1Instance1")
+    conn.database.storage.close()

@@ -213,3 +213,25 @@ class TestTransactions:
         conn.database.on_commit(lambda: fired.append("committed"))
         conn.commit()
         assert fired == ["immediate", "committed"]
+
+    def test_commit_runs_all_hooks_even_if_one_raises(self, conn):
+        fired = []
+
+        def boom():
+            raise RuntimeError("hook exploded")
+
+        conn.begin()
+        conn.database.on_commit(lambda: fired.append("first"))
+        conn.database.on_commit(boom)
+        conn.database.on_commit(lambda: fired.append("last"))
+        with pytest.raises(RuntimeError, match="hook exploded"):
+            conn.commit()
+        # The raising hook must not swallow the ones queued after it, and
+        # the data change itself stays committed.
+        assert fired == ["first", "last"]
+        assert not conn.in_transaction
+        # The hook queue was consumed: a later commit does not re-fire them.
+        conn.begin()
+        conn.database.execute("INSERT INTO points VALUES (1, 1.0)")
+        conn.commit()
+        assert fired == ["first", "last"]

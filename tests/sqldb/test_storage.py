@@ -1,0 +1,345 @@
+"""Unit tests for the durable storage primitives (codec, pager, WAL)."""
+
+from __future__ import annotations
+
+import datetime as dt
+import os
+import struct
+
+import pytest
+
+from repro.errors import SqlStorageError
+from repro.sqldb import Database, StorageEngine
+from repro.sqldb.schema import ColumnDefinition, ForeignKey, TableSchema
+from repro.sqldb.storage import wal as walmod
+from repro.sqldb.storage.engine import deserialize_rows, serialize_rows
+from repro.sqldb.storage.pager import Pager
+from repro.sqldb.storage.record import decode_row, decode_value, encode_row, encode_value
+from repro.sqldb.storage.wal import WalWriter, scan_wal, truncate_wal
+from repro.sqldb.types import SqlType, Variant
+
+
+def _roundtrip(value):
+    out = bytearray()
+    encode_value(value, out)
+    decoded, offset = decode_value(bytes(out), 0)
+    assert offset == len(out)
+    return decoded
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**63),
+            2**80,  # beyond i64: decimal-text fallback
+            -(2**80),
+            0.0,
+            -1.5,
+            3.141592653589793,
+            float("inf"),
+            "",
+            "hello",
+            "unicode: ÆØÅ ✓",
+            b"",
+            b"\x00\xffzip bytes",
+            dt.datetime(2015, 1, 1, 12, 30, 15),
+            [1.0, 2.5, -3.25],
+            [],
+            [1, "mixed", None, 2.5],
+            Variant(42, SqlType.INTEGER),
+            Variant("on", SqlType.TEXT),
+            Variant(None, SqlType.TEXT),
+        ],
+    )
+    def test_roundtrip(self, value):
+        decoded = _roundtrip(value)
+        assert decoded == value
+        assert type(decoded) is type(value) or isinstance(value, tuple)
+
+    def test_nan_roundtrip(self):
+        decoded = _roundtrip(float("nan"))
+        assert decoded != decoded  # NaN
+
+    def test_bool_stays_bool_int_stays_int(self):
+        assert _roundtrip(True) is True
+        assert isinstance(_roundtrip(1), int) and _roundtrip(1) == 1
+
+    def test_variant_preserves_original_type(self):
+        decoded = _roundtrip(Variant(2.5, SqlType.DOUBLE))
+        assert isinstance(decoded, Variant)
+        assert decoded.original_type is SqlType.DOUBLE
+
+    def test_tuple_decodes_as_list(self):
+        assert _roundtrip((1.0, 2.0)) == [1.0, 2.0]
+
+    def test_unserializable_value_raises(self):
+        with pytest.raises(SqlStorageError):
+            encode_value(object(), bytearray())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(SqlStorageError):
+            decode_value(b"\xfe", 0)
+
+    def test_truncated_payload_raises(self):
+        out = bytearray()
+        encode_value("hello world", out)
+        with pytest.raises(SqlStorageError):
+            decode_value(bytes(out[:-3]), 0)
+
+    def test_row_roundtrip(self):
+        row = [1, "a", None, 2.5, b"blob", [1.0, 2.0]]
+        assert decode_row(encode_row(row)) == row
+
+    def test_row_trailing_bytes_raise(self):
+        with pytest.raises(SqlStorageError):
+            decode_row(encode_row([1]) + b"\x00")
+
+    def test_rows_blob_roundtrip(self):
+        rows = [[i, f"row{i}", float(i)] for i in range(50)]
+        assert deserialize_rows(serialize_rows(rows)) == rows
+
+    def test_truncated_rows_blob_raises(self):
+        blob = serialize_rows([[1, "x"], [2, "y"]])
+        with pytest.raises(SqlStorageError):
+            deserialize_rows(blob[:-2])
+
+
+class TestPager:
+    def test_chain_roundtrip_small_and_multipage(self, tmp_path):
+        pager = Pager(tmp_path / "p.db", page_size=256)
+        small = pager.write_chain(b"hello")
+        big_blob = os.urandom(5000)  # ~20 pages at 248 bytes of capacity
+        big = pager.write_chain(big_blob)
+        assert pager.read_chain(small) == b"hello"
+        assert pager.read_chain(big) == big_blob
+        assert len(pager.chain_pages(big)) == -(-len(big_blob) // pager.chain_capacity)
+        pager.close()
+
+    def test_empty_blob_occupies_one_page(self, tmp_path):
+        pager = Pager(tmp_path / "p.db", page_size=256)
+        first = pager.write_chain(b"")
+        assert pager.read_chain(first) == b""
+        assert pager.chain_pages(first) == [first]
+        pager.close()
+
+    def test_header_flip_survives_reopen(self, tmp_path):
+        pager = Pager(tmp_path / "p.db")
+        root = pager.write_chain(b"catalog!")
+        pager.sync()
+        pager.commit_header(root, 7)
+        pager.close()
+        again = Pager(tmp_path / "p.db")
+        assert again.checkpoint_id == 7
+        assert again.read_chain(again.catalog_page) == b"catalog!"
+        again.close()
+
+    def test_free_pages_are_reused(self, tmp_path):
+        pager = Pager(tmp_path / "p.db", page_size=256)
+        first = pager.write_chain(os.urandom(1000))
+        pager.sync()
+        pager.commit_header(first, 1)
+        before = pager.page_count
+        pager.set_live_chains([first])
+        pager.free_chain(first)
+        second = pager.write_chain(os.urandom(1000))
+        assert pager.page_count == before  # fully served from the free set
+        assert set(pager.chain_pages(second)) == set(pager.chain_pages(first))
+        pager.close()
+
+    def test_set_live_chains_reclaims_leaked_pages(self, tmp_path):
+        pager = Pager(tmp_path / "p.db", page_size=256)
+        live = pager.write_chain(b"live")
+        pager.write_chain(os.urandom(600))  # leaked: never referenced
+        pager.set_live_chains([live])
+        grown = pager.page_count
+        pager.write_chain(os.urandom(600))  # must reuse the leaked pages
+        assert pager.page_count == grown
+        pager.close()
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"not a database" * 300)
+        with pytest.raises(SqlStorageError):
+            Pager(path)
+
+    def test_corrupt_header_crc_raises(self, tmp_path):
+        path = tmp_path / "p.db"
+        Pager(path).close()
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SqlStorageError):
+            Pager(path)
+
+
+class TestWal:
+    def test_append_sync_scan_roundtrip(self, tmp_path):
+        path = tmp_path / "w.wal"
+        writer = WalWriter(path)
+        payloads = [walmod.begin_record(1), walmod.insert_record("t", [1, "x"]), walmod.commit_record(1)]
+        for payload in payloads:
+            writer.append(payload)
+        writer.sync()
+        writer.close()
+        entries, valid_end, size = scan_wal(path)
+        assert [p for _, p in entries] == payloads
+        assert valid_end == size
+        parsed = [walmod.parse_record(p) for _, p in entries]
+        assert parsed[1] == {"kind": walmod.REC_INSERT, "table": "t", "row": [1, "x"]}
+
+    def test_pending_is_invisible_until_sync(self, tmp_path):
+        path = tmp_path / "w.wal"
+        writer = WalWriter(path)
+        writer.append(walmod.begin_record(1))
+        assert scan_wal(path) == ([], 0, 0)
+        writer.abandon()
+        assert scan_wal(path) == ([], 0, 0)
+
+    def test_torn_tail_stops_scan(self, tmp_path):
+        path = tmp_path / "w.wal"
+        writer = WalWriter(path)
+        writer.append(walmod.begin_record(1))
+        writer.sync()
+        good_size = path.stat().st_size
+        writer.append(walmod.commit_record(1))
+        writer.sync()
+        writer.close()
+        full = path.read_bytes()
+        path.write_bytes(full[: good_size + 5])  # tear the second frame
+        entries, valid_end, size = scan_wal(path)
+        assert len(entries) == 1 and valid_end == good_size and size == good_size + 5
+        truncate_wal(path, valid_end)
+        assert path.stat().st_size == good_size
+
+    def test_corrupt_crc_stops_scan(self, tmp_path):
+        path = tmp_path / "w.wal"
+        writer = WalWriter(path)
+        writer.append(walmod.begin_record(1))
+        writer.append(walmod.commit_record(1))
+        writer.sync()
+        writer.close()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last frame
+        path.write_bytes(bytes(data))
+        entries, valid_end, _ = scan_wal(path)
+        assert len(entries) == 1
+
+    def test_reset_leaves_single_checkpoint_frame(self, tmp_path):
+        path = tmp_path / "w.wal"
+        writer = WalWriter(path)
+        for i in range(10):
+            writer.append(walmod.insert_record("t", [i]))
+        writer.sync()
+        writer.reset(walmod.checkpoint_record(3))
+        writer.close()
+        entries, _, _ = scan_wal(path)
+        assert len(entries) == 1
+        assert walmod.parse_record(entries[0][1]) == {
+            "kind": walmod.REC_CHECKPOINT,
+            "checkpoint_id": 3,
+        }
+
+    def test_update_and_delete_records_roundtrip(self):
+        update = walmod.parse_record(
+            walmod.update_record("t", [(3, [1, "a"]), (9, [2, "b"])])
+        )
+        assert update["pairs"] == [(3, [1, "a"]), (9, [2, "b"])]
+        delete = walmod.parse_record(walmod.delete_record("t", [0, 5, 17]))
+        assert delete["positions"] == [0, 5, 17]
+        ddl = walmod.parse_record(walmod.ddl_record({"op": "drop_table", "name": "t"}))
+        assert ddl["ddl"] == {"op": "drop_table", "name": "t"}
+
+
+class TestSchemaPayload:
+    def test_full_schema_roundtrip(self):
+        schema = TableSchema(
+            name="m",
+            columns=[
+                ColumnDefinition("id", SqlType.INTEGER, not_null=True),
+                ColumnDefinition("x", SqlType.DOUBLE, default=1.5),
+                ColumnDefinition("tag", SqlType.TEXT, default="none"),
+                ColumnDefinition("at", SqlType.TIMESTAMP),
+                ColumnDefinition("blob", SqlType.BYTEA),
+                ColumnDefinition("traj", SqlType.DOUBLE_ARRAY),
+                ColumnDefinition("v", SqlType.VARIANT),
+            ],
+            primary_key=["id"],
+            foreign_keys=[ForeignKey(["tag"], "tags", ["name"])],
+        )
+        rebuilt = TableSchema.from_payload(schema.to_payload())
+        assert rebuilt.to_payload() == schema.to_payload()
+        assert rebuilt.column("x").default == 1.5
+        assert rebuilt.foreign_keys[0].referenced_table == "tags"
+
+
+class TestStorageSqlSurface:
+    def test_bytea_and_array_columns_roundtrip_through_reopen(self, tmp_path):
+        path = tmp_path / "b.db"
+        db = Database(storage=StorageEngine(path))
+        db.create_table(
+            TableSchema(
+                name="blobs",
+                columns=[
+                    ColumnDefinition("id", SqlType.INTEGER, not_null=True),
+                    ColumnDefinition("payload", SqlType.BYTEA),
+                    ColumnDefinition("traj", SqlType.DOUBLE_ARRAY),
+                ],
+                primary_key=["id"],
+            )
+        )
+        payload = os.urandom(10_000)  # larger than one page
+        db.insert_rows("blobs", [[1, payload, [1.0, 2.0, 3.0]]])
+        db.execute("CHECKPOINT")  # force the blob through the page store too
+        db.storage.close()
+        again = Database(storage=StorageEngine(path))
+        row = again.execute("SELECT payload, traj FROM blobs").rows[0]
+        assert row[0] == payload
+        assert row[1] == [1.0, 2.0, 3.0]
+        again.storage.close()
+
+    def test_checkpoint_statement_is_noop_in_memory(self):
+        db = Database()
+        assert db.execute("CHECKPOINT").rows == [["checkpoint 0"]]
+
+    def test_checkpoint_statement_increments_id(self, tmp_path):
+        db = Database(storage=StorageEngine(tmp_path / "c.db"))
+        assert db.execute("CHECKPOINT").rows == [["checkpoint 1"]]
+        assert db.execute("CHECKPOINT").rows == [["checkpoint 2"]]
+        db.storage.close()
+
+    def test_checkpoint_inside_transaction_is_rejected(self, tmp_path):
+        db = Database(storage=StorageEngine(tmp_path / "c.db"))
+        db.begin()
+        with pytest.raises(SqlStorageError):
+            db.execute("CHECKPOINT")
+        db.rollback()
+        db.storage.close()
+
+    def test_checkpoint_resets_wal(self, tmp_path):
+        db = Database(storage=StorageEngine(tmp_path / "c.db"))
+        db.execute("CREATE TABLE t (id integer)")
+        db.insert_rows("t", [[i] for i in range(200)])
+        grown = db.storage.wal_size()
+        db.checkpoint()
+        assert db.storage.wal_size() < grown / 10
+        db.storage.close()
+
+    def test_in_memory_database_has_no_storage(self):
+        db = Database()
+        assert db.storage is None
+        assert db.checkpoint() == 0
+
+    def test_storage_requires_empty_database(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer)")
+        from repro.errors import SqlExecutionError
+
+        with pytest.raises(SqlExecutionError):
+            db.attach_storage(StorageEngine(tmp_path / "x.db"))
