@@ -162,6 +162,53 @@ def measure_simulate(n_steps: int = 10_000, rounds: int = 3) -> dict:
 
 
 # --------------------------------------------------------------------------- #
+# Part 1b: deadline-check overhead on the same hot path
+# --------------------------------------------------------------------------- #
+def measure_deadline_overhead(n_steps: int = 10_000, rounds: int = 5) -> dict:
+    """Cost of an armed statement deadline on the 10k-step simulate path.
+
+    The solver loops check the ambient :class:`CancelToken` every 64 steps;
+    with no token installed each check site costs one ``is None`` branch.
+    This measures the *armed* case - a generous deadline that never fires,
+    the shape every statement run under ``statement_timeout`` pays - and
+    gates it at <= 2% over the token-free run.
+    """
+    from repro import cancellation
+    from repro.cancellation import CancelToken
+
+    model = _build_hp5_model()
+    stop = 100.0
+    hours = np.linspace(0.0, stop, 101)
+    inputs = {"u": (hours, 0.5 + 0.5 * np.sin(hours / 5.0))}
+    grid = np.linspace(0.0, stop, n_steps + 1)
+    options = {"step": stop / n_steps}
+
+    def run():
+        return model.simulate(
+            inputs=inputs,
+            start_time=0.0,
+            stop_time=stop,
+            output_times=grid,
+            solver="euler",
+            solver_options=options,
+        )
+
+    run()  # warm caches before timing
+    plain_s = armed_s = float("inf")
+    for _ in range(rounds):
+        plain_s = min(plain_s, _timed(run, 1))
+        with cancellation.activate(CancelToken(timeout=3600.0)):
+            armed_s = min(armed_s, _timed(run, 1))
+    overhead_pct = (armed_s / plain_s - 1.0) * 100.0
+    return {
+        "deadline_n_steps": n_steps,
+        "deadline_plain_s": round(plain_s, 6),
+        "deadline_armed_s": round(armed_s, 6),
+        "deadline_overhead_pct": round(overhead_pct, 2),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Part 2: fmu_parest calibration
 # --------------------------------------------------------------------------- #
 def measure_parest(hours: float = PAREST_HOURS) -> dict:
@@ -209,6 +256,7 @@ def measure_parest(hours: float = PAREST_HOURS) -> dict:
 def measure_simulation_kernels() -> dict:
     record = {"benchmark": "simulation_kernels"}
     record.update(measure_simulate())
+    record.update(measure_deadline_overhead())
     record.update(measure_parest())
     return record
 
@@ -225,6 +273,15 @@ def test_simulation_kernel_speedups():
     print(json.dumps(record, indent=2, sort_keys=True))
     assert record["simulate_speedup"] >= 5.0
     assert record["parest_speedup"] >= 3.0
+    assert record["deadline_overhead_pct"] <= 2.0
+
+
+def test_deadline_check_overhead():
+    """Standalone <= 2% gate (CI runs just this one: ``-k deadline``)."""
+    record = measure_deadline_overhead()
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    assert record["deadline_overhead_pct"] <= 2.0
 
 
 def smoke() -> None:

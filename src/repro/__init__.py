@@ -44,6 +44,7 @@ def connect(
     register_ml: bool = True,
     path: Optional[str] = None,
     fsync: bool = True,
+    statement_timeout: Optional[float] = None,
     **session_options,
 ) -> Connection:
     """Open a pgFMU connection (the application-level driver entry point).
@@ -73,7 +74,10 @@ def connect(
     ``storage_dir`` is the directory for the FMU archive *file* store
     (defaults to a temp dir); with ``path`` set, archives are additionally
     persisted as blobs inside the database, so the file store is just a
-    cache.  ``session_options`` are forwarded to
+    cache.  ``statement_timeout`` (seconds) installs a deadline around
+    every statement; an overrun raises the typed
+    :class:`~repro.errors.TimeoutError` (see ``Cursor.cancel()`` for
+    cross-thread cancellation).  ``session_options`` are forwarded to
     :class:`~repro.core.Session` (``ga_options``, ``local_options``,
     ``seed``).
     """
@@ -99,6 +103,8 @@ def connect(
         register_ml=register_ml,
         **session_options,
     )
+    if statement_timeout is not None:
+        session.database.statement_timeout = statement_timeout
     return session.connection()
 
 

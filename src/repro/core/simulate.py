@@ -21,7 +21,7 @@ per-instance path (the escape hatch equivalence tests and benchmarks use).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -31,6 +31,7 @@ from repro.core.instances import InstanceManager
 from repro.errors import SimulationInputError
 from repro.fmi.model import FmuModel
 from repro.fmi.results import SimulationResult
+from repro.solvers.retry import RetryPolicy
 
 
 class _PreparedInputs:
@@ -74,6 +75,12 @@ class Simulator:
     #: per-instance path - the escape hatch equivalence tests and the fleet
     #: benchmark use to compare the two.
     batch_enabled: bool = True
+    #: Degradation ladder applied when an integration raises
+    #: :class:`~repro.errors.SolverError`: retry with tightened numerics,
+    #: then fall back to a fixed-step solver (see
+    #: :class:`~repro.solvers.retry.RetryPolicy`).  ``None`` disables
+    #: retries (a divergence propagates on the first attempt).
+    retry_policy: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
 
     # ------------------------------------------------------------------ #
     # Core simulation
@@ -138,14 +145,21 @@ class Simulator:
         inputs, start, stop, output_times = self._bind_call(
             instance_id, model, prepared, time_from, time_to
         )
-        return model.simulate(
-            inputs=inputs,
-            start_time=start,
-            stop_time=stop,
-            output_step=output_step,
-            output_times=output_times,
-            solver=self.solver,
-        )
+
+        def run(solver_name: str, solver_options: Dict[str, Any]) -> SimulationResult:
+            return model.simulate(
+                inputs=inputs,
+                start_time=start,
+                stop_time=stop,
+                output_step=output_step,
+                output_times=output_times,
+                solver=solver_name,
+                solver_options=solver_options or None,
+            )
+
+        if self.retry_policy is None:
+            return run(self.solver, {})
+        return self.retry_policy.run(run, self.solver)
 
     def simulate_many(
         self,
@@ -193,14 +207,23 @@ class Simulator:
             inputs, start, stop, output_times = self._bind_call(
                 group_ids[0], models[0], prepared, time_from, time_to
             )
-            fleet = FmuModel.simulate_batch(
-                models,
-                inputs=inputs,
-                start_time=start,
-                stop_time=stop,
-                output_times=output_times,
-                solver=self.solver,
-            )
+            def run_batch(
+                solver_name: str, solver_options: Dict[str, Any]
+            ) -> List[SimulationResult]:
+                return FmuModel.simulate_batch(
+                    models,
+                    inputs=inputs,
+                    start_time=start,
+                    stop_time=stop,
+                    output_times=output_times,
+                    solver=solver_name,
+                    solver_options=solver_options or None,
+                )
+
+            if self.retry_policy is None:
+                fleet = run_batch(self.solver, {})
+            else:
+                fleet = self.retry_policy.run(run_batch, self.solver)
             results.update(zip(group_ids, fleet))
         return {instance_id: results[instance_id] for instance_id in unique_ids}
 

@@ -13,6 +13,19 @@ class ReproError(Exception):
     """Base class for every error raised by the ``repro`` package."""
 
 
+class TimeoutError(ReproError):  # noqa: A001 - intentionally shadows builtins.TimeoutError
+    """A statement exceeded its deadline (``statement_timeout``).
+
+    Raised by :meth:`repro.cancellation.CancelToken.check` from the executor
+    plan operators and the solver step loops, so a runaway simulation or
+    query stops at the next check point instead of holding the engine.
+    """
+
+
+class CancelledError(ReproError):
+    """A statement was cancelled by the caller (``Cursor.cancel()``)."""
+
+
 class SqlError(ReproError):
     """Base class for errors raised by the in-memory SQL engine."""
 

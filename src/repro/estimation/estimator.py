@@ -80,6 +80,10 @@ class Estimation:
         fixed seed; ``False`` forces the sequential per-candidate loop.
         Non-batchable models (interpreted path, non-vectorizable kernels)
         fall back to it automatically.
+    retry_policy:
+        Optional :class:`~repro.solvers.retry.RetryPolicy` forwarded to the
+        objective: diverging candidates walk the degradation ladder before
+        being penalized.  Off by default (pinned results unchanged).
     """
 
     def __init__(
@@ -95,6 +99,7 @@ class Estimation:
         seed: Optional[int] = 1,
         memo: bool = True,
         batch_enabled: bool = True,
+        retry_policy=None,
     ):
         self.model = model
         self.measurements = measurements
@@ -115,6 +120,7 @@ class Estimation:
             solver_options=solver_options,
             memo=memo,
             batch_enabled=batch_enabled,
+            retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------ #

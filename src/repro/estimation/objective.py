@@ -14,9 +14,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import EstimationError
+from repro.errors import CancelledError, EstimationError, SolverError, TimeoutError
 from repro.estimation.metrics import rmse
 from repro.fmi.model import FmuModel
+from repro.solvers.retry import RetryPolicy
+
+#: Deadline/cancellation errors must never be swallowed as a penalized
+#: candidate: a timed-out calibration aborts, it does not score ``inf``.
+_FATAL_ERRORS = (TimeoutError, CancelledError)
 
 
 @dataclass
@@ -156,6 +161,13 @@ class SimulationObjective:
         population benchmark flip).  Models that cannot batch (interpreted
         path, non-vectorizable kernels) fall back to the sequential loop
         automatically, as does a batched solve that fails mid-flight.
+    retry_policy:
+        Optional :class:`~repro.solvers.retry.RetryPolicy` applied when a
+        candidate's simulation raises :class:`~repro.errors.SolverError`:
+        the remaining rungs of the ladder (tightened numerics, fixed-step
+        fallback) are tried before the candidate is penalized with ``inf``.
+        Off by default so pinned estimation results are unchanged; typed
+        timeout/cancellation errors always propagate, never retry.
     """
 
     def __init__(
@@ -169,6 +181,7 @@ class SimulationObjective:
         align_initial_state: bool = True,
         memo: bool = True,
         batch_enabled: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.model = model
         self.measurements = measurements
@@ -221,6 +234,7 @@ class SimulationObjective:
                     if finite.size:
                         self.initial_state_values[name] = float(finite[0])
         self.n_evaluations = 0
+        self.retry_policy = retry_policy
         self.memo_enabled = bool(memo)
         self.batch_enabled = bool(batch_enabled)
         self.n_cache_hits = 0
@@ -242,8 +256,17 @@ class SimulationObjective:
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
-    def simulate(self, theta: Sequence[float]):
-        """Simulate the model with the candidate parameter vector."""
+    def simulate(
+        self,
+        theta: Sequence[float],
+        solver: Optional[str] = None,
+        solver_options: Optional[dict] = None,
+    ):
+        """Simulate the model with the candidate parameter vector.
+
+        ``solver``/``solver_options`` override the objective's configured
+        solver for this one call (the retry ladder's degraded attempts).
+        """
         theta = np.asarray(theta, dtype=float)
         if theta.shape != (len(self.parameter_names),):
             raise EstimationError(
@@ -257,8 +280,10 @@ class SimulationObjective:
             start_time=float(self.measurements.time[0]),
             stop_time=float(self.measurements.time[-1]),
             output_times=self.measurements.time,
-            solver=self.solver,
-            solver_options=self.solver_options,
+            solver=self.solver if solver is None else solver,
+            solver_options=(
+                self.solver_options if solver_options is None else solver_options
+            ),
         )
 
     def __call__(self, theta: Sequence[float]) -> float:
@@ -291,8 +316,25 @@ class SimulationObjective:
         self.n_evaluations += 1
         try:
             result = self.simulate(theta)
+        except SolverError:
+            if self.retry_policy is None:
+                # A diverging candidate (e.g. an unstable pole) is penalized,
+                # not fatal.
+                return float("inf")
+            try:
+                result = self.retry_policy.run(
+                    lambda name, options: self.simulate(
+                        theta, solver=name, solver_options=options
+                    ),
+                    self.solver,
+                    self.solver_options,
+                    skip_first=True,
+                )
+            except SolverError:
+                return float("inf")
+        except _FATAL_ERRORS:
+            raise
         except Exception:
-            # A diverging candidate (e.g. an unstable pole) is penalized, not fatal.
             return float("inf")
         return self._score(result)
 
@@ -416,6 +458,8 @@ class SimulationObjective:
             return np.array([self._evaluate(thetas[0])])
         try:
             results = self._simulate_population(thetas)
+        except _FATAL_ERRORS:
+            raise
         except Exception:
             mid = len(thetas) // 2
             return np.concatenate(

@@ -14,6 +14,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro import faults
+from repro.cancellation import check_active
 from repro.errors import FmuStateError, FmuVariableError, SimulationInputError, SolverError
 from repro.fmi.archive import FmuArchive, read_fmu
 from repro.fmi.dynamics import OdeSystem
@@ -339,6 +341,7 @@ class FmuModel:
         """
         if not self._instantiated:
             raise FmuStateError("the FMU instance has been terminated")
+        check_active()
 
         interp = self._build_interpolator(inputs or {})
         t0, t1 = self._resolve_window(interp, start_time, stop_time)
@@ -372,6 +375,17 @@ class FmuModel:
 
             def rhs(t, x, _u):
                 return system.derivatives(t, x, input_values_at(t), parameter_values)
+
+        injector = faults.active_injector()
+        if injector is not None:
+            # Chaos mode only: route every rhs evaluation through the
+            # ``kernel.eval`` fault point (zero cost when no injector is
+            # installed - this wrapper does not exist).
+            inner_rhs = rhs
+
+            def rhs(t, x, _u):  # noqa: F811 - deliberate chaos-mode shadow
+                injector.check_point("kernel.eval")
+                return inner_rhs(t, x, _u)
 
         x0 = np.array(
             [self._state_starts[name] for name in system.state_names], dtype=float
@@ -476,6 +490,7 @@ class FmuModel:
             if not model._instantiated:
                 raise FmuStateError("the FMU instance has been terminated")
 
+        check_active()
         interp = lead._build_interpolator(inputs or {})
         t0, t1 = lead._resolve_window(interp, start_time, stop_time)
         grid = lead._resolve_grid(t0, t1, output_step, output_times)
@@ -520,6 +535,14 @@ class FmuModel:
                 return kernel_derivs_batch(t, X, U, P, np.empty_like(X))
             except ZeroDivisionError:
                 raise kernel.division_error() from None
+
+        injector = faults.active_injector()
+        if injector is not None:
+            inner_batch_rhs = rhs
+
+            def rhs(t, X, U):  # noqa: F811 - deliberate chaos-mode shadow
+                injector.check_point("kernel.eval")
+                return inner_batch_rhs(t, X, U)
 
         def restrict(rows):
             # Active-set compaction support: the adaptive batch solver drops

@@ -24,6 +24,7 @@ from repro.solvers.base import (
     solve_ode,
 )
 from repro.solvers.euler import EulerSolver
+from repro.solvers.retry import RetryPolicy
 from repro.solvers.rk4 import RungeKutta4Solver
 from repro.solvers.rk45 import DormandPrince45Solver
 
@@ -64,6 +65,7 @@ __all__ = [
     "EulerSolver",
     "RungeKutta4Solver",
     "DormandPrince45Solver",
+    "RetryPolicy",
     "SOLVER_REGISTRY",
     "get_solver",
 ]

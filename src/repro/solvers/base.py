@@ -20,7 +20,36 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
+from repro.cancellation import active_token
 from repro.errors import SolverError
+
+#: Solver step loops poll the deadline token / chaos injector once every
+#: this many iterations.  Sparse enough that the inactive case costs a
+#: single boolean test per step (measured <=2% on the kernel benchmark),
+#: frequent enough that a runaway integration stops within milliseconds.
+_CHECK_INTERVAL = 64
+
+
+def _step_guard():
+    """``(token, injector, watch)`` for a solver main loop.
+
+    Captured once at loop entry; ``watch`` is False in ordinary runs, so
+    the per-step cost collapses to one branch.  See the loop bodies: every
+    ``_CHECK_INTERVAL``-th step with a watcher installed calls
+    :func:`_check_step`.
+    """
+    token = active_token()
+    injector = faults.active_injector()
+    return token, injector, token is not None or injector is not None
+
+
+def _check_step(token, injector) -> None:
+    if token is not None:
+        token.check()
+    if injector is not None:
+        injector.check_point("solver.step")
+
 
 RhsFunction = Callable[[float, np.ndarray, np.ndarray], np.ndarray]
 InputFunction = Callable[[float], np.ndarray]

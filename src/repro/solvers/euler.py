@@ -17,7 +17,10 @@ from repro.solvers.base import (
     OdeSolver,
     TrajectoryRecorder,
     _batch_stage_function,
+    _check_step,
     _stage_function,
+    _step_guard,
+    _CHECK_INTERVAL,
 )
 
 
@@ -62,8 +65,15 @@ class EulerSolver(OdeSolver):
         n_steps = 0
         f = _stage_function(problem)
         t1 = problem.t1
+        token, injector, watch = _step_guard()
+        checks_left = _CHECK_INTERVAL
         with np.errstate(over="ignore", invalid="ignore"):
             while t < t1 - 1e-15:
+                if watch:
+                    checks_left -= 1
+                    if checks_left == 0:
+                        checks_left = _CHECK_INTERVAL
+                        _check_step(token, injector)
                 h_eff = min(h, t1 - t)
                 dx = f(t, x)
                 n_evals += 1
@@ -120,8 +130,15 @@ class EulerSolver(OdeSolver):
         n_steps = 0
         f = _batch_stage_function(problem)
         t1 = problem.t1
+        token, injector, watch = _step_guard()
+        checks_left = _CHECK_INTERVAL
         with np.errstate(over="ignore", invalid="ignore"):
             while t < t1 - 1e-15:
+                if watch:
+                    checks_left -= 1
+                    if checks_left == 0:
+                        checks_left = _CHECK_INTERVAL
+                        _check_step(token, injector)
                 h_eff = min(h, t1 - t)
                 dX = f(t, X)
                 n_evals += 1

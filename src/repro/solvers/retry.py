@@ -1,0 +1,141 @@
+"""Solver degradation ladder: retry a diverged integration, then fall back.
+
+When a simulation hits a :class:`~repro.errors.SolverError` (divergence,
+step-limit exhaustion, an injected ``solver.step`` fault), a
+:class:`RetryPolicy` describes the ladder of progressively more
+conservative attempts to make before giving up:
+
+1. the requested solver with the requested options (skipped when the
+   caller already ran it);
+2. the same solver with *tightened* numerics - step sizes and tolerances
+   scaled by :attr:`RetryPolicy.step_factor`, and the adaptive step limit
+   raised so smaller steps do not trip it;
+3. the :attr:`RetryPolicy.fallback_solver` (rk45 -> rk4 by default), a
+   fixed-step method immune to step-controller runaway, with only the
+   options it understands.
+
+Only :class:`~repro.errors.SolverError` is retried.  Typed timeout /
+cancellation errors, storage errors, and everything else propagate
+immediately - a deadline must not be burned on doomed retries.
+
+This generalizes the ad-hoc divergence handling the population objective
+already does (bisecting failed fleets): :class:`repro.core.simulate.Simulator`
+applies a default policy to ``fmu_simulate``, and
+:class:`repro.estimation.objective.SimulationObjective` accepts an opt-in
+policy for calibration (off by default, so pinned estimation results are
+unchanged unless a caller asks for resilience).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SolverError
+
+#: Options understood by the fixed-step fallback solvers (rk4, euler);
+#: adaptive-only options (rtol, atol, max_steps) are dropped on fallback.
+_FIXED_STEP_OPTIONS = ("step", "max_step")
+
+#: Options scaled by ``step_factor`` when tightening an attempt.
+_TIGHTENABLE_OPTIONS = ("step", "max_step", "rtol", "atol")
+
+#: Default tightened tolerances for an adaptive solver invoked with no
+#: explicit options (there is nothing to scale, so tighten from these).
+_ADAPTIVE_DEFAULTS = {"rtol": 1e-6, "atol": 1e-8}
+
+_ADAPTIVE_SOLVERS = {"rk45", "cvode"}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to degrade when a solver fails (see module docstring).
+
+    Attributes
+    ----------
+    max_attempts:
+        Cap on the total number of attempts, first try included.
+    step_factor:
+        Multiplier applied to step sizes / tolerances on the tightened
+        attempt (0.25 means four times smaller steps).
+    fallback_solver:
+        Solver name for the last rung (empty/None disables the fallback
+        rung).  Must be a registered fixed-step solver.
+    """
+
+    max_attempts: int = 3
+    step_factor: float = 0.25
+    fallback_solver: Optional[str] = "rk4"
+
+    def attempts(
+        self, solver: str, solver_options: Optional[Dict[str, Any]] = None
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """The ladder of ``(solver_name, options)`` attempts, capped."""
+        options = dict(solver_options or {})
+        ladder: List[Tuple[str, Dict[str, Any]]] = [(solver, options)]
+        tightened = self._tighten(solver, options)
+        if tightened is not None:
+            ladder.append((solver, tightened))
+        if self.fallback_solver and self.fallback_solver != solver:
+            ladder.append((self.fallback_solver, self._fallback_options(options)))
+        return ladder[: max(1, int(self.max_attempts))]
+
+    def _tighten(
+        self, solver: str, options: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        tightened = dict(options)
+        changed = False
+        for key in _TIGHTENABLE_OPTIONS:
+            if tightened.get(key) is not None:
+                tightened[key] = float(tightened[key]) * self.step_factor
+                changed = True
+        if not changed and solver in _ADAPTIVE_SOLVERS:
+            for key, default in _ADAPTIVE_DEFAULTS.items():
+                tightened[key] = default * self.step_factor
+            changed = True
+        if not changed:
+            # Fixed-step solver at its span-derived default step: there is
+            # no knob to scale without knowing the span, so skip this rung.
+            return None
+        if solver in _ADAPTIVE_SOLVERS:
+            # Smaller steps need more of them; keep the safety limit from
+            # turning the tightened attempt into an instant failure.
+            tightened["max_steps"] = int(tightened.get("max_steps", 100_000)) * 4
+        return tightened
+
+    def _fallback_options(self, options: Dict[str, Any]) -> Dict[str, Any]:
+        fallback: Dict[str, Any] = {}
+        for key in _FIXED_STEP_OPTIONS:
+            if options.get(key) is not None:
+                fallback[key] = float(options[key]) * self.step_factor
+        return fallback
+
+    def run(
+        self,
+        simulate: Callable[[str, Dict[str, Any]], Any],
+        solver: str,
+        solver_options: Optional[Dict[str, Any]] = None,
+        skip_first: bool = False,
+    ) -> Any:
+        """Run ``simulate(solver_name, options)`` down the ladder.
+
+        ``skip_first`` is for callers that already made (and caught) the
+        plain attempt themselves.  Re-raises the *last* attempt's
+        :class:`~repro.errors.SolverError` when every rung fails; anything
+        that is not a :class:`SolverError` propagates immediately.
+        """
+        ladder = self.attempts(solver, solver_options)
+        if skip_first:
+            ladder = ladder[1:]
+        if not ladder:
+            raise SolverError(
+                f"retry ladder for solver {solver!r} is empty (nothing to retry)"
+            )
+        last: Optional[SolverError] = None
+        for name, options in ladder:
+            try:
+                return simulate(name, options)
+            except SolverError as exc:
+                last = exc
+        assert last is not None
+        raise last

@@ -17,7 +17,10 @@ from repro.solvers.base import (
     OdeSolver,
     TrajectoryRecorder,
     _batch_stage_function,
+    _check_step,
     _stage_function,
+    _step_guard,
+    _CHECK_INTERVAL,
 )
 
 
@@ -63,8 +66,15 @@ class RungeKutta4Solver(OdeSolver):
 
         f = _stage_function(problem)
         t1 = problem.t1
+        token, injector, watch = _step_guard()
+        checks_left = _CHECK_INTERVAL
         with np.errstate(over="ignore", invalid="ignore"):
             while t < t1 - 1e-15:
+                if watch:
+                    checks_left -= 1
+                    if checks_left == 0:
+                        checks_left = _CHECK_INTERVAL
+                        _check_step(token, injector)
                 h_eff = min(h, t1 - t)
                 k1 = f(t, x)
                 k2 = f(t + h_eff / 2.0, x + h_eff / 2.0 * k1)
@@ -121,8 +131,15 @@ class RungeKutta4Solver(OdeSolver):
 
         f = _batch_stage_function(problem)
         t1 = problem.t1
+        token, injector, watch = _step_guard()
+        checks_left = _CHECK_INTERVAL
         with np.errstate(over="ignore", invalid="ignore"):
             while t < t1 - 1e-15:
+                if watch:
+                    checks_left -= 1
+                    if checks_left == 0:
+                        checks_left = _CHECK_INTERVAL
+                        _check_step(token, injector)
                 h_eff = min(h, t1 - t)
                 k1 = f(t, X)
                 k2 = f(t + h_eff / 2.0, X + h_eff / 2.0 * k1)

@@ -23,7 +23,10 @@ from repro.solvers.base import (
     OdeSolver,
     TrajectoryRecorder,
     _batch_stage_function,
+    _check_step,
     _stage_function,
+    _step_guard,
+    _CHECK_INTERVAL,
 )
 
 # Dormand-Prince Butcher tableau (RK45, FSAL).
@@ -120,7 +123,14 @@ class DormandPrince45Solver(OdeSolver):
         # with the same first stage.
         stages = np.empty((7, len(x)))
         stages[0] = k_first
+        token, injector, watch = _step_guard()
+        checks_left = _CHECK_INTERVAL
         while t < problem.t1 - 1e-14:
+            if watch:
+                checks_left -= 1
+                if checks_left == 0:
+                    checks_left = _CHECK_INTERVAL
+                    _check_step(token, injector)
             if n_steps + n_rejected > self.max_steps:
                 raise SolverError(
                     f"RK45 exceeded {self.max_steps} steps (t={t}, interval ends at {problem.t1})"
@@ -234,9 +244,16 @@ class DormandPrince45Solver(OdeSolver):
         stages = np.empty((7, n_rows, n_states))
         n_evals = 1
 
+        token, injector, watch = _step_guard()
+        checks_left = _CHECK_INTERVAL
         with np.errstate(over="ignore", invalid="ignore"):
             stages[0] = f(t, X)
             while True:
+                if watch:
+                    checks_left -= 1
+                    if checks_left == 0:
+                        checks_left = _CHECK_INTERVAL
+                        _check_step(token, injector)
                 active = t < t1 - 1e-14
                 if not active.any():
                     break

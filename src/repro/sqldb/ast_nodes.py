@@ -299,6 +299,16 @@ class CheckpointStatement:
 
 
 @dataclass
+class VerifyStatement:
+    """``VERIFY`` - walk the page store and WAL, reporting integrity.
+
+    Returns one row per checked object (header, catalog, table chains,
+    WAL) with a status of ``ok``, ``corrupt`` or ``torn-tail``; corruption
+    is reported, not raised, so a damaged store can still be surveyed.
+    """
+
+
+@dataclass
 class InsertStatement:
     """``INSERT INTO name [(cols)] VALUES (...), ... | SELECT ...``."""
 
@@ -333,6 +343,7 @@ Statement = Union[
     DropIndexStatement,
     ExplainStatement,
     CheckpointStatement,
+    VerifyStatement,
     InsertStatement,
     UpdateStatement,
     DeleteStatement,

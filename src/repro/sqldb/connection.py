@@ -110,6 +110,20 @@ class Cursor:
         self._rowcount = self._result.rowcount
         return self
 
+    def cancel(self) -> None:
+        """Request cancellation of the statement executing on this
+        connection's database.
+
+        Safe to call from another thread; cancellation is cooperative, so
+        the running statement unwinds with a typed
+        :class:`~repro.errors.CancelledError` at its next check point
+        (executor dispatch, solver step, plan operator).  A no-op when
+        nothing is executing.
+        """
+        token = self._connection.database._active_token
+        if token is not None:
+            token.cancel()
+
     def executemany(self, sql: str, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
         """Execute the same statement once per parameter set.
 
@@ -268,6 +282,22 @@ class Connection:
         return self.database.in_transaction
 
     # ------------------------------------------------------------------ #
+    # Statement timeout (delegates to the underlying database)
+    # ------------------------------------------------------------------ #
+    @property
+    def statement_timeout(self) -> Optional[float]:
+        """Per-statement deadline in seconds (None disables).
+
+        Stored on the underlying database, so every connection sharing it
+        sees the same setting - like a server-side ``statement_timeout``.
+        """
+        return self.database.statement_timeout
+
+    @statement_timeout.setter
+    def statement_timeout(self, value: Optional[float]) -> None:
+        self.database.statement_timeout = value
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     @property
@@ -311,6 +341,7 @@ def connect(
     database: Optional[Database] = None,
     path: Optional[str] = None,
     fsync: bool = True,
+    statement_timeout: Optional[float] = None,
 ) -> Connection:
     """Open a driver-layer connection to a (possibly fresh) bare database.
 
@@ -335,4 +366,7 @@ def connect(
         from repro.sqldb.storage import StorageEngine
 
         database = Database(storage=StorageEngine(path, fsync=fsync))
-    return Connection(database)
+    connection = Connection(database)
+    if statement_timeout is not None:
+        connection.statement_timeout = statement_timeout
+    return connection

@@ -26,7 +26,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import cancellation
+from repro.cancellation import CancelToken
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
+from repro.sqldb.ast_nodes import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    DropTableStatement,
+    InsertStatement,
+    UpdateStatement,
+)
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse_sql
 from repro.sqldb.result import ResultSet
@@ -66,7 +77,31 @@ class Database:
     routines use exactly this mechanism.
     """
 
-    def __init__(self, storage: Optional[Any] = None):
+    #: Statement types that mutate state and therefore run inside an
+    #: implicit statement-level transaction on a durable database, so a
+    #: mid-statement failure (constraint violation, WAL I/O error) leaves
+    #: the in-memory tables exactly as they were before the statement.
+    _MUTATING_STATEMENTS = (
+        InsertStatement,
+        UpdateStatement,
+        DeleteStatement,
+        CreateTableStatement,
+        DropTableStatement,
+        CreateIndexStatement,
+        DropIndexStatement,
+    )
+
+    def __init__(
+        self,
+        storage: Optional[Any] = None,
+        statement_timeout: Optional[float] = None,
+    ):
+        #: Per-statement deadline in seconds (None disables); every call to
+        #: :meth:`execute` installs a fresh :class:`CancelToken` honouring it.
+        self.statement_timeout = statement_timeout
+        #: The token of the currently executing statement (for
+        #: :meth:`repro.sqldb.connection.Cursor.cancel` from another thread).
+        self._active_token: Optional[CancelToken] = None
         self._tables: Dict[str, Table] = {}
         self.udfs = UdfRegistry()
         self._executor = Executor(self)
@@ -301,6 +336,43 @@ class Database:
     def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
         """Parse and execute one SQL statement."""
         statement = self._parse_cached(sql)
+        return self._run_statement(statement, params)
+
+    def _run_statement(self, statement, params: Optional[Sequence[Any]]) -> ResultSet:
+        """Run one top-level statement under a deadline token.
+
+        Nested statements (UDF-issued SQL, correlated subqueries) arrive
+        here while an ambient token is already installed and inherit it -
+        the deadline covers the whole outer statement, it does not reset.
+        """
+        if cancellation.active_token() is not None:
+            return self._dispatch(statement, params)
+        token = CancelToken(timeout=self.statement_timeout)
+        self._active_token = token
+        try:
+            with cancellation.activate(token):
+                return self._dispatch(statement, params)
+        finally:
+            self._active_token = None
+
+    def _dispatch(self, statement, params: Optional[Sequence[Any]]) -> ResultSet:
+        """Execute a statement, wrapping durable DML in an implicit
+        statement-level transaction (statement atomicity: a failure midway
+        - constraint violation, WAL append/sync error - rolls the tables
+        back to their pre-statement state instead of leaving partial rows)."""
+        if (
+            self.storage is not None
+            and self._txn is None
+            and isinstance(statement, self._MUTATING_STATEMENTS)
+        ):
+            self.begin()
+            try:
+                result = self._executor.execute(statement, params=params)
+            except BaseException:
+                self.rollback()
+                raise
+            self.commit()
+            return result
         return self._executor.execute(statement, params=params)
 
     def execute_statement(
@@ -342,7 +414,7 @@ class Database:
         statement = self._prepared.get(name.lower())
         if statement is None:
             raise SqlCatalogError(f"prepared statement {name!r} does not exist")
-        return self._executor.execute(statement, params=params)
+        return self._run_statement(statement, params)
 
     def deallocate(self, name: str) -> None:
         """Drop a prepared statement (no error if absent)."""
@@ -376,21 +448,36 @@ class Database:
             ),
         )
         if self.storage is not None:
-            self.storage.begin()
+            try:
+                self.storage.begin()
+            except BaseException:
+                # A refused storage transaction (e.g. degraded read-only
+                # engine) must not leave the in-memory transaction open:
+                # later statements would skip their implicit-transaction
+                # wrapper and lose statement atomicity.
+                self._txn = None
+                raise
 
     def commit(self) -> None:
         """Make the changes since :meth:`begin` permanent (no-op outside one).
 
         With durable storage attached, the WAL sync happens first - a
-        commit hook that fails cannot un-persist the transaction.  Commit
-        hooks then all run even if some raise; the first exception is
-        re-raised after the last hook finished, so one failing side effect
-        cannot silently swallow the others.
+        commit hook that fails cannot un-persist the transaction - and it
+        happens while the rollback snapshot is still held: if the sync
+        fails (ENOSPC, fsync error), nothing was made durable, so the
+        in-memory tables are rolled back to match before the error
+        propagates.  Commit hooks then all run even if some raise; the
+        first exception is re-raised after the last hook finished, so one
+        failing side effect cannot silently swallow the others.
         """
+        if self.storage is not None:
+            try:
+                self.storage.commit()
+            except BaseException:
+                self.rollback()
+                raise
         self._txn = None
         self._rollback_hooks.clear()
-        if self.storage is not None:
-            self.storage.commit()
         hooks, self._commit_hooks = self._commit_hooks, []
         first_error: Optional[BaseException] = None
         for hook in hooks:
@@ -412,6 +499,18 @@ class Database:
         if self.storage is None:
             return 0
         return self.storage.checkpoint()
+
+    def verify(self) -> List[List[str]]:
+        """Walk durable storage, returning ``[object, status, detail]`` rows.
+
+        Backs the ``VERIFY`` SQL statement.  Read-only: page chains are
+        re-read (re-checking per-page CRCs), table blobs re-deserialized,
+        and the WAL scanned for torn frames.  On a purely in-memory
+        database there is nothing to check and a single ``ok`` row returns.
+        """
+        if self.storage is None:
+            return [["storage", "ok", "in-memory database; nothing to verify"]]
+        return self.storage.verify()
 
     def rollback(self) -> None:
         """Undo every change since :meth:`begin` (no-op outside one).

@@ -13,6 +13,7 @@ import heapq
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.cancellation import active_token, check_active
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
 from repro.sqldb.ast_nodes import (
     CheckpointStatement,
@@ -37,6 +38,7 @@ from repro.sqldb.ast_nodes import (
     SubqueryRef,
     TableRef,
     UpdateStatement,
+    VerifyStatement,
 )
 from repro.sqldb.expressions import EvalContext, collect_aggregates, evaluate
 from repro.sqldb.functions import (
@@ -45,7 +47,7 @@ from repro.sqldb.functions import (
     TABLE_FUNCTIONS,
     is_aggregate,
 )
-from repro.sqldb.planner.nodes import PlanRuntime
+from repro.sqldb.planner.nodes import PlanRuntime, filter_rows
 from repro.sqldb.result import ResultSet
 from repro.sqldb.rows import make_row, merge_rows
 from repro.sqldb.schema import ColumnDefinition, ForeignKey, TableSchema
@@ -70,6 +72,10 @@ class Executor:
         params: Optional[Sequence[Any]] = None,
         outer_row: Optional[Dict[str, Any]] = None,
     ) -> ResultSet:
+        # One deadline/cancellation check per statement dispatch; nested
+        # statements (subqueries executed per outer row, UDF-issued SQL)
+        # re-enter here, so long row-at-a-time pipelines stay responsive.
+        check_active()
         ctx = EvalContext(
             database=self.database, params=list(params or []), outer_row=outer_row
         )
@@ -94,6 +100,12 @@ class Executor:
         if isinstance(statement, CheckpointStatement):
             checkpoint_id = self.database.checkpoint()
             return ResultSet(columns=["status"], rows=[[f"checkpoint {checkpoint_id}"]], rowcount=0)
+        if isinstance(statement, VerifyStatement):
+            return ResultSet(
+                columns=["object", "status", "detail"],
+                rows=self.database.verify(),
+                rowcount=0,
+            )
         raise SqlExecutionError(f"unsupported statement type: {type(statement).__name__}")
 
     # ------------------------------------------------------------------ #
@@ -220,6 +232,7 @@ class Executor:
             return [], [{}]
         scope_columns: ScopeColumns = []
         rows: List[dict] = [{}]
+        token = active_token()
         for item in from_items:
             lateral = self._item_is_lateral(item)
             if not lateral:
@@ -227,6 +240,8 @@ class Executor:
                 scope_columns = scope_columns + item_columns
                 new_rows = []
                 for row in rows:
+                    if token is not None:
+                        token.check()
                     for item_row in item_rows:
                         new_rows.append(merge_rows(row, item_row))
                 rows = new_rows
@@ -258,7 +273,7 @@ class Executor:
         scope_columns, rows = self._build_source_rows(statement.from_items, ctx)
 
         if statement.where is not None:
-            rows = [row for row in rows if evaluate(statement.where, row, ctx) is True]
+            rows = filter_rows(rows, statement.where, ctx)
 
         aggregates: List[FuncCall] = []
         for item in statement.items:

@@ -40,6 +40,7 @@ from repro.sqldb.ast_nodes import (
     TableRef,
     UnaryOp,
     UpdateStatement,
+    VerifyStatement,
     Statement,
 )
 from repro.sqldb.tokenizer import Token, tokenize
@@ -150,6 +151,9 @@ class Parser:
         if self._word_at("checkpoint"):
             self._advance()
             return CheckpointStatement()
+        if self._word_at("verify"):
+            self._advance()
+            return VerifyStatement()
         raise self._error("expected a SQL statement")
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,7 @@ import datetime as _dt
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.cancellation import active_token
 from repro.errors import SqlExecutionError
 from repro.sqldb.ast_nodes import (
     Expression,
@@ -77,6 +78,33 @@ def _filter_suffix(predicate: Optional[Expression]) -> str:
     return f" (filter: {render_expression(predicate)})" if predicate is not None else ""
 
 
+#: Rows between deadline/cancellation checks in plan-operator loops: sparse
+#: enough to be free, dense enough that a runaway join stays responsive.
+CANCEL_CHECK_EVERY = 1024
+
+
+def filter_rows(rows: List[dict], predicate: Expression, ctx: EvalContext) -> List[dict]:
+    """Predicate filter with a sparse cancellation check.
+
+    With no ambient token this is the plain comprehension; under a
+    statement deadline the loop checks every :data:`CANCEL_CHECK_EVERY`
+    rows so an expensive predicate over a huge row set can be cancelled.
+    """
+    token = active_token()
+    if token is None:
+        return [row for row in rows if evaluate(predicate, row, ctx) is True]
+    out: List[dict] = []
+    tick = CANCEL_CHECK_EVERY
+    for row in rows:
+        tick -= 1
+        if tick == 0:
+            tick = CANCEL_CHECK_EVERY
+            token.check()
+        if evaluate(predicate, row, ctx) is True:
+            out.append(row)
+    return out
+
+
 def _scan_rows(
     label: str, column_names: Sequence[str], raw_rows: Sequence[Sequence[Any]]
 ) -> List[dict]:
@@ -131,9 +159,7 @@ class Scan(PlanNode):
         columns = [(name, f"{label}.{name}") for name in names]
         rows = _scan_rows(label, names, table.raw_rows())
         if self.predicate is not None:
-            ctx = rt.ctx
-            predicate = self.predicate
-            rows = [row for row in rows if evaluate(predicate, row, ctx) is True]
+            rows = filter_rows(rows, self.predicate, rt.ctx)
         return columns, rows
 
 
@@ -188,10 +214,9 @@ class IndexLookup(PlanNode):
         else:
             predicate = self.residual
 
-        ctx = rt.ctx
         rows = _scan_rows(label, names, [raw[position] for position in positions])
         if predicate is not None:
-            rows = [row for row in rows if evaluate(predicate, row, ctx) is True]
+            rows = filter_rows(rows, predicate, rt.ctx)
         return columns, rows
 
 
@@ -331,9 +356,7 @@ class Filter(PlanNode):
 
     def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
         columns, rows = self.child.execute(rt, outer_row)
-        ctx = rt.ctx
-        predicate = self.predicate
-        return columns, [row for row in rows if evaluate(predicate, row, ctx) is True]
+        return columns, filter_rows(rows, self.predicate, rt.ctx)
 
 
 @dataclass
@@ -365,7 +388,10 @@ class NestedLoopJoin(PlanNode):
         if self.lateral:
             rows: List[dict] = []
             right_columns: ScopeColumns = []
+            token = active_token()
             for left_row in left_rows:
+                if token is not None:
+                    token.check()
                 outer = dict(ctx.outer_row or {})
                 outer.update(left_row)
                 right_columns, right_rows = self.right.execute(rt, outer)
@@ -380,9 +406,16 @@ class NestedLoopJoin(PlanNode):
         rows = []
         null_right = {key: None for _, key in right_columns}
         null_right.update({name: None for name, _ in right_columns})
+        token = active_token()
+        tick = CANCEL_CHECK_EVERY
         for left_row in left_rows:
             matched = False
             for right_row in right_rows:
+                if token is not None:
+                    tick -= 1
+                    if tick == 0:
+                        tick = CANCEL_CHECK_EVERY
+                        token.check()
                 merged = merge_rows(left_row, right_row)
                 if self.kind == "cross" or self.condition is None:
                     keep = True
@@ -441,7 +474,14 @@ class HashJoin(PlanNode):
         null_right.update({name: None for name, _ in right_columns})
 
         rows: List[dict] = []
+        token = active_token()
+        tick = CANCEL_CHECK_EVERY
         for left_row in left_rows:
+            if token is not None:
+                tick -= 1
+                if tick == 0:
+                    tick = CANCEL_CHECK_EVERY
+                    token.check()
             key = _join_key(self.left_keys, left_row, ctx)
             matched = False
             if key is not None:

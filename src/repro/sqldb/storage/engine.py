@@ -91,14 +91,51 @@ class StorageEngine:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.wal_path = Path(str(self.path) + ".wal")
         self.fault = fault
-        self.pager = Pager(self.path, page_size=page_size, fsync=fsync)
+        self.pager = Pager(self.path, page_size=page_size, fsync=fsync, fault=fault)
         self.wal = WalWriter(self.wal_path, fsync=fsync, fault=fault)
         self.database = None
         self._next_txn_id = 1
         self._txn_id = 0
         self._in_txn = False
+        self._txn_ops = 0
         self._replaying = False
         self._live_roots: List[int] = []
+        #: Sticky degraded mode: set on the first real I/O failure (OSError)
+        #: from the WAL or pager write path and cleared only by reopening.
+        self.read_only = False
+        self.degraded_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Degraded mode (fsyncgate semantics: a failed fsync may have dropped
+    # dirty pages from the OS cache, so the write is NEVER retried - the
+    # engine turns read-only until the database is reopened and recovery
+    # re-establishes a consistent on-disk state).
+    # ------------------------------------------------------------------ #
+    def _degrade(self, context: str, exc: BaseException) -> SqlStorageError:
+        self.read_only = True
+        self.degraded_reason = f"{context}: {exc}"
+        return SqlStorageError(
+            f"{context} ({exc}); storage engine is now read-only - "
+            "reopen the database to recover"
+        )
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise SqlStorageError(
+                f"storage engine is read-only (degraded: {self.degraded_reason})"
+            )
+
+    def _wal_append(self, payload: bytes) -> None:
+        try:
+            self.wal.append(payload)
+        except OSError as exc:
+            raise self._degrade("WAL append failed", exc) from exc
+
+    def _wal_sync(self) -> None:
+        try:
+            self.wal.sync()
+        except OSError as exc:
+            raise self._degrade("WAL sync failed", exc) from exc
 
     # ------------------------------------------------------------------ #
     # Attachment / recovery
@@ -122,17 +159,24 @@ class StorageEngine:
     def begin(self) -> None:
         if self._in_txn:
             raise SqlStorageError("storage transaction already open")
+        self._check_writable()
         self._txn_id = self._next_txn_id
         self._next_txn_id += 1
         self._in_txn = True
-        self.wal.append(walmod.begin_record(self._txn_id))
+        # The BEGIN frame is appended lazily by the first logged operation,
+        # so read-only / empty transactions never touch the log.
+        self._txn_ops = 0
 
     def commit(self) -> None:
         if not self._in_txn:
             return
-        self.wal.append(walmod.commit_record(self._txn_id))
+        if self._txn_ops == 0:
+            self._in_txn = False
+            return
+        self._check_writable()
+        self._wal_append(walmod.commit_record(self._txn_id))
         self._in_txn = False
-        self.wal.sync()
+        self._wal_sync()
 
     def rollback(self) -> None:
         if not self._in_txn:
@@ -148,15 +192,25 @@ class StorageEngine:
     def _log(self, payload: bytes) -> None:
         if self._replaying:
             return
+        self._check_writable()
         if self._in_txn:
-            self.wal.append(payload)
+            if self._txn_ops == 0:
+                self._wal_append(walmod.begin_record(self._txn_id))
+            self._wal_append(payload)
+            self._txn_ops += 1
         else:
             txn_id = self._next_txn_id
             self._next_txn_id += 1
-            self.wal.append(walmod.begin_record(txn_id))
-            self.wal.append(payload)
-            self.wal.append(walmod.commit_record(txn_id))
-            self.wal.sync()
+            try:
+                self._wal_append(walmod.begin_record(txn_id))
+                self._wal_append(payload)
+                self._wal_append(walmod.commit_record(txn_id))
+            except BaseException:
+                # A partially-buffered autocommit transaction must not ride
+                # along with the next commit's sync: drop its frames now.
+                self.wal.discard_pending()
+                raise
+            self._wal_sync()
 
     def log_insert(self, table: str, row: Sequence[Any]) -> None:
         self._log(walmod.insert_record(table, row))
@@ -191,9 +245,16 @@ class StorageEngine:
         """
         if self._in_txn:
             raise SqlStorageError("CHECKPOINT is not allowed inside a transaction")
+        self._check_writable()
         database = self.database
         if database is None:
             raise SqlStorageError("storage engine is not attached to a database")
+        try:
+            return self._checkpoint(database)
+        except OSError as exc:
+            raise self._degrade("checkpoint failed", exc) from exc
+
+    def _checkpoint(self, database) -> int:
         new_id = self.pager.checkpoint_id + 1
         tables = []
         roots: List[int] = []
@@ -227,12 +288,100 @@ class StorageEngine:
             self.fault.check_point("checkpoint.before_header")
         self.pager.sync()
         self.pager.commit_header(catalog_page, new_id)
-        if self.fault is not None:
-            self.fault.check_point("checkpoint.after_header")
-        self._live_roots = roots
-        self.pager.set_live_chains(roots)
-        self.wal.reset(walmod.checkpoint_record(new_id))
+        try:
+            if self.fault is not None:
+                self.fault.check_point("checkpoint.after_header")
+            self._live_roots = roots
+            self.pager.set_live_chains(roots)
+            self.wal.reset(walmod.checkpoint_record(new_id))
+        except BaseException as exc:
+            # The header already points at the new snapshot but the WAL still
+            # carries the old base: recovery will (correctly) skip the stale
+            # log, so any commit accepted from here on would be silently
+            # dropped on the next open.  Refuse further writes instead.
+            self._degrade("checkpoint failed after the snapshot header flip", exc)
+            raise
         return new_id
+
+    # ------------------------------------------------------------------ #
+    # Verification (the VERIFY SQL statement)
+    # ------------------------------------------------------------------ #
+    def verify(self) -> List[List[str]]:
+        """Walk the page store and WAL; returns ``[object, status, detail]`` rows.
+
+        Purely read-only: every chain referenced by the on-disk catalog is
+        re-read (which re-checks the per-page CRCs), every table blob is
+        re-deserialized and its row count compared against the catalog, and
+        the WAL is scanned for torn frames.  Corruption is *reported* as
+        rows rather than raised, so a damaged store can still be surveyed.
+        """
+        results: List[List[str]] = []
+        pager = self.pager
+        results.append(
+            [
+                "header",
+                "ok",
+                f"page_size={pager.page_size} pages={pager.page_count} "
+                f"checkpoint_id={pager.checkpoint_id}",
+            ]
+        )
+        catalog: Optional[Dict[str, Any]] = None
+        if pager.catalog_page:
+            try:
+                blob = pager.read_chain(pager.catalog_page)
+                catalog = json.loads(blob.decode("utf-8"))
+            except SqlStorageError as exc:
+                results.append(["catalog", "corrupt", str(exc)])
+            except (ValueError, UnicodeDecodeError) as exc:
+                results.append(["catalog", "corrupt", f"catalog JSON is invalid: {exc}"])
+            else:
+                results.append(
+                    ["catalog", "ok", f"{len(catalog.get('tables', []))} table(s)"]
+                )
+        else:
+            results.append(["catalog", "ok", "empty page store (no checkpoint yet)"])
+        for entry in (catalog or {}).get("tables", []):
+            name = entry.get("schema", {}).get("name", "?")
+            label = f"table:{name}"
+            rows_page = entry.get("rows_page", 0)
+            if not rows_page:
+                results.append([label, "ok", "0 row(s)"])
+                continue
+            try:
+                blob = pager.read_chain(rows_page)
+                rows = deserialize_rows(blob)
+            except SqlStorageError as exc:
+                results.append([label, "corrupt", str(exc)])
+                continue
+            expected = entry.get("row_count", len(rows))
+            if expected != len(rows):
+                results.append(
+                    [
+                        label,
+                        "corrupt",
+                        f"row count mismatch: catalog says {expected}, "
+                        f"chain holds {len(rows)}",
+                    ]
+                )
+            else:
+                results.append([label, "ok", f"{len(rows)} row(s)"])
+        try:
+            entries, valid_end, size = walmod.scan_wal(self.wal_path)
+        except OSError as exc:  # pragma: no cover - unreadable WAL file
+            results.append(["wal", "corrupt", f"WAL is unreadable: {exc}"])
+        else:
+            if valid_end == size:
+                results.append(["wal", "ok", f"{len(entries)} frame(s), {size} byte(s)"])
+            else:
+                results.append(
+                    [
+                        "wal",
+                        "torn-tail",
+                        f"{len(entries)} intact frame(s); "
+                        f"{size - valid_end} trailing byte(s) beyond offset {valid_end}",
+                    ]
+                )
+        return results
 
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection

@@ -7,10 +7,13 @@ header::
     | u64 checkpoint_id | u32 CRC-32 of the preceding fields
 
 Every other page belongs to at most one *chain*: a singly linked list of
-pages (``u32 next_page | u32 data_len | data``) holding one arbitrary byte
-blob - a table's serialized rows, or the checkpoint catalog.  ``next_page
-== 0`` terminates a chain (page 0 is the header, so it can never be a
-chain member).
+pages (``u32 next_page | u32 data_len | u32 payload CRC-32 | data``)
+holding one arbitrary byte blob - a table's serialized rows, or the
+checkpoint catalog.  ``next_page == 0`` terminates a chain (page 0 is the
+header, so it can never be a chain member).  The per-page payload CRC is
+verified on every read, so silently corrupted disk bytes surface as a
+:class:`~repro.errors.SqlStorageError` naming the damaged page instead of
+propagating garbage into recovery.
 
 Crash safety comes from ordering, not journaling: a checkpoint writes all
 new chains into *free* pages first, fsyncs them, and only then rewrites the
@@ -27,15 +30,16 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterable, List, Set, Union
+from typing import Iterable, List, Optional, Set, Union
 
 from repro.errors import SqlStorageError
+from repro.faults import FaultInjector
 
 PAGE_SIZE = 4096
 
-_MAGIC = b"PGFMUPG1"
+_MAGIC = b"PGFMUPG2"  # v2: chain pages carry a per-page payload CRC
 _HEADER = struct.Struct("<8sIIIQ")  # magic, page_size, page_count, catalog_page, checkpoint_id
-_CHAIN_HEADER = struct.Struct("<II")  # next_page, data_len
+_CHAIN_HEADER = struct.Struct("<III")  # next_page, data_len, payload crc32
 _CRC = struct.Struct("<I")
 
 PathLike = Union[str, Path]
@@ -44,10 +48,17 @@ PathLike = Union[str, Path]
 class Pager:
     """Reads and writes page chains in a single data file."""
 
-    def __init__(self, path: PathLike, page_size: int = PAGE_SIZE, fsync: bool = True):
+    def __init__(
+        self,
+        path: PathLike,
+        page_size: int = PAGE_SIZE,
+        fsync: bool = True,
+        fault: Optional[FaultInjector] = None,
+    ):
         self.path = Path(path)
         self.page_size = page_size
         self.fsync_enabled = fsync
+        self.fault = fault
         self.catalog_page = 0
         self.checkpoint_id = 0
         self.page_count = 1
@@ -106,14 +117,23 @@ class Pager:
     def _read_page(self, page: int) -> bytes:
         if page <= 0 or page >= self.page_count:
             raise SqlStorageError(f"{self.path}: page {page} is out of bounds")
-        self._file.seek(page * self.page_size)
-        data = self._file.read(self.page_size)
+        if self.fault is not None:
+            self.fault.check_point("pager.read")
+        try:
+            self._file.seek(page * self.page_size)
+            data = self._file.read(self.page_size)
+        except OSError as exc:
+            raise SqlStorageError(
+                f"{self.path}: I/O error reading page {page}: {exc}"
+            ) from exc
         if len(data) < _CHAIN_HEADER.size:
             raise SqlStorageError(f"{self.path}: page {page} is truncated")
         return data
 
     def _write_page(self, page: int, next_page: int, data: bytes) -> None:
-        body = _CHAIN_HEADER.pack(next_page, len(data)) + data
+        if self.fault is not None:
+            self.fault.check_point("pager.write")
+        body = _CHAIN_HEADER.pack(next_page, len(data), zlib.crc32(data)) + data
         self._file.seek(page * self.page_size)
         self._file.write(body.ljust(self.page_size, b"\x00"))
 
@@ -151,10 +171,15 @@ class Pager:
         out = bytearray()
         for page in self.chain_pages(first_page):
             raw = self._read_page(page)
-            _, data_len = _CHAIN_HEADER.unpack_from(raw, 0)
+            _, data_len, crc = _CHAIN_HEADER.unpack_from(raw, 0)
             if data_len > self.chain_capacity:
                 raise SqlStorageError(f"{self.path}: page {page} claims oversized payload")
-            out += raw[_CHAIN_HEADER.size : _CHAIN_HEADER.size + data_len]
+            payload = raw[_CHAIN_HEADER.size : _CHAIN_HEADER.size + data_len]
+            if zlib.crc32(payload) != crc:
+                raise SqlStorageError(
+                    f"{self.path}: page {page} payload CRC mismatch (corrupt page)"
+                )
+            out += payload
         return bytes(out)
 
     def write_chain(self, data: bytes) -> int:

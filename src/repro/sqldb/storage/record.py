@@ -126,11 +126,11 @@ def decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
         if tag in (TAG_TEXT, TAG_TIMESTAMP):
             (length,) = struct.unpack_from("<I", data, offset)
             offset += 4
+            if len(data) < offset + length:
+                raise SqlStorageError("value payload is truncated")
             text = data[offset : offset + length].decode(
                 "utf-8" if tag == TAG_TEXT else "ascii"
             )
-            if len(data) < offset + length:
-                raise SqlStorageError("value payload is truncated")
             offset += length
             if tag == TAG_TIMESTAMP:
                 return _dt.datetime.fromisoformat(text), offset
@@ -176,7 +176,10 @@ def encode_row(values: Sequence[Any]) -> bytes:
 
 def decode_row(data: bytes) -> List[Any]:
     """Decode a row produced by :func:`encode_row`."""
-    (count,) = struct.unpack_from("<H", data, 0)
+    try:
+        (count,) = struct.unpack_from("<H", data, 0)
+    except struct.error as exc:
+        raise SqlStorageError(f"corrupt row encoding: {exc}") from exc
     offset = 2
     values: List[Any] = []
     for _ in range(count):

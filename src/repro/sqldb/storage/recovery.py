@@ -51,10 +51,21 @@ def _load_snapshot(engine, database) -> int:
             catalog = json.loads(pager.read_chain(pager.catalog_page).decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             raise SqlStorageError(f"corrupt checkpoint catalog: {exc}") from exc
-        next_txn_id = int(catalog.get("next_txn_id", 1))
+        try:
+            next_txn_id = int(catalog.get("next_txn_id", 1))
+            entries = catalog["tables"]
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SqlStorageError(
+                f"corrupt checkpoint catalog structure: {exc!r}"
+            ) from exc
         roots.append(pager.catalog_page)
-        for entry in catalog["tables"]:
-            schema = TableSchema.from_payload(entry["schema"])
+        for entry in entries:
+            try:
+                schema = TableSchema.from_payload(entry["schema"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SqlStorageError(
+                    f"corrupt table schema in checkpoint catalog: {exc!r}"
+                ) from exc
             table = Table(schema)
             rows_page = int(entry.get("rows_page", 0))
             if rows_page:

@@ -23,11 +23,11 @@ the sync loses the whole transaction (uncommitted data vanishes) and a
 crash during it leaves a torn tail that :func:`scan_wal` detects via CRC
 and length checks and recovery truncates at the first bad frame.
 
-Crash emulation for tests lives here too: a :class:`FaultInjector` makes
-the writer die mid-write after N bytes (torn tail), die before anything of
-the pending commit reaches the file (power lost pre-write), or die at a
-named engine fault point (e.g. between checkpoint page flush and WAL
-reset).  All faults raise :class:`repro.errors.InjectedCrash`.
+Crash emulation hooks in via :class:`repro.faults.FaultInjector`
+(re-exported here for backwards compatibility): the writer can die
+mid-write after N bytes (torn tail), die before anything of the pending
+commit reaches the file (power lost pre-write), or fire the registered
+``wal.append`` / ``wal.sync`` chaos points.
 """
 
 from __future__ import annotations
@@ -39,7 +39,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import InjectedCrash, SqlStorageError
+from repro.errors import SqlStorageError
+from repro.faults import FaultInjector  # noqa: F401 - canonical home is repro.faults
 from repro.sqldb.storage.record import decode_row, encode_row
 
 REC_BEGIN = 1
@@ -54,61 +55,6 @@ REC_CHECKPOINT = 8
 _FRAME_HEADER = struct.Struct("<II")
 
 PathLike = Union[str, Path]
-
-
-class FaultInjector:
-    """Arms crash points inside the storage layer (for recovery tests).
-
-    Parameters
-    ----------
-    fail_after_bytes:
-        Let this many bytes of physical WAL writes through, then crash
-        mid-write - the tail of the in-flight sync is torn off exactly at
-        the byte limit.
-    fail_before_sync:
-        Crash at the next :meth:`WalWriter.sync` before any pending byte
-        reaches the file - the whole in-flight transaction vanishes.
-    fail_at:
-        A set of named engine fault points (e.g. ``"checkpoint.after_pager"``);
-        the first :meth:`check_point` call with an armed label crashes.
-    """
-
-    def __init__(
-        self,
-        fail_after_bytes: Optional[int] = None,
-        fail_before_sync: bool = False,
-        fail_at: Optional[Sequence[str]] = None,
-    ):
-        self.fail_after_bytes = fail_after_bytes
-        self.fail_before_sync = fail_before_sync
-        self.fail_at = set(fail_at or [])
-        self.tripped = False
-        self._written = 0
-
-    @property
-    def armed(self) -> bool:
-        return not self.tripped and (
-            self.fail_after_bytes is not None
-            or self.fail_before_sync
-            or bool(self.fail_at)
-        )
-
-    def trip(self) -> InjectedCrash:
-        self.tripped = True
-        return InjectedCrash("injected storage crash")
-
-    def write_budget(self, size: int) -> int:
-        """How many bytes of an imminent ``size``-byte write may proceed."""
-        if self.tripped or self.fail_after_bytes is None:
-            return size
-        remaining = self.fail_after_bytes - self._written
-        self._written += size
-        return min(size, max(0, remaining))
-
-    def check_point(self, label: str) -> None:
-        """Crash if the named engine fault point is armed."""
-        if not self.tripped and label in self.fail_at:
-            raise self.trip()
 
 
 # --------------------------------------------------------------------------- #
@@ -226,6 +172,8 @@ class WalWriter:
 
     def append(self, payload: bytes) -> None:
         """Buffer one record; nothing reaches the file until :meth:`sync`."""
+        if self.fault is not None:
+            self.fault.check_point("wal.append")
         self._pending += self.frame(payload)
 
     def sync(self) -> None:
@@ -245,6 +193,8 @@ class WalWriter:
                 self._file.write(data[:allowed])
                 self._file.flush()
                 raise fault.trip()
+        if fault is not None:
+            fault.check_point("wal.sync")
         self._file.write(data)
         self._file.flush()
         if self.fsync_enabled:

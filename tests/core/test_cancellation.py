@@ -1,0 +1,169 @@
+"""Statement deadlines and cooperative cancellation across the engine.
+
+``statement_timeout`` installs a :class:`CancelToken` per top-level
+statement; executor dispatch and solver step loops check it at safe points
+and raise the typed :class:`~repro.errors.TimeoutError` /
+:class:`~repro.errors.CancelledError`.  ``Cursor.cancel()`` flips the
+active statement's token from another thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import cancellation
+from repro.cancellation import CancelToken
+from repro.errors import CancelledError, ReproError, TimeoutError
+from repro.sqldb import Database, connect
+
+
+class TestCancelToken:
+    def test_fresh_token_passes(self):
+        CancelToken().check()
+        CancelToken(timeout=60.0).check()
+
+    def test_zero_timeout_trips_immediately(self):
+        token = CancelToken(timeout=0)
+        with pytest.raises(TimeoutError):
+            token.check()
+
+    def test_cancel_wins_over_deadline(self):
+        token = CancelToken(timeout=0)
+        token.cancel()
+        with pytest.raises(CancelledError):
+            token.check()
+
+    def test_typed_errors_are_repro_errors(self):
+        assert issubclass(TimeoutError, ReproError)
+        assert issubclass(CancelledError, ReproError)
+
+    def test_activate_restores_previous_token(self):
+        outer = CancelToken()
+        inner = CancelToken()
+        with cancellation.activate(outer):
+            assert cancellation.active_token() is outer
+            with cancellation.activate(inner):
+                assert cancellation.active_token() is inner
+            assert cancellation.active_token() is outer
+        assert cancellation.active_token() is None
+
+
+class TestStatementTimeout:
+    def test_zero_timeout_times_out_any_statement(self):
+        db = Database(statement_timeout=0)
+        with pytest.raises(TimeoutError):
+            db.execute("SELECT 1")
+
+    def test_timeout_can_be_set_after_construction(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer)")
+        db.statement_timeout = 0
+        with pytest.raises(TimeoutError):
+            db.execute("SELECT id FROM t")
+        db.statement_timeout = None
+        assert db.execute("SELECT id FROM t").rows == []
+
+    def test_generous_timeout_does_not_interfere(self):
+        db = Database(statement_timeout=60.0)
+        db.execute("CREATE TABLE t (id integer, v double precision)")
+        db.execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
+        assert db.execute("SELECT count(*) FROM t").rows == [[2]]
+
+    def test_connection_exposes_statement_timeout(self):
+        conn = connect(statement_timeout=60.0)
+        assert conn.statement_timeout == 60.0
+        conn.statement_timeout = None
+        assert conn.database.statement_timeout is None
+
+    def test_connection_timeout_raises_typed_error(self):
+        conn = connect(statement_timeout=0)
+        cursor = conn.cursor()
+        with pytest.raises(TimeoutError):
+            cursor.execute("SELECT 1")
+
+
+class TestCursorCancel:
+    def test_cancel_without_active_statement_is_noop(self):
+        conn = connect()
+        conn.cursor().cancel()  # nothing running: must not raise
+
+    def test_cross_thread_cancel_stops_running_statement(self):
+        conn = connect()
+        cursor = conn.cursor()
+        cursor.execute("CREATE TABLE t (id integer, v double precision)")
+        cursor.execute(
+            "INSERT INTO t VALUES "
+            + ", ".join(f"({i}, {i}.5)" for i in range(300))
+        )
+
+        started = threading.Event()
+        errors = []
+
+        def run_query():
+            # A cross join big enough to stay busy until cancelled.
+            try:
+                started.set()
+                cursor.execute(
+                    "SELECT count(*) FROM t a, t b, t c WHERE a.id + b.id + c.id > 1"
+                )
+            except ReproError as exc:
+                errors.append(exc)
+
+        worker = threading.Thread(target=run_query)
+        worker.start()
+        started.wait(timeout=5.0)
+        deadline = time.monotonic() + 5.0
+        # The token only exists while the statement runs; spin until the
+        # cancel lands or the query (unexpectedly) finishes.
+        while worker.is_alive() and time.monotonic() < deadline:
+            cursor.cancel()
+            time.sleep(0.001)
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert errors, "the statement finished before the cancel landed"
+        assert isinstance(errors[0], CancelledError)
+
+
+class TestSimulationDeadlines:
+    def test_simulate_respects_expired_ambient_token(self, hp1_model, hp1_dataset):
+        inputs = {
+            name: (hp1_dataset.time, hp1_dataset[name])
+            for name in hp1_model.input_names()
+            if name in hp1_dataset.columns
+        }
+        with cancellation.activate(CancelToken(timeout=0)):
+            with pytest.raises(TimeoutError):
+                hp1_model.simulate(
+                    inputs=inputs, start_time=0.0, stop_time=10.0, output_step=1.0
+                )
+
+    def test_solver_loop_checks_deadline(self):
+        # A long integration under a deadline that expires mid-flight: the
+        # solver's sparse per-step check must surface the typed timeout.
+        from repro.solvers import get_solver
+        from repro.solvers.base import OdeProblem
+
+        problem = OdeProblem(
+            rhs=lambda t, x, u: -0.1 * x,
+            x0=np.array([1.0]),
+            t0=0.0,
+            t1=1000.0,
+        )
+        with cancellation.activate(CancelToken(timeout=0)):
+            with pytest.raises(TimeoutError):
+                get_solver("rk4", step=0.001).solve(problem)
+
+    def test_simulation_without_token_is_unaffected(self, hp1_model, hp1_dataset):
+        inputs = {
+            name: (hp1_dataset.time, hp1_dataset[name])
+            for name in hp1_model.input_names()
+            if name in hp1_dataset.columns
+        }
+        result = hp1_model.simulate(
+            inputs=inputs, start_time=0.0, stop_time=10.0, output_step=1.0
+        )
+        assert len(result.time) == 11

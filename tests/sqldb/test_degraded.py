@@ -1,0 +1,239 @@
+"""Sticky read-only degraded mode on real I/O failures (fsyncgate semantics).
+
+An ``OSError`` surfacing from the WAL append/sync path or from checkpoint
+I/O means the OS may already have dropped dirty pages from its cache, so
+the write is **never retried**: the engine flips into a sticky read-only
+mode and stays there until the database is reopened (recovery then
+re-establishes a consistent on-disk state).  Injected *crashes*
+(:class:`InjectedCrash`) keep the legacy kill -9 semantics and do not
+degrade - they model the process dying, not the disk failing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InjectedCrash, SqlStorageError
+from repro.sqldb import Database, FaultInjector, StorageEngine
+
+
+def reopen(path, fault=None):
+    return Database(storage=StorageEngine(path, fault=fault))
+
+
+def fresh(path, fault=None):
+    db = reopen(path, fault=fault)
+    db.execute("CREATE TABLE t (id integer PRIMARY KEY, v double precision)")
+    db.execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
+    return db
+
+
+def rows_of(db):
+    return db.execute("SELECT id, v FROM t ORDER BY id").rows
+
+
+class TestStickyReadOnly:
+    def test_wal_sync_oserror_degrades(self, tmp_path):
+        path = tmp_path / "a.db"
+        fault = FaultInjector().arm("wal.sync", error=OSError)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("INSERT INTO t VALUES (3, 3.5)")
+        assert db.storage.read_only
+        assert "WAL sync failed" in db.storage.degraded_reason
+
+    def test_wal_append_oserror_degrades(self, tmp_path):
+        path = tmp_path / "a.db"
+        fault = FaultInjector().arm("wal.append", error=OSError)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("INSERT INTO t VALUES (3, 3.5)")
+        assert db.storage.read_only
+        assert "WAL append failed" in db.storage.degraded_reason
+
+    def test_degraded_engine_refuses_writes_but_serves_reads(self, tmp_path):
+        path = tmp_path / "a.db"
+        fault = FaultInjector().arm("wal.sync", error=OSError)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+        with pytest.raises(SqlStorageError):
+            db.execute("INSERT INTO t VALUES (3, 3.5)")
+
+        # Reads keep working from the consistent in-memory state...
+        assert rows_of(db) == [[1, 1.5], [2, 2.5]]
+        # ...while every write (DML, DDL, CHECKPOINT) is refused - the fault
+        # is long disarmed, but a failed fsync must never be retried.
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("INSERT INTO t VALUES (4, 4.5)")
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("CREATE TABLE u (id integer)")
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("CHECKPOINT")
+
+    def test_failed_statement_rolls_back_in_memory(self, tmp_path):
+        path = tmp_path / "a.db"
+        fault = FaultInjector().arm("wal.sync", error=OSError)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+
+        with pytest.raises(SqlStorageError):
+            db.execute("INSERT INTO t VALUES (3, 3.5), (4, 4.5)")
+        # The statement's implicit transaction rolled back: neither row of
+        # the failed multi-row insert is visible.
+        assert rows_of(db) == [[1, 1.5], [2, 2.5]]
+
+    def test_enospc_on_append_rolls_back_cleanly(self, tmp_path):
+        path = tmp_path / "a.db"
+        enospc = OSError(28, "No space left on device")
+        fault = FaultInjector().arm("wal.append", nth=3, error=enospc)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3, 3.5)")  # append 1 (BEGIN) + 2 (op)
+        with pytest.raises(SqlStorageError, match="No space left"):
+            db.execute("INSERT INTO t VALUES (4, 4.5)")  # append 3 fires
+        db.rollback()
+        assert rows_of(db) == [[1, 1.5], [2, 2.5]]
+        assert db.storage.read_only
+
+    def test_checkpoint_write_failure_degrades(self, tmp_path):
+        path = tmp_path / "a.db"
+        fault = FaultInjector().arm("pager.write", error=OSError)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+
+        with pytest.raises(SqlStorageError, match="checkpoint failed"):
+            db.execute("CHECKPOINT")
+        assert db.storage.read_only
+        assert rows_of(db) == [[1, 1.5], [2, 2.5]]
+
+    def test_checkpoint_fsync_failure_degrades(self, tmp_path, monkeypatch):
+        path = tmp_path / "a.db"
+        db = fresh(path)
+
+        # A real failed fsync at the pre-header-flip barrier: the chains may
+        # or may not be on disk, so the flip must not happen.
+        import repro.sqldb.storage.pager as pager_mod
+
+        def failing_fsync(fd):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(pager_mod.os, "fsync", failing_fsync)
+        with pytest.raises(SqlStorageError, match="checkpoint failed"):
+            db.execute("CHECKPOINT")
+        monkeypatch.undo()
+
+        assert db.storage.read_only
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("INSERT INTO t VALUES (9, 9.5)")
+
+    def test_checkpoint_failure_after_header_flip_degrades(self, tmp_path):
+        # Once the header points at the new snapshot, a failure before the
+        # WAL reset leaves a stale log that recovery will skip: accepting
+        # further commits would silently drop them on the next open (found
+        # by the chaos harness).
+        path = tmp_path / "a.db"
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=FaultInjector().arm("pager.read"))
+
+        with pytest.raises(InjectedCrash):
+            db.execute("CHECKPOINT")
+        assert db.storage.read_only
+        assert "after the snapshot header flip" in db.storage.degraded_reason
+
+        db.storage.simulate_crash()
+        again = reopen(path)
+        assert rows_of(again) == [[1, 1.5], [2, 2.5]]
+
+    def test_refused_storage_begin_does_not_leak_the_memory_transaction(self, tmp_path):
+        # When the degraded engine refuses storage.begin(), the implicit
+        # statement transaction must unwind completely - a leaked open
+        # transaction would make every later failed statement keep its
+        # partial in-memory mutations (found by the chaos harness).
+        path = tmp_path / "a.db"
+        db = fresh(path)
+        db.storage._degrade("test", OSError(5, "Input/output error"))
+
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("UPDATE t SET v = 9.9 WHERE id = 1")
+        assert not db.in_transaction
+
+        with pytest.raises(SqlStorageError, match="read-only"):
+            db.execute("DELETE FROM t WHERE id = 2")
+        assert rows_of(db) == [[1, 1.5], [2, 2.5]]  # memory untouched
+
+    def test_failed_autocommit_append_does_not_pollute_the_next_commit(self, tmp_path):
+        # Frames of an aborted single-statement transaction must not linger
+        # in the pending buffer and ride along with the next commit's sync
+        # (found by the chaos harness).
+        path = tmp_path / "a.db"
+        db = fresh(path)
+        db.storage.close()
+        fault = FaultInjector().arm("wal.append", nth=2)
+        db = reopen(path, fault=fault)
+
+        # Statement-level: the implicit transaction discards on rollback.
+        with pytest.raises(InjectedCrash):
+            db.execute("INSERT INTO t VALUES (3, 3.5)")
+        assert db.storage.wal._pending == bytearray()
+
+        # Storage-level autocommit (the path UDF-issued DML takes): the
+        # BEGIN frame lands, the payload append crashes - nothing may stay
+        # buffered.
+        fault.arm("wal.append", nth=2)
+        with pytest.raises(InjectedCrash):
+            db.storage.log_insert("t", [3, 3.5, None])
+        assert db.storage.wal._pending == bytearray()
+
+        db.execute("INSERT INTO t VALUES (4, 4.5)")
+        db.storage.simulate_crash()
+        again = reopen(path)
+        assert rows_of(again) == [[1, 1.5], [2, 2.5], [4, 4.5]]
+
+    def test_reopen_clears_degraded_mode(self, tmp_path):
+        path = tmp_path / "a.db"
+        fault = FaultInjector().arm("wal.sync", error=OSError)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+        with pytest.raises(SqlStorageError):
+            db.execute("INSERT INTO t VALUES (3, 3.5)")
+        assert db.storage.read_only
+        db.storage.simulate_crash()
+
+        again = reopen(path)
+        assert not again.storage.read_only
+        assert again.storage.degraded_reason is None
+        # Only the data committed before the failure survived, and the
+        # engine is fully writable again.
+        assert rows_of(again) == [[1, 1.5], [2, 2.5]]
+        again.execute("INSERT INTO t VALUES (3, 3.5)")
+        assert rows_of(again) == [[1, 1.5], [2, 2.5], [3, 3.5]]
+        again.storage.close()
+
+    def test_injected_crash_does_not_degrade(self, tmp_path):
+        # InjectedCrash models the process dying (kill -9), not a disk
+        # failure: the legacy recovery suite depends on the engine NOT
+        # flipping read-only for it.
+        path = tmp_path / "a.db"
+        fault = FaultInjector(fail_before_sync=True)
+        db = fresh(path)
+        db.storage.close()
+        db = reopen(path, fault=fault)
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3, 3.5)")
+        with pytest.raises(InjectedCrash):
+            db.commit()
+        assert not db.storage.read_only

@@ -167,6 +167,57 @@ class TestRecoveryBasics:
         assert rows_of(third) == [[2, 2.5, "b"]]
         third.storage.close()
 
+    def test_wal_append_failure_leaves_tables_rollback_consistent(self, tmp_path):
+        """Regression: a WAL append that fails mid-transaction must leave the
+        in-memory tables exactly as a rollback would - no half-applied
+        statement, no rows the log never saw."""
+        path = tmp_path / "a.db"
+        db = reopen(path)
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, v double precision, tag text)")
+        db.execute("INSERT INTO t VALUES (1, 1.5, 'a')")
+        db.storage.close()
+
+        from repro.errors import SqlStorageError
+
+        fault = FaultInjector().arm("wal.append", nth=4, error=OSError)
+        db = reopen(path, fault=fault)
+        db.begin()
+        db.execute("INSERT INTO t VALUES (2, 2.5, 'b')")  # appends BEGIN + op
+        db.execute("UPDATE t SET v = 9.0 WHERE id = 1")  # append 3
+        with pytest.raises(SqlStorageError):
+            db.execute("INSERT INTO t VALUES (3, 3.5, 'c')")  # append 4 fails
+        db.rollback()
+        # In-memory state is the pre-transaction state, bit for bit.
+        assert rows_of(db) == [[1, 1.5, "a"]]
+        # And so is the recovered on-disk state.
+        db.storage.simulate_crash()
+        again = reopen(path)
+        assert rows_of(again) == [[1, 1.5, "a"]]
+        again.storage.close()
+
+    def test_wal_failure_mid_statement_rolls_back_the_statement(self, tmp_path):
+        """Without an explicit transaction, a multi-row statement that dies
+        on a WAL append is rolled back automatically (statement atomicity)."""
+        path = tmp_path / "a.db"
+        db = reopen(path)
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, v double precision, tag text)")
+        db.execute("INSERT INTO t VALUES (1, 1.5, 'a')")
+        db.storage.close()
+
+        from repro.errors import SqlStorageError
+
+        fault = FaultInjector().arm("wal.append", nth=3, error=OSError)
+        db = reopen(path, fault=fault)
+        # BEGIN + first row land, the second row's append fails: the whole
+        # statement must vanish, not just its tail.
+        with pytest.raises(SqlStorageError):
+            db.execute("INSERT INTO t VALUES (2, 2.5, 'b'), (3, 3.5, 'c')")
+        assert rows_of(db) == [[1, 1.5, "a"]]
+        db.storage.simulate_crash()
+        again = reopen(path)
+        assert rows_of(again) == [[1, 1.5, "a"]]
+        again.storage.close()
+
     def test_ddl_and_indexes_recover(self, tmp_path):
         path = tmp_path / "a.db"
         db = reopen(path)
