@@ -10,20 +10,33 @@ three query shapes through both executors:
   index (``CREATE INDEX``) vs. the naive full-materialization scan;
 * **equi-join** - ``sims JOIN instances`` as a hash join vs. the naive
   nested loop;
-* **top-k** - ``ORDER BY ... LIMIT`` as a heap selection vs. full sort.
+* **top-k** - ``ORDER BY ... LIMIT`` as a heap selection vs. full sort;
+* **range scan** - a ~1%-selective ``WHERE time BETWEEN`` served by the
+  ordered (B-tree) secondary index vs. the naive full scan;
+* **ordered top-k** - ``ORDER BY time LIMIT k`` walking the same B-tree
+  in key order (no sort at all) vs. the naive full sort.
 
 Emits ``BENCH_query_planner.json`` next to this file; the planned path must
-be at least 5x faster on the selective-filter and equi-join shapes.
+be at least 5x faster on the selective-filter and equi-join shapes, 10x on
+the B-tree range scan, and 3x on the ordered top-k.
 
-Run with:  pytest benchmarks/bench_query_planner.py  (or python benchmarks/bench_query_planner.py)
+Run with:  pytest benchmarks/bench_query_planner.py
+      or:  python benchmarks/bench_query_planner.py [--smoke]
+
+``--smoke`` runs a ~2.5k-row build to exercise every planned shape without
+timing gates and without refreshing the JSON record.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import sys
 import time
 from pathlib import Path
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.sqldb import Database
 
@@ -41,9 +54,12 @@ JOIN_SQL = (
     "ON s.instance_id = i.instance_id WHERE i.model = 'HP1' GROUP BY i.model"
 )
 TOPK_SQL = "SELECT instance_id, time, value FROM sims ORDER BY value DESC LIMIT 10"
+# ~1% of rows: 5 of ROWS_PER_INSTANCE distinct time steps qualify.
+RANGE_SQL = "SELECT count(*), avg(value) FROM sims WHERE time BETWEEN 100 AND 104"
+ORDER_SQL = "SELECT instance_id, time, value FROM sims ORDER BY time LIMIT 10"
 
 
-def _build_database() -> Database:
+def _build_database(n_instances: int = N_INSTANCES, rows_per_instance: int = ROWS_PER_INSTANCE) -> Database:
     rng = random.Random(42)
     db = Database()
     db.execute("CREATE TABLE instances (instance_id text PRIMARY KEY, model text)")
@@ -51,15 +67,17 @@ def _build_database() -> Database:
         "CREATE TABLE sims (instance_id text, time double precision, value double precision)"
     )
     instance_rows = [
-        [f"HP1Instance{i}", f"HP{i % 4}"] for i in range(1, N_INSTANCES + 1)
+        [f"HP1Instance{i}", f"HP{i % 4}"] for i in range(1, n_instances + 1)
     ]
     db.insert_rows("instances", instance_rows)
     sim_rows = []
     for instance_id, _model in instance_rows:
-        for t in range(ROWS_PER_INSTANCE):
+        for t in range(rows_per_instance):
             sim_rows.append([instance_id, float(t), rng.uniform(15.0, 25.0)])
     db.insert_rows("sims", sim_rows)
     db.execute("CREATE INDEX idx_sims_instance ON sims (instance_id)")
+    db.execute("CREATE INDEX idx_sims_time ON sims USING BTREE (time)")
+    db.execute("ANALYZE")
     return db
 
 
@@ -91,19 +109,25 @@ def _compare(db: Database, name: str, sql: str, params=None) -> dict:
     }
 
 
-def measure_query_planner() -> dict:
-    db = _build_database()
+def measure_query_planner(
+    n_instances: int = N_INSTANCES, rows_per_instance: int = ROWS_PER_INSTANCE
+) -> dict:
+    db = _build_database(n_instances, rows_per_instance)
     record = {
         "benchmark": "query_planner",
-        "n_instances": N_INSTANCES,
+        "n_instances": n_instances,
         "sim_rows": db.execute("SELECT count(*) FROM sims").scalar(),
         "plan_selective_filter": db.explain(FILTER_SQL),
         "plan_equi_join": db.explain(JOIN_SQL),
         "plan_topk": db.explain(TOPK_SQL),
+        "plan_range_scan": db.explain(RANGE_SQL),
+        "plan_ordered_topk": db.explain(ORDER_SQL),
     }
     record.update(_compare(db, "selective_filter", FILTER_SQL, ["HP1Instance42"]))
     record.update(_compare(db, "equi_join", JOIN_SQL))
     record.update(_compare(db, "topk", TOPK_SQL))
+    record.update(_compare(db, "range_scan", RANGE_SQL))
+    record.update(_compare(db, "ordered_topk", ORDER_SQL))
     return record
 
 
@@ -121,13 +145,28 @@ def test_query_planner_speedups():
     assert "IndexLookup" in record["plan_selective_filter"]
     assert "HashJoin" in record["plan_equi_join"]
     assert "top-k" in record["plan_topk"]
+    assert "IndexRangeScan sims USING idx_sims_time" in record["plan_range_scan"]
+    assert "ORDER BY time" in record["plan_ordered_topk"]  # sort eliminated
+    assert "rows=" in record["plan_range_scan"]  # ANALYZE statistics rendered
     # ... and deliver the acceptance-criteria speedups on 50k-row inputs.
     assert record["selective_filter_speedup"] >= 5.0
     assert record["equi_join_speedup"] >= 5.0
+    assert record["range_scan_speedup"] >= 10.0
+    assert record["ordered_topk_speedup"] >= 3.0
     # Top-k avoids the full sort; any improvement is acceptable, it just
     # must not regress.
     assert record["topk_speedup"] >= 1.0
 
 
+def smoke() -> dict:
+    """Exercise every planned shape on a tiny build; no gates, no record."""
+    record = measure_query_planner(n_instances=10, rows_per_instance=120)
+    record["smoke"] = True
+    assert "IndexRangeScan" in record["plan_range_scan"]
+    assert "ORDER BY time" in record["plan_ordered_topk"]
+    return record
+
+
 if __name__ == "__main__":
-    print(json.dumps(measure_query_planner(), indent=2, sort_keys=True))
+    result = smoke() if "--smoke" in sys.argv[1:] else measure_query_planner()
+    print(json.dumps(result, indent=2, sort_keys=True))

@@ -13,6 +13,7 @@ pager.read     reading a page from the page store
 pager.write    writing a page to the page store
 solver.step    each (sparse-checked) solver integration step
 kernel.eval    each compiled-kernel right-hand-side evaluation
+btree.node_write  each ordered-index (B-tree) node mutation
 =============  ========================================================
 
 plus the engine's historical checkpoint labels
@@ -51,6 +52,7 @@ KNOWN_POINTS = (
     "pager.write",
     "solver.step",
     "kernel.eval",
+    "btree.node_write",
     "checkpoint.before_header",
     "checkpoint.after_header",
 )

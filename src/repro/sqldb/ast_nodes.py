@@ -266,12 +266,18 @@ class DropTableStatement:
 
 @dataclass
 class CreateIndexStatement:
-    """``CREATE INDEX [IF NOT EXISTS] name ON table (col, ...)``."""
+    """``CREATE INDEX [IF NOT EXISTS] name ON table [USING kind] (col, ...)``.
+
+    ``using`` selects the index structure: ``"hash"`` (default; point
+    lookups) or ``"btree"`` (single-column ordered index supporting range
+    scans and ordered emission).
+    """
 
     name: str
     table: str
     columns: List[str]
     if_not_exists: bool = False
+    using: str = "hash"
 
 
 @dataclass
@@ -306,6 +312,18 @@ class VerifyStatement:
     WAL) with a status of ``ok``, ``corrupt`` or ``torn-tail``; corruption
     is reported, not raised, so a damaged store can still be surveyed.
     """
+
+
+@dataclass
+class AnalyzeStatement:
+    """``ANALYZE [table]`` - recompute planner statistics.
+
+    With no table name, every table is analyzed.  Statistics are advisory:
+    they steer the cost-based planner (join order, hash-join build side,
+    scan-vs-index decisions) but never affect query results.
+    """
+
+    table: Optional[str] = None
 
 
 @dataclass
@@ -344,6 +362,7 @@ Statement = Union[
     ExplainStatement,
     CheckpointStatement,
     VerifyStatement,
+    AnalyzeStatement,
     InsertStatement,
     UpdateStatement,
     DeleteStatement,

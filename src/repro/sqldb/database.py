@@ -30,6 +30,7 @@ from repro import cancellation
 from repro.cancellation import CancelToken
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
 from repro.sqldb.ast_nodes import (
+    AnalyzeStatement,
     CreateIndexStatement,
     CreateTableStatement,
     DeleteStatement,
@@ -89,6 +90,7 @@ class Database:
         DropTableStatement,
         CreateIndexStatement,
         DropIndexStatement,
+        AnalyzeStatement,
     )
 
     def __init__(
@@ -208,13 +210,19 @@ class Database:
     # ------------------------------------------------------------------ #
     # Secondary indexes
     # ------------------------------------------------------------------ #
-    def create_index(self, name: str, table_name: str, columns: Sequence[str]) -> None:
-        """Create a secondary hash index (``CREATE INDEX name ON table (cols)``)."""
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        columns: Sequence[str],
+        using: str = "hash",
+    ) -> None:
+        """Create a secondary index (``CREATE INDEX name ON table [USING kind] (cols)``)."""
         name = name.lower()
         if name in self._indexes:
             raise SqlCatalogError(f"index {name!r} already exists")
         table = self.table(table_name)
-        table.add_index(name, columns)
+        table.add_index(name, columns, kind=using)
         self._indexes[name] = table.schema.name
         self._bump_catalog_version()
         if self.storage is not None:
@@ -224,6 +232,7 @@ class Database:
                     "name": name,
                     "table": table.schema.name,
                     "columns": [c.lower() for c in columns],
+                    "kind": using,
                 }
             )
 
@@ -244,6 +253,38 @@ class Database:
     def index_names(self) -> List[str]:
         """All secondary index names, sorted."""
         return sorted(self._indexes)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def analyze(self, table_name: Optional[str] = None) -> int:
+        """Recompute planner statistics (``ANALYZE [table]``).
+
+        Returns the number of tables analyzed.  Statistics steer the
+        cost-based planner only; they never change query results.  On a
+        durable database the fresh statistics are logged through the WAL and
+        folded into the next checkpoint, so reopened sessions plan with the
+        last ``ANALYZE``'s view of the data.
+        """
+        from repro.sqldb.stats import TableStats
+
+        if table_name is not None:
+            tables = [self.table(table_name)]
+        else:
+            tables = [self._tables[name] for name in sorted(self._tables)]
+        for table in tables:
+            table._before_write()
+            table.stats = TableStats.compute(table.raw_rows(), table.column_names)
+            if self.storage is not None:
+                self.storage.log_ddl(
+                    {
+                        "op": "analyze",
+                        "table": table.schema.name,
+                        "stats": table.stats.to_payload(),
+                    }
+                )
+        self._bump_catalog_version()
+        return len(tables)
 
     # ------------------------------------------------------------------ #
     # Query planning
@@ -509,8 +550,35 @@ class Database:
         database there is nothing to check and a single ``ok`` row returns.
         """
         if self.storage is None:
-            return [["storage", "ok", "in-memory database; nothing to verify"]]
-        return self.storage.verify()
+            rows = [["storage", "ok", "in-memory database; nothing to verify"]]
+        else:
+            rows = self.storage.verify()
+        rows.extend(self._verify_indexes())
+        return rows
+
+    def _verify_indexes(self) -> List[List[str]]:
+        """Audit in-memory ordered indexes against their tables' rows.
+
+        One ``[index:table.name, ok|corrupt, detail]`` row per ordered
+        index.  Corruption (for example from an interrupted node write) is
+        reported, never raised, matching the VERIFY contract - so a damaged
+        index is surfaced here instead of silently mis-answering queries.
+        """
+        rows: List[List[str]] = []
+        for table_name in sorted(self._tables):
+            table = self._tables[table_name]
+            for index_name in sorted(table.indexes):
+                index = table.indexes[index_name]
+                audit = getattr(index, "verify", None)
+                if audit is None:
+                    continue
+                problem = audit(table.raw_rows())
+                label = f"index:{table_name}.{index_name}"
+                if problem is None:
+                    rows.append([label, "ok", f"{index.kind} index consistent"])
+                else:
+                    rows.append([label, "corrupt", problem])
+        return rows
 
     def rollback(self) -> None:
         """Undo every change since :meth:`begin` (no-op outside one).

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.cancellation import active_token, check_active
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlIntegrityError
 from repro.sqldb.ast_nodes import (
+    AnalyzeStatement,
     CheckpointStatement,
     ColumnRef,
     CreateIndexStatement,
@@ -104,6 +105,13 @@ class Executor:
             return ResultSet(
                 columns=["object", "status", "detail"],
                 rows=self.database.verify(),
+                rowcount=0,
+            )
+        if isinstance(statement, AnalyzeStatement):
+            count = self.database.analyze(statement.table)
+            return ResultSet(
+                columns=["status"],
+                rows=[[f"analyzed {count} table(s)"]],
                 rowcount=0,
             )
         raise SqlExecutionError(f"unsupported statement type: {type(statement).__name__}")
@@ -720,7 +728,9 @@ class Executor:
             if statement.if_not_exists:
                 return ResultSet(columns=["status"], rows=[["exists"]], rowcount=0)
             raise SqlCatalogError(f"index {statement.name!r} already exists")
-        self.database.create_index(statement.name, statement.table, statement.columns)
+        self.database.create_index(
+            statement.name, statement.table, statement.columns, using=statement.using
+        )
         return ResultSet(columns=["status"], rows=[["created"]], rowcount=0)
 
     def _execute_drop_index(self, statement: DropIndexStatement) -> ResultSet:

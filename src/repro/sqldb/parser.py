@@ -6,6 +6,7 @@ from typing import List, Optional, Tuple
 
 from repro.errors import SqlSyntaxError
 from repro.sqldb.ast_nodes import (
+    AnalyzeStatement,
     Between,
     BinaryOp,
     CaseExpression,
@@ -154,6 +155,12 @@ class Parser:
         if self._word_at("verify"):
             self._advance()
             return VerifyStatement()
+        if self._word_at("analyze"):
+            self._advance()
+            table: Optional[str] = None
+            if self._peek().kind in ("ident", "keyword"):
+                table = self._expect_name().lower()
+            return AnalyzeStatement(table=table)
         raise self._error("expected a SQL statement")
 
     # ------------------------------------------------------------------ #
@@ -602,13 +609,23 @@ class Parser:
         name = self._expect_name().lower()
         self._expect_keyword("on")
         table = self._expect_name().lower()
+        using = "hash"
+        if self._word_at("using"):
+            self._advance()
+            using = self._expect_name().lower()
+            if using not in ("hash", "btree"):
+                raise self._error(f"unknown index method {using!r} (expected HASH or BTREE)")
         self._expect_op("(")
         columns = [self._expect_name().lower()]
         while self._match_op(","):
             columns.append(self._expect_name().lower())
         self._expect_op(")")
         return CreateIndexStatement(
-            name=name, table=table, columns=columns, if_not_exists=if_not_exists
+            name=name,
+            table=table,
+            columns=columns,
+            if_not_exists=if_not_exists,
+            using=using,
         )
 
     def _parse_drop_index(self) -> DropIndexStatement:

@@ -15,6 +15,8 @@ from repro.sqldb.planner.nodes import (
     FunctionScan,
     HashJoin,
     IndexLookup,
+    IndexRangeScan,
+    JoinOrderRestore,
     LateralSource,
     Limit,
     NestedLoopJoin,
@@ -35,6 +37,7 @@ __all__ = [
     "PlanRuntime",
     "Scan",
     "IndexLookup",
+    "IndexRangeScan",
     "FunctionScan",
     "SubqueryScan",
     "LateralSource",
@@ -42,6 +45,7 @@ __all__ = [
     "Filter",
     "NestedLoopJoin",
     "HashJoin",
+    "JoinOrderRestore",
     "Project",
     "Aggregate",
     "Distinct",

@@ -1,6 +1,7 @@
 """Build an optimized plan tree from a parsed SELECT statement.
 
-Rule pipeline (all rule-based; there is no cost model yet):
+Rule pipeline, with cost-based decisions layered on top wherever ANALYZE
+statistics exist (see :mod:`repro.sqldb.planner.cost`):
 
 1. **Scope analysis** - map FROM aliases to base-table schemas, note which
    sources have statically unknown columns (functions, subqueries, LATERAL).
@@ -10,11 +11,22 @@ Rule pipeline (all rule-based; there is no cost model yet):
    scans; with OR groups a *derived* per-table predicate is pushed and the
    full WHERE stays as a residual filter.
 4. **Index selection** - ``col = const/param`` conjuncts over the primary
-   key or a secondary hash index turn scans into point lookups.
-5. **Hash joins** - inner/left equi-joins on type-compatible base-table
-   columns replace nested loops.
-6. **Top-k** - a LIMIT above an ORDER BY pushes into the sort as a heap
-   selection.
+   key or a secondary index turn scans into point lookups; range conjuncts
+   (``BETWEEN``/``<``/``>``) over an ordered (B-tree) index become
+   :class:`~repro.sqldb.planner.nodes.IndexRangeScan` interval walks, unless
+   statistics say the interval is too wide to beat a sequential scan.
+5. **Join order** - comma-joins of plain tables are reordered greedily by
+   estimated cardinality when every table has statistics; a
+   :class:`~repro.sqldb.planner.nodes.JoinOrderRestore` re-sorts the output
+   back to declared-order row order so results stay bit-identical.
+6. **Hash joins** - inner/left equi-joins on type-compatible base-table
+   columns replace nested loops; the estimated-smaller input is hashed.
+7. **Top-k** - a LIMIT above an ORDER BY pushes into the sort as a heap
+   selection, and ``ORDER BY col [LIMIT k]`` over a B-tree column drops the
+   sort entirely: the index emits rows in key order.
+
+A database with no statistics (never ``ANALYZE``-d) plans exactly as the
+rule-based engine always did - same shapes, same EXPLAIN text.
 """
 
 from __future__ import annotations
@@ -29,10 +41,12 @@ from repro.sqldb.ast_nodes import (
     FunctionRef,
     Join,
     SelectStatement,
+    Star,
     SubqueryRef,
     TableRef,
 )
 from repro.sqldb.expressions import collect_aggregates
+from repro.sqldb.planner import cost
 from repro.sqldb.planner.nodes import (
     Aggregate,
     Distinct,
@@ -41,6 +55,8 @@ from repro.sqldb.planner.nodes import (
     FunctionScan,
     HashJoin,
     IndexLookup,
+    IndexRangeScan,
+    JoinOrderRestore,
     LateralSource,
     Limit,
     NestedLoopJoin,
@@ -51,15 +67,24 @@ from repro.sqldb.planner.nodes import (
     SubqueryScan,
 )
 from repro.sqldb.planner.predicates import (
+    RangeBound,
     collect_refs,
     column_equality,
     conjoin,
     constant_equality,
+    constant_range,
     disjoin,
     normalize_dnf,
     split_conjuncts,
 )
 from repro.sqldb.types import SqlType
+
+#: Estimated range fraction above which a sequential scan beats the B-tree
+#: walk (index gives no locality here: positions are re-sorted anyway).
+RANGE_SCAN_THRESHOLD = 0.3
+
+#: Hash the left input instead when it is estimated this much smaller.
+BUILD_FLIP_RATIO = 0.8
 
 #: Marker for an unqualified column name visible from several base tables.
 _MULTI = object()
@@ -292,6 +317,65 @@ def choose_point_index(
     )
 
 
+def choose_range_index(
+    table, conjuncts: List[Expression], label: str
+) -> Optional[Tuple[str, str, Optional[RangeBound], Optional[RangeBound], List[Expression]]]:
+    """Pick an ordered (B-tree) index satisfiable by range conjuncts.
+
+    Returns ``(index_name, column, lower, upper, consumed_conjuncts)`` - at
+    most one bound per side is consumed (extra range conjuncts stay in the
+    residual filter) - or None when no B-tree index matches, or statistics
+    say the interval keeps more than :data:`RANGE_SCAN_THRESHOLD` of the
+    table (a sequential scan is then cheaper than walk-plus-resort).
+    """
+    best = None
+    for index in table.indexes.values():
+        if getattr(index, "kind", "hash") != "btree":
+            continue
+        indexed_column = index.columns[0]
+        lower: Optional[RangeBound] = None
+        upper: Optional[RangeBound] = None
+        consumed: List[Expression] = []
+        for conjunct in conjuncts:
+            match = constant_range(conjunct)
+            if match is None:
+                continue
+            column, bounds = match
+            if column.table is not None and column.table != label:
+                continue
+            if column.name != indexed_column:
+                continue
+            if any(
+                (bound.side == "lower" and lower is not None)
+                or (bound.side == "upper" and upper is not None)
+                for bound in bounds
+            ):
+                continue
+            for bound in bounds:
+                if bound.side == "lower":
+                    lower = bound
+                else:
+                    upper = bound
+            consumed.append(conjunct)
+        if lower is None and upper is None:
+            continue
+        score = int(lower is not None) + int(upper is not None)
+        if best is None or score > best[0]:
+            best = (score, index.name, indexed_column, lower, upper, consumed)
+    if best is None:
+        return None
+    _score, index_name, indexed_column, lower, upper, consumed = best
+
+    if table.stats is not None:
+        bounds = [bound for bound in (lower, upper) if bound is not None]
+        fraction = cost.range_fraction(
+            table.stats, ColumnRef(name=indexed_column), bounds, label
+        )
+        if fraction > RANGE_SCAN_THRESHOLD:
+            return None
+    return index_name, indexed_column, lower, upper, consumed
+
+
 def _build_table_scan(
     item: TableRef,
     database,
@@ -308,21 +392,41 @@ def _build_table_scan(
         return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
 
     choice = choose_point_index(table, conjuncts, label)
-    if choice is None:
-        return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
+    if choice is not None:
+        index_name, key_columns, key_exprs, consumed_conjuncts = choice
+        consumed = {id(conjunct) for conjunct in consumed_conjuncts}
+        residual = [c for c in conjuncts if id(c) not in consumed]
+        return IndexLookup(
+            table_name=item.name.lower(),
+            alias=item.alias,
+            index_name=index_name,
+            key_columns=key_columns,
+            key_exprs=key_exprs,
+            residual=conjoin(residual),
+            full_predicate=predicate,
+        )
 
-    index_name, key_columns, key_exprs, consumed_conjuncts = choice
-    consumed = {id(conjunct) for conjunct in consumed_conjuncts}
-    residual = [c for c in conjuncts if id(c) not in consumed]
-    return IndexLookup(
-        table_name=item.name.lower(),
-        alias=item.alias,
-        index_name=index_name,
-        key_columns=key_columns,
-        key_exprs=key_exprs,
-        residual=conjoin(residual),
-        full_predicate=predicate,
-    )
+    range_choice = choose_range_index(table, conjuncts, label)
+    if range_choice is not None:
+        index_name, column, lower, upper, consumed_conjuncts = range_choice
+        consumed = {id(conjunct) for conjunct in consumed_conjuncts}
+        residual = [c for c in conjuncts if id(c) not in consumed]
+        return IndexRangeScan(
+            table_name=item.name.lower(),
+            alias=item.alias,
+            index_name=index_name,
+            column=column,
+            lower=lower.expr if lower is not None else None,
+            lower_inclusive=lower.inclusive if lower is not None else True,
+            lower_between=lower.from_between if lower is not None else False,
+            upper=upper.expr if upper is not None else None,
+            upper_inclusive=upper.inclusive if upper is not None else True,
+            upper_between=upper.from_between if upper is not None else False,
+            residual=conjoin(residual),
+            full_predicate=predicate,
+        )
+
+    return Scan(table_name=item.name.lower(), alias=item.alias, predicate=predicate)
 
 
 # --------------------------------------------------------------------------- #
@@ -361,7 +465,7 @@ def _build_item(
 
 def _plan_aliases(node: PlanNode) -> Optional[Set[str]]:
     """All FROM labels produced by a subtree, or None when any is unknown."""
-    if isinstance(node, (Scan, IndexLookup)):
+    if isinstance(node, (Scan, IndexLookup, IndexRangeScan)):
         return {node.label}
     if isinstance(node, (FunctionScan, SubqueryScan)):
         label = _item_label(node.item)
@@ -484,6 +588,195 @@ def _hash_join_rewrite(node: PlanNode, scope: _Scope) -> PlanNode:
 
 
 # --------------------------------------------------------------------------- #
+# Cost-based join reordering
+# --------------------------------------------------------------------------- #
+def _cost_join_order(
+    from_items: List[FromItem],
+    scope: _Scope,
+    pushed: Dict[str, List[Expression]],
+    residual_conjuncts: List[Expression],
+    database,
+) -> Optional[List[str]]:
+    """A better-than-declared join order for a comma-join, or None.
+
+    Only pure comma-joins of uniquely-labelled plain tables qualify (the
+    order-restoring sort needs an ordinal tag per FROM item and inner/cross
+    semantics), and only when *every* table has statistics - a partially
+    analyzed schema keeps the declared order rather than guessing.
+    """
+    if len(from_items) < 2:
+        return None
+    if not all(isinstance(item, TableRef) for item in from_items):
+        return None
+    labels = [_item_label(item) for item in from_items]
+    if len(set(labels)) != len(labels):
+        return None
+
+    estimates: Dict[str, int] = {}
+    for item, label in zip(from_items, labels):
+        stats = database.table(item.name).stats
+        estimate = cost.estimate_filtered_rows(stats, pushed.get(label, []), label)
+        if estimate is None:
+            return None
+        estimates[label] = estimate
+
+    edges: Dict[frozenset, float] = {}
+    for conjunct in residual_conjuncts:
+        match = column_equality(conjunct)
+        if match is None:
+            continue
+        first_owner = scope.resolve_column(match[0])
+        second_owner = scope.resolve_column(match[1])
+        if first_owner is None or second_owner is None:
+            continue
+        if first_owner[0] == second_owner[0]:
+            continue
+        ndvs = []
+        for (alias, _schema), ref in ((first_owner, match[0]), (second_owner, match[1])):
+            stats = database.table(scope.table_names[alias]).stats
+            column_stats = stats.column(ref.name) if stats is not None else None
+            if column_stats is not None and column_stats.n_distinct > 0:
+                ndvs.append(column_stats.n_distinct)
+        selectivity = 1.0 / max(ndvs) if ndvs else cost.OTHER_DEFAULT
+        key = frozenset((first_owner[0], second_owner[0]))
+        edges[key] = edges.get(key, 1.0) * selectivity
+
+    order = cost.choose_join_order(labels, estimates, edges)
+    return order if order != labels else None
+
+
+def _choose_build_sides(node: PlanNode) -> None:
+    """Hash the estimated-smaller input of each annotated hash join.
+
+    Both execution modes emit identical row order (left-major, right
+    insertion order per key), so this is purely a memory/probe-cost call.
+    """
+    if isinstance(node, HashJoin):
+        left_rows = getattr(node.left, "estimated_rows", None)
+        right_rows = getattr(node.right, "estimated_rows", None)
+        if (
+            left_rows is not None
+            and right_rows is not None
+            and left_rows < right_rows * BUILD_FLIP_RATIO
+        ):
+            node.build_side = "left"
+    for child in node.children():
+        _choose_build_sides(child)
+
+
+# --------------------------------------------------------------------------- #
+# ORDER BY via an ordered index
+# --------------------------------------------------------------------------- #
+def _order_column_for_rewrite(
+    statement: SelectStatement, schema, label: str
+) -> Optional[str]:
+    """The single base-table column an ORDER BY rewrite may sort by, or None.
+
+    Mirrors the executor's ``_order_value`` resolution: an *unqualified*
+    name that matches an output-column name sorts by the **first** matching
+    projected value, so the rewrite (which sorts by the stored column) is
+    only sound when that first output item is the plain column itself.
+    """
+    if len(statement.order_by) != 1:
+        return None
+    expr = statement.order_by[0].expr
+    if not isinstance(expr, ColumnRef) or not schema.has_column(expr.name):
+        return None
+    if expr.table is not None:
+        return expr.name if expr.table == label else None
+
+    # Statically expand the output-name list the executor would build.
+    names: List[str] = []
+    exprs: List[Optional[Expression]] = []
+    for item in statement.items:
+        item_expr = item.expr
+        if isinstance(item_expr, Star):
+            if item_expr.table is not None and item_expr.table != label:
+                return None
+            for column in schema.column_names:
+                names.append(column)
+                exprs.append(ColumnRef(name=column, table=label))
+            continue
+        if item.alias:
+            name = item.alias
+        elif isinstance(item_expr, ColumnRef):
+            name = item_expr.name
+        else:
+            name = getattr(item_expr, "name", "?column?")
+        names.append(name)
+        exprs.append(item_expr)
+
+    lowered = [name.lower() for name in names]
+    if expr.name not in lowered:
+        return expr.name  # evaluated on the source row: the stored column
+    shadow = exprs[lowered.index(expr.name)]
+    if (
+        isinstance(shadow, ColumnRef)
+        and shadow.name == expr.name
+        and shadow.table in (None, label)
+    ):
+        return expr.name
+    return None
+
+
+def _rewrite_order_by_index(
+    source: PlanNode, statement: SelectStatement, table, label: str
+) -> Optional[PlanNode]:
+    """Sort elimination: emit rows in index key order instead of sorting.
+
+    Returns the rewritten source (the Sort node is then never added), or
+    None when no B-tree index can produce the requested order.  Only the
+    source *leaf* changes; residual Filters above it preserve row order.
+    """
+    column = _order_column_for_rewrite(statement, table.schema, label)
+    if column is None:
+        return None
+    direction = "asc" if statement.order_by[0].ascending else "desc"
+
+    leaf = source
+    filters: List[Filter] = []
+    while isinstance(leaf, Filter):
+        filters.append(leaf)
+        leaf = leaf.child
+
+    if isinstance(leaf, IndexRangeScan):
+        if leaf.column != column or leaf.ordered is not None:
+            return None
+        rewritten = leaf
+    elif isinstance(leaf, Scan):
+        index_name = None
+        for index in table.indexes.values():
+            if getattr(index, "kind", "hash") == "btree" and index.columns[0] == column:
+                index_name = index.name
+                break
+        if index_name is None:
+            return None
+        rewritten = IndexRangeScan(
+            table_name=leaf.table_name,
+            alias=leaf.alias,
+            index_name=index_name,
+            column=column,
+            residual=leaf.predicate,
+            full_predicate=leaf.predicate,
+        )
+    else:
+        return None  # point lookups emit too few rows for ordering to pay off
+
+    rewritten.ordered = direction
+    if statement.limit is not None and not filters:
+        # The top-k early exit is only safe when no filter sits above the
+        # leaf (residual conjuncts inside the leaf are fine: the limit
+        # counter runs after them).
+        rewritten.hint_limit = statement.limit
+        rewritten.hint_offset = statement.offset
+
+    if filters:
+        filters[-1].child = rewritten
+        return filters[0]
+    return rewritten
+
+
+# --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
 def build_select_plan(statement: SelectStatement, database) -> PlanNode:
@@ -499,28 +792,47 @@ def build_select_plan(statement: SelectStatement, database) -> PlanNode:
         statement.where, scope, single_table_label
     )
 
+    cost_order = _cost_join_order(
+        from_items, scope, pushed, residual_conjuncts, database
+    )
+
     source: Optional[PlanNode] = None
-    for item in from_items:
-        if _item_is_lateral(item):
-            right: PlanNode = LateralSource(item=item)
-            lateral = True
-        else:
-            right = _build_item(item, database, pushed, derived)
-            lateral = False
-        if source is None:
-            if lateral:
-                source = NestedLoopJoin(
-                    left=EmptySource(), right=right, kind="cross", lateral=True
-                )
+    if cost_order is not None:
+        declared = [_item_label(item) for item in from_items]
+        item_by_label = {label: item for label, item in zip(declared, from_items)}
+        for label in cost_order:
+            node = _build_item(item_by_label[label], database, pushed, derived)
+            node.ordinal_label = label
+            if source is None:
+                source = node
             else:
-                source = right
-        else:
-            source = NestedLoopJoin(left=source, right=right, kind="cross", lateral=lateral)
+                source = NestedLoopJoin(left=source, right=node, kind="cross")
+    else:
+        for item in from_items:
+            if _item_is_lateral(item):
+                right: PlanNode = LateralSource(item=item)
+                lateral = True
+            else:
+                right = _build_item(item, database, pushed, derived)
+                lateral = False
+            if source is None:
+                if lateral:
+                    source = NestedLoopJoin(
+                        left=EmptySource(), right=right, kind="cross", lateral=True
+                    )
+                else:
+                    source = right
+            else:
+                source = NestedLoopJoin(
+                    left=source, right=right, kind="cross", lateral=lateral
+                )
     if source is None:
         source = EmptySource()
 
     residual_conjuncts = _attach_equi_conditions(source, residual_conjuncts, scope)
     source = _hash_join_rewrite(source, scope)
+    if cost_order is not None:
+        source = JoinOrderRestore(child=source, labels=declared)
 
     residual = conjoin(residual_conjuncts)
     if residual is not None:
@@ -533,6 +845,23 @@ def build_select_plan(statement: SelectStatement, database) -> PlanNode:
     for order in statement.order_by:
         aggregates.extend(collect_aggregates(order.expr))
 
+    order_rewritten = False
+    if (
+        statement.order_by
+        and single_table_label is not None
+        and not aggregates
+        and not statement.group_by
+        and statement.having is None
+        and not statement.distinct
+    ):
+        table = database.table(from_items[0].name)
+        rewritten = _rewrite_order_by_index(
+            source, statement, table, single_table_label
+        )
+        if rewritten is not None:
+            source = rewritten
+            order_rewritten = True
+
     if statement.group_by or aggregates:
         output: PlanNode = Aggregate(child=source, statement=statement, aggregates=aggregates)
     else:
@@ -541,7 +870,7 @@ def build_select_plan(statement: SelectStatement, database) -> PlanNode:
     if statement.distinct:
         output = Distinct(child=output)
 
-    if statement.order_by:
+    if statement.order_by and not order_rewritten:
         output = Sort(
             child=output,
             order_by=statement.order_by,
@@ -552,4 +881,6 @@ def build_select_plan(statement: SelectStatement, database) -> PlanNode:
     if statement.limit is not None or statement.offset is not None:
         output = Limit(child=output, limit=statement.limit, offset=statement.offset)
 
+    cost.annotate_plan(output, database)
+    _choose_build_sides(output)
     return output

@@ -78,6 +78,27 @@ def _filter_suffix(predicate: Optional[Expression]) -> str:
     return f" (filter: {render_expression(predicate)})" if predicate is not None else ""
 
 
+def _rows_suffix(estimated_rows: Optional[int]) -> str:
+    """EXPLAIN row-estimate annotation; empty when no statistics were available."""
+    return f" (rows={estimated_rows})" if estimated_rows is not None else ""
+
+
+def _tag_ordinals(rows: List[dict], label: Optional[str]) -> List[dict]:
+    """Stamp each emitted row with its emission ordinal for order restoration.
+
+    Leaf nodes emit rows in ascending storage-position order, so the ordinal
+    is monotonic in storage order - exactly what
+    :class:`JoinOrderRestore` needs to reconstruct the original FROM-order
+    nested-loop output.  The ``#ord:<label>`` key cannot collide with column
+    lookups (column keys are bare names or ``label.column``).
+    """
+    if label is not None:
+        tag = f"#ord:{label}"
+        for ordinal, row in enumerate(rows):
+            row[tag] = ordinal
+    return rows
+
+
 #: Rows between deadline/cancellation checks in plan-operator loops: sparse
 #: enough to be free, dense enough that a runaway join stays responsive.
 CANCEL_CHECK_EVERY = 1024
@@ -143,6 +164,8 @@ class Scan(PlanNode):
     table_name: str
     alias: Optional[str] = None
     predicate: Optional[Expression] = None
+    estimated_rows: Optional[int] = None
+    ordinal_label: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -150,7 +173,10 @@ class Scan(PlanNode):
 
     def describe(self) -> str:
         alias = f" AS {self.alias}" if self.alias and self.alias != self.table_name else ""
-        return f"Scan {self.table_name}{alias}{_filter_suffix(self.predicate)}"
+        return (
+            f"Scan {self.table_name}{alias}"
+            f"{_rows_suffix(self.estimated_rows)}{_filter_suffix(self.predicate)}"
+        )
 
     def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
         table = rt.executor.database.table(self.table_name)
@@ -160,7 +186,7 @@ class Scan(PlanNode):
         rows = _scan_rows(label, names, table.raw_rows())
         if self.predicate is not None:
             rows = filter_rows(rows, self.predicate, rt.ctx)
-        return columns, rows
+        return columns, _tag_ordinals(rows, self.ordinal_label)
 
 
 @dataclass
@@ -180,6 +206,8 @@ class IndexLookup(PlanNode):
     key_exprs: List[Expression]
     residual: Optional[Expression] = None
     full_predicate: Optional[Expression] = None
+    estimated_rows: Optional[int] = None
+    ordinal_label: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -193,7 +221,7 @@ class IndexLookup(PlanNode):
         )
         return (
             f"IndexLookup {self.table_name}{alias} USING {self.index_name} "
-            f"({keys}){_filter_suffix(self.residual)}"
+            f"({keys}){_rows_suffix(self.estimated_rows)}{_filter_suffix(self.residual)}"
         )
 
     def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
@@ -217,7 +245,7 @@ class IndexLookup(PlanNode):
         rows = _scan_rows(label, names, [raw[position] for position in positions])
         if predicate is not None:
             rows = filter_rows(rows, predicate, rt.ctx)
-        return columns, rows
+        return columns, _tag_ordinals(rows, self.ordinal_label)
 
 
 def resolve_index_positions(
@@ -294,6 +322,240 @@ def _index_key_part(value: Any, sql_type: SqlType) -> Tuple[str, Any]:
             return "key", value
         return "empty", None
     return "scan", None  # VARIANT and anything exotic
+
+
+def _range_key_part(value: Any, sql_type: SqlType, from_between: bool) -> Tuple[str, Any]:
+    """Classify a runtime range-bound value against the indexed column's type.
+
+    Returns ``("key", normalized)`` when an ordered-index range walk agrees
+    with the naive comparison semantics, ``("empty", None)`` when the bound
+    can never admit a row (NULL or NaN bound), and ``("scan", None)`` when
+    only a full scan reproduces the engine's heterogeneous comparison rules
+    (string bounds compared per row, BETWEEN's raw comparisons, exotic
+    types).
+    """
+    if isinstance(value, Variant):
+        value = value.value
+    if value is None:
+        return "empty", None  # comparison with NULL is never true
+    if sql_type in (SqlType.INTEGER, SqlType.DOUBLE, SqlType.BOOLEAN):
+        if (
+            isinstance(value, str)
+            and not from_between
+            and sql_type is not SqlType.BOOLEAN
+        ):
+            # `<`/`>` coerce a parseable string bound to float exactly once
+            # per row; unparseable strings fall back to per-row *string*
+            # comparison, which no range walk can reproduce.  BETWEEN and
+            # boolean columns compare raw values (TypeError per row), which
+            # the scan fallback reproduces faithfully.
+            try:
+                value = float(value)
+            except ValueError:
+                return "scan", None
+        if isinstance(value, bool):
+            return "key", _key_of(value)
+        if isinstance(value, (int, float)):
+            if isinstance(value, float) and value != value:
+                return "empty", None  # NaN bounds admit no rows
+            return "key", _key_of(value)
+        return "scan", None
+    if sql_type is SqlType.TEXT:
+        if isinstance(value, str):
+            return "key", value
+        return "scan", None
+    if sql_type is SqlType.TIMESTAMP:
+        if isinstance(value, _dt.datetime):
+            return "key", value
+        return "scan", None
+    return "scan", None  # VARIANT and anything exotic
+
+
+@dataclass
+class IndexRangeScan(PlanNode):
+    """Ordered-index (B-tree) range scan, optionally emitting in key order.
+
+    Backs three planner rewrites:
+
+    * range predicates (``BETWEEN``/``<``/``>``) on a btree-indexed column
+      become an index interval walk (rows re-sorted to storage order so the
+      output matches a filtered sequential scan row-for-row);
+    * ``ORDER BY col [DESC] [LIMIT k]`` on the indexed column sets
+      ``ordered`` and drops the Sort node: rows emit in key order (NULLs
+      last, ties in storage order - exactly the executor's stable sort);
+    * with both, the interval walk emits ordered and a pushed ``limit_hint``
+      stops after the top-k rows survive the residual filter.
+
+    Runtime safety mirrors :class:`IndexLookup`: a bound whose type cannot
+    be matched against the index degrades to a full scan under
+    ``full_predicate`` (re-sorted when ``ordered``), and a bound that can
+    never admit rows returns the empty result.
+    """
+
+    table_name: str
+    alias: Optional[str]
+    index_name: str
+    column: str
+    lower: Optional[Expression] = None
+    lower_inclusive: bool = True
+    lower_between: bool = False
+    upper: Optional[Expression] = None
+    upper_inclusive: bool = True
+    upper_between: bool = False
+    residual: Optional[Expression] = None
+    full_predicate: Optional[Expression] = None
+    ordered: Optional[str] = None  # None | 'asc' | 'desc'
+    hint_limit: Optional[Expression] = None
+    hint_offset: Optional[Expression] = None
+    estimated_rows: Optional[int] = None
+    ordinal_label: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return (self.alias or self.table_name).lower()
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias and self.alias != self.table_name else ""
+        bounds = []
+        if self.lower is not None:
+            op = ">=" if self.lower_inclusive else ">"
+            bounds.append(f"{self.column} {op} {render_expression(self.lower)}")
+        if self.upper is not None:
+            op = "<=" if self.upper_inclusive else "<"
+            bounds.append(f"{self.column} {op} {render_expression(self.upper)}")
+        spec = " AND ".join(bounds) if bounds else "all rows"
+        ordered = ""
+        if self.ordered is not None:
+            ordered = f" ORDER BY {self.column} {self.ordered.upper()}"
+            if self.hint_limit is not None:
+                ordered += " (top-k)"
+        return (
+            f"IndexRangeScan {self.table_name}{alias} USING {self.index_name} "
+            f"({spec}){ordered}{_rows_suffix(self.estimated_rows)}"
+            f"{_filter_suffix(self.residual)}"
+        )
+
+    def _limit_hint(self, ctx: EvalContext) -> Optional[int]:
+        if self.hint_limit is None:
+            return None
+        limit = evaluate(self.hint_limit, {}, ctx)
+        if limit is None or int(limit) < 0:
+            return None
+        offset = 0
+        if self.hint_offset is not None:
+            offset = int(evaluate(self.hint_offset, {}, ctx) or 0)
+            if offset < 0:
+                return None
+        return int(limit) + offset
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        table = rt.executor.database.table(self.table_name)
+        label = self.label
+        names = table.column_names
+        columns = [(name, f"{label}.{name}") for name in names]
+        raw = table.raw_rows()
+        ctx = rt.ctx
+
+        index = table.indexes.get(self.index_name)
+        mode = "range"
+        if index is None or getattr(index, "kind", "hash") != "btree":
+            mode = "scan"  # index dropped/replaced since planning: stay correct
+
+        low_value = high_value = None
+        if mode == "range":
+            sql_type = table.schema.column(self.column).sql_type
+            empty = False
+            if self.lower is not None:
+                value = evaluate(self.lower, {}, ctx)
+                kind, part = _range_key_part(value, sql_type, self.lower_between)
+                if kind == "empty":
+                    empty = True
+                elif kind == "scan":
+                    mode = "scan"
+                else:
+                    low_value = part
+            if self.upper is not None:
+                value = evaluate(self.upper, {}, ctx)
+                kind, part = _range_key_part(value, sql_type, self.upper_between)
+                if kind == "empty":
+                    empty = True
+                elif kind == "scan":
+                    mode = "scan"
+                else:
+                    high_value = part
+            if empty:
+                return columns, []
+
+        if mode == "scan":
+            rows = _scan_rows(label, names, raw)
+            if self.full_predicate is not None:
+                rows = filter_rows(rows, self.full_predicate, ctx)
+            if self.ordered is not None:
+                rows = _order_rows_by_column(rows, f"{label}.{self.column}", self.ordered)
+                hint = self._limit_hint(ctx)
+                if hint is not None:
+                    rows = rows[:hint]
+            return columns, _tag_ordinals(rows, self.ordinal_label)
+
+        if self.ordered is None:
+            positions = sorted(
+                index.range_positions(
+                    low_value, self.lower_inclusive, high_value, self.upper_inclusive
+                )
+            )
+            rows = _scan_rows(label, names, [raw[position] for position in positions])
+            if self.residual is not None:
+                rows = filter_rows(rows, self.residual, ctx)
+            return columns, _tag_ordinals(rows, self.ordinal_label)
+
+        # Ordered emission: key order (reverse for DESC), per-key storage
+        # order, NULL rows last only when no bound excludes them.
+        reverse = self.ordered == "desc"
+        if self.lower is None and self.upper is None:
+            positions = index.ordered_positions(reverse=reverse, include_nulls=True)
+        else:
+            positions = index.range_positions(
+                low_value,
+                self.lower_inclusive,
+                high_value,
+                self.upper_inclusive,
+                reverse=reverse,
+            )
+        hint = self._limit_hint(ctx)
+        qualified = [f"{label}.{name}" for name in names]
+        rows = []
+        token = active_token()
+        tick = CANCEL_CHECK_EVERY
+        for position in positions:
+            if token is not None:
+                tick -= 1
+                if tick == 0:
+                    tick = CANCEL_CHECK_EVERY
+                    token.check()
+            values = raw[position]
+            row = dict(zip(qualified, values))
+            row.update(zip(names, values))
+            if self.residual is not None and evaluate(self.residual, row, ctx) is not True:
+                continue
+            rows.append(row)
+            if hint is not None and len(rows) >= hint:
+                break
+        return columns, _tag_ordinals(rows, self.ordinal_label)
+
+
+def _order_rows_by_column(rows: List[dict], key: str, direction: str) -> List[dict]:
+    """Stable sort of source rows by one column, NULLs last both directions.
+
+    Reproduces the executor's ORDER BY semantics (``_SortValue`` comparison,
+    stable ties) for the ordered-scan fallback path, where the Sort node was
+    already dropped from the plan.
+    """
+    from repro.sqldb.executor import _SortValue
+
+    sign = 1 if direction == "asc" else -1
+    return sorted(
+        rows, key=lambda row: (row[key] is None, _SortValue(row[key], sign))
+    )
 
 
 @dataclass
@@ -446,13 +708,19 @@ class HashJoin(PlanNode):
     left_keys: List[Expression] = field(default_factory=list)
     right_keys: List[Expression] = field(default_factory=list)
     residual: Optional[Expression] = None
+    build_side: str = "right"  # which input is hashed; the other probes
+    estimated_rows: Optional[int] = None
 
     def describe(self) -> str:
         keys = ", ".join(
             f"{render_expression(l)} = {render_expression(r)}"
             for l, r in zip(self.left_keys, self.right_keys)
         )
-        return f"HashJoin {self.kind} ({keys}){_filter_suffix(self.residual)}"
+        build = " (build=left)" if self.build_side == "left" else ""
+        return (
+            f"HashJoin {self.kind} ({keys}){build}"
+            f"{_rows_suffix(self.estimated_rows)}{_filter_suffix(self.residual)}"
+        )
 
     def children(self) -> List[PlanNode]:
         return [self.left, self.right]
@@ -463,15 +731,19 @@ class HashJoin(PlanNode):
         columns = left_columns + right_columns
         ctx = rt.ctx
 
+        null_right = {key: None for _, key in right_columns}
+        null_right.update({name: None for name, _ in right_columns})
+
+        if self.build_side == "left":
+            rows = self._execute_build_left(left_rows, right_rows, null_right, ctx)
+            return columns, rows
+
         buckets: Dict[Tuple, List[dict]] = {}
         for right_row in right_rows:
             key = _join_key(self.right_keys, right_row, ctx)
             if key is None:
                 continue  # NULL keys can never satisfy an equality
             buckets.setdefault(key, []).append(right_row)
-
-        null_right = {key: None for _, key in right_columns}
-        null_right.update({name: None for name, _ in right_columns})
 
         rows: List[dict] = []
         token = active_token()
@@ -492,6 +764,93 @@ class HashJoin(PlanNode):
                         rows.append(merged)
             if self.kind == "left" and not matched:
                 rows.append(merge_rows(left_row, null_right))
+        return columns, rows
+
+    def _execute_build_left(
+        self,
+        left_rows: List[dict],
+        right_rows: List[dict],
+        null_right: dict,
+        ctx: EvalContext,
+    ) -> List[dict]:
+        """Hash the (smaller) left input and probe with the right input.
+
+        Matches are accumulated per left row and emitted in left-major
+        order with per-left matches in right order - the same (left, right)
+        pairs in the same order the right-build path produces, so the cost
+        model can flip the build side freely without changing results.
+        """
+        buckets: Dict[Tuple, List[int]] = {}
+        for ordinal, left_row in enumerate(left_rows):
+            key = _join_key(self.left_keys, left_row, ctx)
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(ordinal)
+
+        matches: List[List[dict]] = [[] for _ in left_rows]
+        token = active_token()
+        tick = CANCEL_CHECK_EVERY
+        for right_row in right_rows:
+            if token is not None:
+                tick -= 1
+                if tick == 0:
+                    tick = CANCEL_CHECK_EVERY
+                    token.check()
+            key = _join_key(self.right_keys, right_row, ctx)
+            if key is None:
+                continue
+            for ordinal in buckets.get(key, ()):
+                merged = merge_rows(left_rows[ordinal], right_row)
+                if self.residual is None or evaluate(self.residual, merged, ctx) is True:
+                    matches[ordinal].append(merged)
+
+        rows: List[dict] = []
+        for ordinal, left_row in enumerate(left_rows):
+            if matches[ordinal]:
+                rows.extend(matches[ordinal])
+            elif self.kind == "left":
+                rows.append(merge_rows(left_row, null_right))
+        return rows
+
+
+@dataclass
+class JoinOrderRestore(PlanNode):
+    """Restore a reordered join's output to declared FROM-order semantics.
+
+    The cost-based join reorder runs the nested-loop/hash pipeline in an
+    order chosen by estimated cardinality, which changes the *sequence* of
+    output rows (never their set) and the ``SELECT *`` column order.  This
+    node undoes both: each reordered leaf stamps its rows with
+    ``#ord:<label>`` emission ordinals, and sorting the merged rows by the
+    ordinal tuple in *declared* FROM order reproduces exactly the
+    lexicographic row order the naive nested loop over the original
+    ``FROM a, b, c`` would emit; the scope columns are regrouped by
+    declared label.  Bare-name keys need no fixup: ``merge_rows`` collapses
+    a collision to the order-independent AMBIGUOUS sentinel.  ``labels`` is
+    the original FROM order.
+    """
+
+    child: PlanNode
+    labels: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"JoinOrderRestore ({', '.join(self.labels)})"
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, rt: PlanRuntime, outer_row: Optional[dict] = None) -> SourceResult:
+        columns, rows = self.child.execute(rt, outer_row)
+        position = {label: index for index, label in enumerate(self.labels)}
+        columns = sorted(
+            columns,
+            key=lambda column: position.get(column[1].split(".", 1)[0], len(position)),
+        )
+        tags = [f"#ord:{label}" for label in self.labels]
+        rows.sort(key=lambda row: tuple(row[tag] for tag in tags))
+        for row in rows:
+            for tag in tags:
+                del row[tag]
         return columns, rows
 
 

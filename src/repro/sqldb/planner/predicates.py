@@ -192,6 +192,66 @@ def _is_plannable_constant(expr: Expression) -> bool:
     return False
 
 
+class RangeBound:
+    """One half-open/closed bound extracted from a range conjunct.
+
+    ``side`` is ``"lower"`` or ``"upper"``; ``from_between`` records whether
+    the bound came from a ``BETWEEN`` (whose raw-comparison semantics differ
+    from ``<``/``>`` operators for heterogeneous operand types, which the
+    runtime bound classification must respect).
+    """
+
+    __slots__ = ("side", "inclusive", "expr", "from_between")
+
+    def __init__(self, side: str, inclusive: bool, expr: Expression, from_between: bool):
+        self.side = side
+        self.inclusive = inclusive
+        self.expr = expr
+        self.from_between = from_between
+
+
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+_BOUND_OF_OP = {
+    "<": ("upper", False),
+    "<=": ("upper", True),
+    ">": ("lower", False),
+    ">=": ("lower", True),
+}
+
+
+def constant_range(
+    conjunct: Expression,
+) -> Optional[Tuple[ColumnRef, List[RangeBound]]]:
+    """Match a range conjunct over one column with plannable-constant bounds.
+
+    Recognizes ``col < const`` / ``<=`` / ``>`` / ``>=`` (either operand
+    order) and non-negated ``col BETWEEN const AND const``.  Returns the
+    column and the extracted bounds, or ``None``.
+    """
+    if isinstance(conjunct, Between) and not conjunct.negated:
+        if (
+            isinstance(conjunct.operand, ColumnRef)
+            and _is_plannable_constant(conjunct.low)
+            and _is_plannable_constant(conjunct.high)
+        ):
+            return conjunct.operand, [
+                RangeBound("lower", True, conjunct.low, True),
+                RangeBound("upper", True, conjunct.high, True),
+            ]
+        return None
+    if isinstance(conjunct, BinaryOp) and conjunct.op in _BOUND_OF_OP:
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ColumnRef) and _is_plannable_constant(right):
+            column, expr, op = left, right, conjunct.op
+        elif isinstance(right, ColumnRef) and _is_plannable_constant(left):
+            column, expr, op = right, left, _FLIPPED_OP[conjunct.op]
+        else:
+            return None
+        side, inclusive = _BOUND_OF_OP[op]
+        return column, [RangeBound(side, inclusive, expr, False)]
+    return None
+
+
 def column_equality(conjunct: Expression) -> Optional[Tuple[ColumnRef, ColumnRef]]:
     """Match ``col_a = col_b``; returns the two column references."""
     if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):

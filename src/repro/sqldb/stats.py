@@ -1,0 +1,187 @@
+"""Table/column statistics backing the cost-based planner.
+
+``ANALYZE [table]`` computes exact per-table statistics (row count and, per
+column, distinct count / null count / min / max) and stores them on the
+:class:`~repro.sqldb.table.Table`.  The planner treats them as *advisory*:
+estimates drive join order, hash-join build side and scan-vs-index choices,
+never correctness, so stale statistics degrade plans but not results.
+
+Maintenance model:
+
+* ``ANALYZE`` recomputes exactly, bumps the plan-cache catalog version, and
+  (on durable databases) persists through the WAL (`{"op": "analyze"}` DDL
+  record) and the checkpoint catalog.
+* Inserts update min/max/null/row counts incrementally in memory; deletes
+  and updates only adjust the row count.  Distinct counts go stale until the
+  next ``ANALYZE``.  WAL replay bypasses the table layer, so after a crash
+  statistics reflect the last persisted ``ANALYZE``/checkpoint - by design.
+
+Only JSON-safe scalar values (int/float/str/bool, NaN excluded) are tracked
+for min/max so the payload round-trips through the checkpoint catalog;
+other types (timestamps, arrays, blobs) simply fall back to default
+selectivities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sqldb.types import Variant
+
+
+def _trackable(value: Any) -> bool:
+    """Whether ``value`` can participate in min/max tracking."""
+    if isinstance(value, bool):
+        return True
+    if isinstance(value, (int, float)):
+        return not (isinstance(value, float) and math.isnan(value))
+    return isinstance(value, str)
+
+
+def _comparable_pair(a: Any, b: Any) -> bool:
+    """Whether min/max comparison between two tracked values is meaningful."""
+    a_num = isinstance(a, (int, float))
+    b_num = isinstance(b, (int, float))
+    return a_num == b_num
+
+
+class ColumnStats:
+    """Statistics for a single column."""
+
+    __slots__ = ("n_distinct", "null_count", "min_value", "max_value")
+
+    def __init__(
+        self,
+        n_distinct: int = 0,
+        null_count: int = 0,
+        min_value: Any = None,
+        max_value: Any = None,
+    ):
+        self.n_distinct = n_distinct
+        self.null_count = null_count
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def copy(self) -> "ColumnStats":
+        return ColumnStats(
+            self.n_distinct, self.null_count, self.min_value, self.max_value
+        )
+
+    def note_value(self, value: Any) -> None:
+        """Fold one inserted value into null/min/max tracking (not distinct)."""
+        if isinstance(value, Variant):
+            value = value.value
+        if value is None:
+            self.null_count += 1
+            return
+        if not _trackable(value):
+            return
+        if self.min_value is not None and _comparable_pair(value, self.min_value):
+            if value < self.min_value:
+                self.min_value = value
+        if self.max_value is not None and _comparable_pair(value, self.max_value):
+            if self.max_value < value:
+                self.max_value = value
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "n_distinct": self.n_distinct,
+            "null_count": self.null_count,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ColumnStats":
+        return cls(
+            n_distinct=int(payload.get("n_distinct", 0)),
+            null_count=int(payload.get("null_count", 0)),
+            min_value=payload.get("min"),
+            max_value=payload.get("max"),
+        )
+
+
+class TableStats:
+    """Statistics for a whole table, keyed by lower-cased column name."""
+
+    __slots__ = ("row_count", "columns")
+
+    def __init__(self, row_count: int = 0, columns: Optional[Dict[str, ColumnStats]] = None):
+        self.row_count = row_count
+        self.columns = columns if columns is not None else {}
+
+    def copy(self) -> "TableStats":
+        return TableStats(
+            self.row_count,
+            {name: stats.copy() for name, stats in self.columns.items()},
+        )
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+    def note_insert(self, row: Sequence[Any], column_names: Sequence[str]) -> None:
+        self.row_count += 1
+        for name, value in zip(column_names, row):
+            stats = self.columns.get(name)
+            if stats is not None:
+                stats.note_value(value)
+
+    def note_removed(self, count: int) -> None:
+        self.row_count = max(0, self.row_count - count)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "row_count": self.row_count,
+            "columns": {
+                name: stats.to_payload() for name, stats in self.columns.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TableStats":
+        columns = {
+            name: ColumnStats.from_payload(col_payload)
+            for name, col_payload in payload.get("columns", {}).items()
+        }
+        return cls(row_count=int(payload.get("row_count", 0)), columns=columns)
+
+    @classmethod
+    def compute(
+        cls, rows: Sequence[Sequence[Any]], column_names: Sequence[str]
+    ) -> "TableStats":
+        """Exact statistics over ``rows`` (the ANALYZE pass)."""
+        per_column: List[ColumnStats] = []
+        distinct_sets: List[set] = []
+        for _ in column_names:
+            per_column.append(ColumnStats())
+            distinct_sets.append(set())
+        for row in rows:
+            for idx, value in enumerate(row):
+                if isinstance(value, Variant):
+                    value = value.value
+                stats = per_column[idx]
+                if value is None:
+                    stats.null_count += 1
+                    continue
+                try:
+                    distinct_sets[idx].add(value)
+                except TypeError:
+                    distinct_sets[idx].add(repr(value))
+                if not _trackable(value):
+                    continue
+                if stats.min_value is None or (
+                    _comparable_pair(value, stats.min_value)
+                    and value < stats.min_value
+                ):
+                    stats.min_value = value
+                if stats.max_value is None or (
+                    _comparable_pair(value, stats.max_value)
+                    and stats.max_value < value
+                ):
+                    stats.max_value = value
+        columns: Dict[str, ColumnStats] = {}
+        for name, stats, seen in zip(column_names, per_column, distinct_sets):
+            stats.n_distinct = len(seen)
+            columns[name.lower()] = stats
+        return cls(row_count=len(rows), columns=columns)

@@ -271,9 +271,16 @@ class StorageEngine:
                     "rows_len": len(blob),
                     "row_count": len(table),
                     "indexes": [
-                        {"name": index.name, "columns": list(index.columns)}
+                        {
+                            "name": index.name,
+                            "columns": list(index.columns),
+                            "kind": index.kind,
+                        }
                         for index in table.indexes.values()
                     ],
+                    "stats": (
+                        table.stats.to_payload() if table.stats is not None else None
+                    ),
                 }
             )
         catalog = {

