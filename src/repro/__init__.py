@@ -19,6 +19,10 @@ Python library.  The public API is layered like a real database system:
 * :class:`repro.core.PgFmu` - the original monolithic facade, kept as thin
   deprecated shims over the layers above.
 * :class:`repro.sqldb.Database` - the in-memory SQL engine on its own.
+* :func:`repro.serve` / :func:`repro.client.connect` - the **service
+  layer**: a threaded socket server exposing one shared engine to many
+  authenticated sessions over a length-prefixed JSON wire protocol
+  (:mod:`repro.server`), and the matching network driver.
 * :func:`repro.modelica.compile_fmu` / :func:`repro.fmi.load_fmu` - the
   Modelica compiler and FMU runtime.
 * :mod:`repro.harness` - one function per table/figure of the paper.
@@ -108,8 +112,20 @@ def connect(
     return session.connection()
 
 
+def __getattr__(name: str):
+    # The service layer is imported lazily so that `import repro` does not
+    # pull in the socket server for purely in-process users.
+    if name in ("serve", "ReproServer"):
+        from repro import server as _server
+
+        return getattr(_server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "connect",
+    "serve",
+    "ReproServer",
     "Session",
     "PgFmu",
     "InstanceHandle",

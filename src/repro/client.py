@@ -1,0 +1,31 @@
+"""Client entry point for networked sessions: ``repro.client.connect``.
+
+The one-import counterpart of :func:`repro.connect` for code talking to a
+:class:`~repro.server.server.ReproServer` over TCP::
+
+    import repro.client
+
+    conn = repro.client.connect("repro://127.0.0.1:5433", token="s3cret")
+    conn.execute("SELECT 1").fetchone()
+
+Everything lives in :mod:`repro.server.client`; this module re-exports the
+driver surface under the natural import path.
+"""
+
+from repro.server.client import (
+    RemoteConnection,
+    RemoteCursor,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+
+__all__ = [
+    "connect",
+    "RemoteConnection",
+    "RemoteCursor",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+]

@@ -64,6 +64,18 @@ class InjectedCrash(SqlStorageError):
     """
 
 
+class ServerError(ReproError):
+    """Base class for errors raised by the socket server / wire protocol."""
+
+
+class ProtocolError(ServerError):
+    """A wire-protocol frame or message was malformed, torn, or oversized."""
+
+
+class AuthError(ServerError):
+    """Authentication failed: unknown token, or a bad session cancel key."""
+
+
 class FmiError(ReproError):
     """Base class for FMU archive / runtime errors."""
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import InjectedCrash, SolverError
@@ -226,12 +227,20 @@ class FaultInjector:
 # --------------------------------------------------------------------------- #
 # Ambient injector (solver / kernel points)
 # --------------------------------------------------------------------------- #
-_ACTIVE: Optional[FaultInjector] = None
+#: The ambient injector lives in a ContextVar, NOT a process-global: each
+#: thread (and each contextvars context) sees only the injector it armed
+#: itself.  Concurrent server sessions and parallel chaos tests therefore
+#: cannot observe - or trip over - each other's injected faults, and
+#: :func:`activate` is reentrant per context via set/reset tokens.
+_ACTIVE: ContextVar[Optional[FaultInjector]] = ContextVar(
+    "repro_fault_injector", default=None
+)
 
 
 def active_injector() -> Optional[FaultInjector]:
-    """The ambient injector installed by :func:`activate`, or None."""
-    return _ACTIVE
+    """The ambient injector installed by :func:`activate` in this thread/
+    context, or None."""
+    return _ACTIVE.get()
 
 
 @contextmanager
@@ -240,18 +249,18 @@ def activate(injector: FaultInjector):
 
     Solver step loops and kernel evaluations consult the ambient injector;
     storage components keep taking theirs explicitly.  Nesting restores the
-    previous injector on exit.
+    previous injector on exit, and the installation is thread/context-local:
+    other threads keep seeing their own (usually no) injector.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = injector
+    handle = _ACTIVE.set(injector)
     try:
         yield injector
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(handle)
 
 
 def check(point: str) -> None:
     """Check ``point`` against the ambient injector (no-op when none)."""
-    if _ACTIVE is not None:
-        _ACTIVE.check_point(point)
+    injector = _ACTIVE.get()
+    if injector is not None:
+        injector.check_point(point)

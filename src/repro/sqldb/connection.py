@@ -37,10 +37,15 @@ from repro.errors import SqlExecutionError
 from repro.sqldb.database import Database
 from repro.sqldb.result import ResultSet
 
-#: PEP-249 module attributes.
+#: PEP-249 module attributes.  Threads may share the module and connections
+#: (level 2): statements serialize through the engine's statement lock, and
+#: cancellation/timeouts are keyed per connection.
 apilevel = "2.0"
-threadsafety = 1
+threadsafety = 2
 paramstyle = "numeric_dollar"  # positional placeholders, PostgreSQL-style: $1, $2, ...
+
+#: Sentinel: "this connection has no statement_timeout override".
+_UNSET = object()
 
 
 class Cursor:
@@ -106,46 +111,59 @@ class Cursor:
         self._result = None
         self._position = 0
         self._rowcount = -1
-        self._result = self._connection.database.execute(sql, params)
+        self._result = self._connection._execute(sql, params)
         self._rowcount = self._result.rowcount
         return self
 
     def cancel(self) -> None:
-        """Request cancellation of the statement executing on this
-        connection's database.
+        """Request cancellation of the statement executing on *this
+        connection* (not whatever statement happens to be running anywhere
+        on the shared engine - cancel tokens are keyed per connection).
 
         Safe to call from another thread; cancellation is cooperative, so
         the running statement unwinds with a typed
         :class:`~repro.errors.CancelledError` at its next check point
-        (executor dispatch, solver step, plan operator).  A no-op when
-        nothing is executing.
+        (executor dispatch, solver step, plan operator, or while queued on
+        the statement lock).  A no-op when this connection has nothing
+        executing.
         """
-        token = self._connection.database._active_token
-        if token is not None:
-            token.cancel()
+        self._connection.cancel()
 
     def executemany(self, sql: str, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
-        """Execute the same statement once per parameter set.
+        """Execute the same statement once per parameter set, atomically.
 
         ``rowcount`` accumulates across all executions (the DB-API contract
         for batched DML); the result rows exposed afterwards are those of the
         last execution.  An empty parameter sequence executes nothing and
         leaves an empty result (not a "never executed" cursor).
+
+        Outside an explicit transaction the whole batch runs inside an
+        implicit one: a failing parameter set rolls back every set before
+        it, so the batch is all-or-nothing.  Inside an explicit transaction
+        the statements simply join it (the caller's ``commit``/``rollback``
+        decides their fate).
         """
         self._check_open()
+        connection = self._connection
         total = 0
         self._result = ResultSet([], [], rowcount=0)
         self._position = 0
         self._rowcount = 0
+        implicit = not connection.database.in_transaction
+        if implicit:
+            connection.database.begin()
         try:
             for params in seq_of_params:
-                self._result = self._connection.database.execute(sql, params)
+                self._result = connection._execute(sql, params)
                 total += self._result.rowcount
                 self._rowcount = total
-        except Exception:
-            # Same invariant as execute(): a failure leaves the cursor empty.
-            # (Effects of the parameter sets before the failing one persist -
-            # autocommit - unless an explicit transaction is rolled back.)
+            if implicit:
+                connection.database.commit()
+        except BaseException:
+            # Same invariant as execute(): a failure leaves the cursor empty
+            # - and, under the implicit transaction, the table unchanged.
+            if implicit and connection.database.in_transaction:
+                connection.database.rollback()
             self._result = None
             self._rowcount = -1
             raise
@@ -231,6 +249,7 @@ class Connection:
         self.session = session
         self._closed = False
         self._began = False
+        self._statement_timeout: Any = _UNSET
 
     # ------------------------------------------------------------------ #
     # Cursors and execution
@@ -242,6 +261,24 @@ class Connection:
     def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> Cursor:
         """Convenience: create a cursor and execute one statement on it."""
         return self.cursor().execute(sql, params)
+
+    def _execute(self, sql: str, params: Optional[Sequence[Any]] = None):
+        """Run a statement with this connection as the cancel-token owner
+        and this connection's (possibly overridden) statement timeout."""
+        if self._statement_timeout is _UNSET:
+            return self.database.execute(sql, params, owner=self)
+        return self.database.execute(
+            sql, params, owner=self, timeout=self._statement_timeout
+        )
+
+    def cancel(self) -> bool:
+        """Cancel the statement currently executing on this connection.
+
+        Keyed per connection: a second connection sharing the database is
+        never affected.  Returns True when a statement was told to cancel.
+        Safe to call from any thread, also on a closed connection.
+        """
+        return self.database.cancel_statement(owner=self)
 
     def explain(self, sql: str, params: Optional[Sequence[Any]] = None) -> str:
         """The query plan the engine would use, as rendered text.
@@ -282,20 +319,24 @@ class Connection:
         return self.database.in_transaction
 
     # ------------------------------------------------------------------ #
-    # Statement timeout (delegates to the underlying database)
+    # Statement timeout (per-connection override of the database default)
     # ------------------------------------------------------------------ #
     @property
     def statement_timeout(self) -> Optional[float]:
         """Per-statement deadline in seconds (None disables).
 
-        Stored on the underlying database, so every connection sharing it
-        sees the same setting - like a server-side ``statement_timeout``.
+        Reads the database-wide default until set on this connection; once
+        set, the value is a *per-connection* override - like a session-level
+        ``SET statement_timeout`` in PostgreSQL - so concurrent connections
+        sharing the engine each keep their own deadline.
         """
-        return self.database.statement_timeout
+        if self._statement_timeout is _UNSET:
+            return self.database.statement_timeout
+        return self._statement_timeout
 
     @statement_timeout.setter
     def statement_timeout(self, value: Optional[float]) -> None:
-        self.database.statement_timeout = value
+        self._statement_timeout = value
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -24,6 +24,9 @@ invalidated by bumping :attr:`catalog_version` on any DDL or rollback.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from dataclasses import fields, is_dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro import cancellation
@@ -36,15 +39,47 @@ from repro.sqldb.ast_nodes import (
     DeleteStatement,
     DropIndexStatement,
     DropTableStatement,
+    ExplainStatement,
+    FuncCall,
     InsertStatement,
+    SelectStatement,
     UpdateStatement,
 )
 from repro.sqldb.executor import Executor
+from repro.sqldb.locks import StatementLock
 from repro.sqldb.parser import parse_sql
 from repro.sqldb.result import ResultSet
 from repro.sqldb.schema import TableSchema
 from repro.sqldb.table import Table, TableState
 from repro.sqldb.udf import Extension, UdfRegistry, extension_factory
+
+#: Sentinel for "caller did not supply a per-statement timeout override".
+_UNSET = object()
+
+
+def _calls_registered_udf(node: Any, udfs: UdfRegistry) -> bool:
+    """Whether the statement AST references any *registered* UDF.
+
+    Registered UDFs (``fmu_create``, ``fmu_simulate``, ``fmu_parest``, the
+    MADlib routines, ...) may write tables and the model catalogue even when
+    invoked from a SELECT, so such statements must take the exclusive
+    statement lock.  Built-in functions (``abs``, aggregates,
+    ``generate_series``) resolve outside the registry and stay read-only.
+    """
+    stack = [node]
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, FuncCall):
+            name = obj.name.lower()
+            if name in udfs.scalars or name in udfs.tables:
+                return True
+            stack.extend(obj.args)
+        elif is_dataclass(obj) and not isinstance(obj, type):
+            for field in fields(obj):
+                stack.append(getattr(obj, field.name))
+        elif isinstance(obj, (list, tuple)):
+            stack.extend(obj)
+    return False
 
 
 class _TransactionState:
@@ -93,6 +128,9 @@ class Database:
         AnalyzeStatement,
     )
 
+    #: Upper bound on the SQL-text statement cache (LRU-evicted beyond it).
+    _STATEMENT_CACHE_SIZE = 512
+
     def __init__(
         self,
         storage: Optional[Any] = None,
@@ -100,15 +138,29 @@ class Database:
     ):
         #: Per-statement deadline in seconds (None disables); every call to
         #: :meth:`execute` installs a fresh :class:`CancelToken` honouring it.
+        #: This is the *database-wide default*; connections and server
+        #: sessions may override it per statement (``timeout=`` below).
         self.statement_timeout = statement_timeout
-        #: The token of the currently executing statement (for
-        #: :meth:`repro.sqldb.connection.Cursor.cancel` from another thread).
-        self._active_token: Optional[CancelToken] = None
+        #: Tokens of currently executing statements, keyed per owner
+        #: (a :class:`~repro.sqldb.connection.Connection`, a server session,
+        #: or the executing thread's ident when anonymous), so
+        #: ``Cursor.cancel()`` from another thread cancels *its own
+        #: connection's* statement and nothing else.
+        self._active_tokens: Dict[Any, CancelToken] = {}
+        self._tokens_mutex = threading.Lock()
+        #: The statement lock: SELECTs share, writes/DDL/UDF-calling
+        #: statements serialize, explicit transactions hold it to commit.
+        self._statement_lock = StatementLock()
+        self._txn_lock_held = False
         self._tables: Dict[str, Table] = {}
         self.udfs = UdfRegistry()
         self._executor = Executor(self)
         self._prepared: Dict[str, Any] = {}
-        self._statement_cache: Dict[str, Any] = {}
+        #: SQL-text -> parsed statement, LRU-evicted at
+        #: :attr:`_STATEMENT_CACHE_SIZE` entries and guarded by its own
+        #: mutex (parsing happens before the statement lock is taken).
+        self._statement_cache: "OrderedDict[str, Any]" = OrderedDict()
+        self._cache_mutex = threading.Lock()
         self._extensions: Dict[str, Extension] = {}
         self._txn: Optional[_TransactionState] = None
         self._commit_hooks: List[Callable[[], None]] = []
@@ -374,27 +426,92 @@ class Database:
     # ------------------------------------------------------------------ #
     # Query execution
     # ------------------------------------------------------------------ #
-    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
-        """Parse and execute one SQL statement."""
-        statement = self._parse_cached(sql)
-        return self._run_statement(statement, params)
+    def execute(
+        self,
+        sql: str,
+        params: Optional[Sequence[Any]] = None,
+        *,
+        owner: Any = None,
+        timeout: Any = _UNSET,
+    ) -> ResultSet:
+        """Parse and execute one SQL statement.
 
-    def _run_statement(self, statement, params: Optional[Sequence[Any]]) -> ResultSet:
-        """Run one top-level statement under a deadline token.
+        ``owner`` keys the statement's cancel token (the driver layer passes
+        its :class:`~repro.sqldb.connection.Connection` so ``Cursor.cancel()``
+        is scoped to that connection); ``timeout`` overrides the database's
+        ``statement_timeout`` for this statement only (``None`` disables it).
+        """
+        statement = self._parse_cached(sql)
+        return self._run_statement(statement, params, owner=owner, timeout=timeout)
+
+    def cancel_statement(self, owner: Any = None) -> bool:
+        """Cancel the statement currently executing for ``owner``.
+
+        Returns True when a running (or lock-queued) statement was told to
+        cancel, False when that owner has nothing executing.  With no owner,
+        only a statement started anonymously *by the calling thread* can be
+        cancelled - anonymous statements of other threads are unreachable by
+        design (cancel must never land on a bystander session).
+        """
+        key = owner if owner is not None else threading.get_ident()
+        with self._tokens_mutex:
+            token = self._active_tokens.get(key)
+        if token is None:
+            return False
+        token.cancel()
+        return True
+
+    def _lock_mode(self, statement) -> str:
+        """``"read"`` for sharable statements, ``"write"`` for exclusive ones.
+
+        SELECTs share unless they call a registered UDF (which may mutate
+        tables or the catalogue); EXPLAIN only plans, so it always shares.
+        Everything else - DML, DDL, ANALYZE, CHECKPOINT, VERIFY - serializes.
+        The classification is cached on the statement object and invalidated
+        when the UDF registry changes.
+        """
+        if isinstance(statement, ExplainStatement):
+            return "read"
+        if not isinstance(statement, SelectStatement):
+            return "write"
+        version = self.udfs.version
+        cached = getattr(statement, "lock_mode_cache", None)
+        if cached is not None and cached[0] is self and cached[1] == version:
+            return cached[2]
+        mode = "write" if _calls_registered_udf(statement, self.udfs) else "read"
+        statement.lock_mode_cache = (self, version, mode)
+        return mode
+
+    def _run_statement(
+        self,
+        statement,
+        params: Optional[Sequence[Any]],
+        owner: Any = None,
+        timeout: Any = _UNSET,
+    ) -> ResultSet:
+        """Run one top-level statement under a deadline token + statement lock.
 
         Nested statements (UDF-issued SQL, correlated subqueries) arrive
         here while an ambient token is already installed and inherit it -
-        the deadline covers the whole outer statement, it does not reset.
+        the deadline covers the whole outer statement, it does not reset,
+        and the outer statement's lock covers them too.
         """
         if cancellation.active_token() is not None:
             return self._dispatch(statement, params)
-        token = CancelToken(timeout=self.statement_timeout)
-        self._active_token = token
+        effective_timeout = self.statement_timeout if timeout is _UNSET else timeout
+        token = CancelToken(timeout=effective_timeout)
+        key = owner if owner is not None else threading.get_ident()
+        with self._tokens_mutex:
+            self._active_tokens[key] = token
         try:
-            with cancellation.activate(token):
+            lock = self._statement_lock
+            ctx = lock.read(token) if self._lock_mode(statement) == "read" else lock.write(token)
+            with ctx, cancellation.activate(token):
                 return self._dispatch(statement, params)
         finally:
-            self._active_token = None
+            with self._tokens_mutex:
+                if self._active_tokens.get(key) is token:
+                    del self._active_tokens[key]
 
     def _dispatch(self, statement, params: Optional[Sequence[Any]]) -> ResultSet:
         """Execute a statement, wrapping durable DML in an implicit
@@ -434,12 +551,31 @@ class Database:
         return self.execute(sql, params).scalar()
 
     def _parse_cached(self, sql: str):
+        """Parse ``sql``, serving repeats from the LRU statement cache.
+
+        The cache holds at most :attr:`_STATEMENT_CACHE_SIZE` parsed
+        statements and evicts the least-recently-used entry when full -
+        a hot server workload cycling through >512 distinct statements
+        re-parses only the cold tail, never the whole cache.  Lookups and
+        insertions are mutex-guarded; the parse itself (a pure function)
+        runs outside the mutex, and a concurrent duplicate parse resolves
+        to whichever statement object landed in the cache first, so plan
+        caches always attach to a single shared object.
+        """
         key = sql.strip()
-        statement = self._statement_cache.get(key)
-        if statement is None:
-            statement = parse_sql(sql)
-            if len(self._statement_cache) > 512:
-                self._statement_cache.clear()
+        with self._cache_mutex:
+            statement = self._statement_cache.get(key)
+            if statement is not None:
+                self._statement_cache.move_to_end(key)
+                return statement
+        statement = parse_sql(sql)
+        with self._cache_mutex:
+            existing = self._statement_cache.get(key)
+            if existing is not None:
+                self._statement_cache.move_to_end(key)
+                return existing
+            while len(self._statement_cache) >= self._STATEMENT_CACHE_SIZE:
+                self._statement_cache.popitem(last=False)
             self._statement_cache[key] = statement
         return statement
 
@@ -450,12 +586,19 @@ class Database:
         """Prepare a statement under a name (``$1``-style parameters)."""
         self._prepared[name.lower()] = parse_sql(sql)
 
-    def execute_prepared(self, name: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
+    def execute_prepared(
+        self,
+        name: str,
+        params: Optional[Sequence[Any]] = None,
+        *,
+        owner: Any = None,
+        timeout: Any = _UNSET,
+    ) -> ResultSet:
         """Execute a previously prepared statement."""
         statement = self._prepared.get(name.lower())
         if statement is None:
             raise SqlCatalogError(f"prepared statement {name!r} does not exist")
-        return self._run_statement(statement, params)
+        return self._run_statement(statement, params, owner=owner, timeout=timeout)
 
     def deallocate(self, name: str) -> None:
         """Drop a prepared statement (no error if absent)."""
@@ -478,26 +621,37 @@ class Database:
         rolled-back ``install_extension`` disappears together with the
         tables it created.
         """
-        if self._txn is not None:
-            raise SqlExecutionError("a transaction is already in progress")
-        self._txn = _TransactionState(
-            index_catalog=dict(self._indexes),
-            registry=(
-                dict(self._extensions),
-                dict(self.udfs.scalars),
-                dict(self.udfs.tables),
-            ),
-        )
-        if self.storage is not None:
-            try:
-                self.storage.begin()
-            except BaseException:
-                # A refused storage transaction (e.g. degraded read-only
-                # engine) must not leave the in-memory transaction open:
-                # later statements would skip their implicit-transaction
-                # wrapper and lose statement atomicity.
-                self._txn = None
-                raise
+        # The transaction owns the exclusive statement lock until commit or
+        # rollback: concurrent sessions' statements queue instead of
+        # interleaving with (or erroring on) the open snapshot.  Reentrant
+        # for this thread, so the statements inside the transaction - and
+        # the implicit statement-level transactions of _dispatch - nest.
+        self._statement_lock.acquire_write(cancellation.active_token())
+        try:
+            if self._txn is not None:
+                raise SqlExecutionError("a transaction is already in progress")
+            self._txn = _TransactionState(
+                index_catalog=dict(self._indexes),
+                registry=(
+                    dict(self._extensions),
+                    dict(self.udfs.scalars),
+                    dict(self.udfs.tables),
+                ),
+            )
+            if self.storage is not None:
+                try:
+                    self.storage.begin()
+                except BaseException:
+                    # A refused storage transaction (e.g. degraded read-only
+                    # engine) must not leave the in-memory transaction open:
+                    # later statements would skip their implicit-transaction
+                    # wrapper and lose statement atomicity.
+                    self._txn = None
+                    raise
+        except BaseException:
+            self._statement_lock.release_write()
+            raise
+        self._txn_lock_held = True
 
     def commit(self) -> None:
         """Make the changes since :meth:`begin` permanent (no-op outside one).
@@ -511,24 +665,27 @@ class Database:
         first exception is re-raised after the last hook finished, so one
         failing side effect cannot silently swallow the others.
         """
-        if self.storage is not None:
-            try:
-                self.storage.commit()
-            except BaseException:
-                self.rollback()
-                raise
-        self._txn = None
-        self._rollback_hooks.clear()
-        hooks, self._commit_hooks = self._commit_hooks, []
-        first_error: Optional[BaseException] = None
-        for hook in hooks:
-            try:
-                hook()
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
-        if first_error is not None:
-            raise first_error
+        try:
+            if self.storage is not None:
+                try:
+                    self.storage.commit()
+                except BaseException:
+                    self.rollback()
+                    raise
+            self._txn = None
+            self._rollback_hooks.clear()
+            hooks, self._commit_hooks = self._commit_hooks, []
+            first_error: Optional[BaseException] = None
+            for hook in hooks:
+                try:
+                    hook()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+        finally:
+            self._release_txn_lock()
 
     def checkpoint(self) -> int:
         """Write a storage checkpoint (snapshot + WAL reset).
@@ -588,30 +745,45 @@ class Database:
         (secondary indexes rebuilt), tables created inside the transaction
         disappear, and the index catalogue reverts.
         """
-        self._commit_hooks.clear()
-        hooks, self._rollback_hooks = self._rollback_hooks, []
-        for hook in hooks:
-            hook()
-        txn, self._txn = self._txn, None
-        if self.storage is not None:
-            self.storage.rollback()
-        if txn is None:
-            return
-        extensions, scalars, table_udfs = txn.registry
-        self._extensions = extensions
-        self.udfs.scalars = scalars
-        self.udfs.tables = table_udfs
-        for name, before in txn.tables_before.items():
-            if before is None:
-                self._tables.pop(name, None)
-                continue
-            table = self._tables.get(name)
-            if table is None:
-                table = Table(before.schema)
-                self._register_table(table)
-            table.restore(before)
-        self._indexes = txn.index_catalog
-        self._bump_catalog_version()
+        try:
+            self._commit_hooks.clear()
+            hooks, self._rollback_hooks = self._rollback_hooks, []
+            for hook in hooks:
+                hook()
+            txn, self._txn = self._txn, None
+            if self.storage is not None:
+                self.storage.rollback()
+            if txn is None:
+                return
+            extensions, scalars, table_udfs = txn.registry
+            self._extensions = extensions
+            self.udfs.scalars = scalars
+            self.udfs.tables = table_udfs
+            self.udfs.version += 1  # classification caches must revalidate
+            for name, before in txn.tables_before.items():
+                if before is None:
+                    self._tables.pop(name, None)
+                    continue
+                table = self._tables.get(name)
+                if table is None:
+                    table = Table(before.schema)
+                    self._register_table(table)
+                table.restore(before)
+            self._indexes = txn.index_catalog
+            self._bump_catalog_version()
+        finally:
+            self._release_txn_lock()
+
+    def _release_txn_lock(self) -> None:
+        """Release the write-lock level :meth:`begin` acquired, exactly once.
+
+        Guarded on ownership so a bystander thread's (incorrect) direct
+        ``commit``/``rollback`` can never release a lock the transaction's
+        session still depends on.
+        """
+        if self._txn_lock_held and self._statement_lock.write_held_by_me():
+            self._txn_lock_held = False
+            self._statement_lock.release_write()
 
     def on_commit(self, callback: Callable[[], None]) -> None:
         """Defer an irreversible side effect (e.g. deleting a file) to commit.

@@ -1,0 +1,150 @@
+"""The per-database statement lock: a reentrant reader-writer lock.
+
+The concurrency model of the engine is deliberately simple (see
+docs/architecture.md, "Service layer"):
+
+* **SELECTs share** - read-only statements acquire the lock in *read* mode
+  and run concurrently with each other.  They never see torn state because
+  every mutation happens under the exclusive mode below.
+* **Writes serialize** - DML, DDL, ``ANALYZE``, ``CHECKPOINT`` and any
+  SELECT that calls a registered UDF (pgFMU UDFs create tables and write
+  the model catalogue) acquire the lock in *write* mode, exclusively.
+* **Transactions pin the lock** - :meth:`Database.begin` acquires write
+  mode and holds it until ``commit``/``rollback``, so an explicit
+  transaction's snapshot can never interleave with another session's
+  writes.  This is why the lock must be **reentrant for the writer**: the
+  statements executed inside the transaction re-acquire it on the same
+  thread.
+
+The lock is *write-preferring*: once a writer is waiting, new readers
+queue behind it, so a stream of cheap SELECTs cannot starve DML.
+
+Waits are cancellable: both acquire methods accept the statement's
+:class:`~repro.cancellation.CancelToken` and poll it while blocked, so a
+queued statement honours ``Cursor.cancel()`` and ``statement_timeout``
+even before it starts executing.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.cancellation import CancelToken
+from repro.errors import SqlExecutionError
+
+#: How often a blocked acquisition re-checks its cancel token (seconds).
+_WAIT_SLICE = 0.05
+
+
+class StatementLock:
+    """Reentrant, write-preferring reader-writer lock (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        #: thread ident -> nested read-acquisition count
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._write_depth = 0
+        self._waiting_writers = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def write_held_by_me(self) -> bool:
+        """True when the calling thread currently owns the write lock."""
+        return self._writer == threading.get_ident()
+
+    # ------------------------------------------------------------------ #
+    # Acquisition
+    # ------------------------------------------------------------------ #
+    def acquire_read(self, token: Optional[CancelToken] = None) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Reading under our own write lock: stay exclusive.
+                self._write_depth += 1
+                return
+            if me in self._readers:
+                self._readers[me] += 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._wait(token)
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._release_write_locked(me)
+                return
+            count = self._readers.get(me)
+            if count is None:
+                raise SqlExecutionError("release_read without a matching acquire_read")
+            if count > 1:
+                self._readers[me] = count - 1
+            else:
+                del self._readers[me]
+                self._cond.notify_all()
+
+    def acquire_write(self, token: Optional[CancelToken] = None) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if me in self._readers:
+                # Upgrading read -> write deadlocks two upgraders against
+                # each other; the engine never needs it (nested statements
+                # bypass the lock entirely), so reject it outright.
+                raise SqlExecutionError(
+                    "cannot acquire the statement write lock while holding it for read"
+                )
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._wait(token)
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise SqlExecutionError("release_write by a thread that does not hold it")
+            self._release_write_locked(me)
+
+    def _release_write_locked(self, me: int) -> None:
+        self._write_depth -= 1
+        if self._write_depth == 0:
+            self._writer = None
+            self._cond.notify_all()
+
+    def _wait(self, token: Optional[CancelToken]) -> None:
+        if token is None:
+            self._cond.wait()
+        else:
+            token.check()
+            self._cond.wait(timeout=_WAIT_SLICE)
+
+    # ------------------------------------------------------------------ #
+    # Context managers
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def read(self, token: Optional[CancelToken] = None) -> Iterator[None]:
+        self.acquire_read(token)
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self, token: Optional[CancelToken] = None) -> Iterator[None]:
+        self.acquire_write(token)
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -249,6 +249,9 @@ class UdfRegistry:
 
     scalars: Dict[str, ScalarUdf] = field(default_factory=dict)
     tables: Dict[str, TableUdf] = field(default_factory=dict)
+    #: Bumped on every registration change (and on transaction rollback);
+    #: the statement-lock classifier caches against it.
+    version: int = 0
 
     def register_scalar(
         self,
@@ -261,6 +264,7 @@ class UdfRegistry:
         """Register (or replace) a scalar UDF."""
         udf = ScalarUdf(name=name, func=func, min_args=min_args, max_args=max_args, description=description)
         self.scalars[udf.name] = udf
+        self.version += 1
         return udf
 
     def register_table(
@@ -282,6 +286,7 @@ class UdfRegistry:
             description=description,
         )
         self.tables[udf.name] = udf
+        self.version += 1
         return udf
 
     def register_spec(self, spec: UdfSpec) -> None:

@@ -77,7 +77,21 @@ class TestStatementTimeout:
         conn = connect(statement_timeout=60.0)
         assert conn.statement_timeout == 60.0
         conn.statement_timeout = None
-        assert conn.database.statement_timeout is None
+        assert conn.statement_timeout is None
+
+    def test_statement_timeout_is_per_connection(self):
+        # A session-level override must not leak to other connections on
+        # the shared engine (the database value stays the default).
+        db = Database(statement_timeout=60.0)
+        first = connect(db)
+        second = connect(db)
+        first.statement_timeout = 0
+        assert first.statement_timeout == 0
+        assert second.statement_timeout == 60.0
+        assert db.statement_timeout == 60.0
+        with pytest.raises(TimeoutError):
+            first.execute("SELECT 1")
+        assert second.execute("SELECT 1").fetchone() == [1]
 
     def test_connection_timeout_raises_typed_error(self):
         conn = connect(statement_timeout=0)

@@ -1,0 +1,164 @@
+"""Sessions, token auth, and dispatch - the service layer without sockets.
+
+:class:`ReproService` is exercised directly here: authentication accepts
+exactly the configured tokens (constant-time comparison, typed
+:class:`AuthError` otherwise), each session gets its own connection and
+cancel key, session options apply per session, and dispatch serves the
+full operation set while converting engine errors into ``ok: false``
+responses instead of killing the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthError, ProtocolError, TimeoutError
+from repro.server.service import ReproService, error_response
+from repro.sqldb import Database
+
+
+class TestAuthentication:
+    def test_open_service_accepts_anyone_as_anonymous(self):
+        service = ReproService()
+        assert service.authenticate(None) == "anonymous"
+        assert service.authenticate("whatever") == "anonymous"
+
+    def test_token_mapping_names_the_user(self):
+        service = ReproService(tokens={"analyst": "s3cret", "etl": "other"})
+        assert service.authenticate("s3cret") == "analyst"
+        assert service.authenticate("other") == "etl"
+
+    def test_wrong_or_missing_token_rejected(self):
+        service = ReproService(tokens={"analyst": "s3cret"})
+        with pytest.raises(AuthError):
+            service.authenticate("wrong")
+        with pytest.raises(AuthError):
+            service.authenticate(None)
+        with pytest.raises(AuthError):
+            service.authenticate("")
+
+    def test_bare_token_iterable_accepted(self):
+        service = ReproService(tokens=["alpha", "beta"])
+        assert service.authenticate("alpha") == "client0"
+        assert service.authenticate("beta") == "client1"
+        single = ReproService(tokens=iter(["only"]))
+        assert single.authenticate("only") == "client"
+
+
+class TestSessions:
+    def test_each_session_has_own_connection_and_key(self):
+        service = ReproService()
+        a = service.open_session(None)
+        b = service.open_session(None)
+        assert a.id != b.id
+        assert a.connection is not b.connection
+        assert a.cancel_key != b.cancel_key
+        assert service.session_count() == 2
+        service.close_session(a)
+        assert service.session_count() == 1
+        assert a.connection.closed
+
+    def test_statement_timeout_option_applies_to_that_session_only(self):
+        service = ReproService(Database(statement_timeout=60.0))
+        strict = service.open_session(None, {"statement_timeout": 0})
+        relaxed = service.open_session(None)
+        with pytest.raises(TimeoutError):
+            strict.connection.execute("SELECT 1")
+        assert relaxed.connection.execute("SELECT 1").fetchone() == [1]
+        assert service.database.statement_timeout == 60.0
+
+    def test_unknown_session_option_rejected(self):
+        service = ReproService()
+        with pytest.raises(ProtocolError, match="unknown session option"):
+            service.open_session(None, {"wire_compression": True})
+
+    def test_close_rolls_back_the_sessions_transaction(self):
+        service = ReproService()
+        session = service.open_session(None)
+        conn = session.connection
+        conn.execute("CREATE TABLE t (id integer)")
+        conn.begin()
+        conn.execute("INSERT INTO t VALUES (1)")
+        service.close_session(session)
+        other = service.open_session(None)
+        assert other.connection.execute("SELECT count(*) FROM t").fetchone() == [0]
+
+
+class TestCancelKey:
+    def test_cancel_requires_the_right_key(self):
+        service = ReproService()
+        session = service.open_session(None)
+        assert service.cancel(session.id, "not-the-key") is False
+        assert service.cancel(9999, session.cancel_key) is False
+        assert service.cancel(session.id, None) is False
+        # Right key, but nothing running: authorized yet nothing to cancel.
+        assert service.cancel(session.id, session.cancel_key) is False
+
+
+class TestDispatch:
+    @pytest.fixture()
+    def service(self):
+        return ReproService()
+
+    @pytest.fixture()
+    def session(self, service):
+        return service.open_session(None)
+
+    def test_execute_returns_columns_rows_rowcount(self, service, session):
+        service.dispatch(session, {"op": "execute", "sql": "CREATE TABLE t (id integer, v double precision)"})
+        out = service.dispatch(
+            session,
+            {"op": "execute", "sql": "INSERT INTO t VALUES ($1, $2)", "params": [1, 2.5]},
+        )
+        assert out["ok"] and out["rowcount"] == 1
+        out = service.dispatch(session, {"op": "execute", "sql": "SELECT id, v FROM t"})
+        assert out["columns"] == ["id", "v"]
+        assert out["rows"] == [[1, 2.5]]
+
+    def test_executemany_accumulates_rowcount(self, service, session):
+        service.dispatch(session, {"op": "execute", "sql": "CREATE TABLE t (id integer)"})
+        out = service.dispatch(
+            session,
+            {"op": "executemany", "sql": "INSERT INTO t VALUES ($1)", "params_seq": [[1], [2], [3]]},
+        )
+        assert out["ok"] and out["rowcount"] == 3
+
+    def test_executemany_requires_params_seq_list(self, service, session):
+        out = service.dispatch(session, {"op": "executemany", "sql": "SELECT 1"})
+        assert not out["ok"]
+        assert out["error"]["type"] == "ProtocolError"
+
+    def test_transactions_and_explain(self, service, session):
+        service.dispatch(session, {"op": "execute", "sql": "CREATE TABLE t (id integer)"})
+        assert service.dispatch(session, {"op": "begin"})["ok"]
+        service.dispatch(session, {"op": "execute", "sql": "INSERT INTO t VALUES (1)"})
+        assert service.dispatch(session, {"op": "rollback"})["ok"]
+        out = service.dispatch(session, {"op": "execute", "sql": "SELECT count(*) FROM t"})
+        assert out["rows"] == [[0]]
+        plan = service.dispatch(session, {"op": "explain", "sql": "SELECT id FROM t"})
+        assert plan["ok"] and "Scan" in plan["text"]
+
+    def test_set_statement_timeout_roundtrip(self, service, session):
+        out = service.dispatch(session, {"op": "set", "statement_timeout": 45.0})
+        assert out["ok"] and out["statement_timeout"] == 45.0
+        assert service.dispatch(session, {"op": "set"})["statement_timeout"] == 45.0
+        out = service.dispatch(session, {"op": "set", "statement_timeout": None})
+        assert out["statement_timeout"] is None
+        bad = service.dispatch(session, {"op": "set", "statement_timeout": "soon"})
+        assert not bad["ok"] and bad["error"]["type"] == "ProtocolError"
+
+    def test_engine_errors_become_error_responses(self, service, session):
+        out = service.dispatch(session, {"op": "execute", "sql": "SELECT * FROM missing"})
+        assert not out["ok"]
+        assert out["error"]["type"] == "SqlCatalogError"
+        assert "missing" in out["error"]["message"]
+        # The session survives and keeps serving.
+        assert service.dispatch(session, {"op": "ping"})["ok"]
+
+    def test_unknown_op_and_missing_sql_rejected(self, service, session):
+        assert service.dispatch(session, {"op": "warp"})["error"]["type"] == "ProtocolError"
+        assert service.dispatch(session, {"op": "execute"})["error"]["type"] == "ProtocolError"
+
+    def test_error_response_shape(self):
+        out = error_response(AuthError("no"))
+        assert out == {"ok": False, "error": {"type": "AuthError", "message": "no"}}

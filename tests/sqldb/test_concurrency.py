@@ -1,0 +1,363 @@
+"""Engine concurrency: the statement lock, per-connection cancel tokens,
+thread-local fault injection, and the LRU statement cache under threads.
+
+These are the in-process pins behind the service layer: writes serialize,
+SELECTs share, explicit transactions hold the lock to commit, a cancel on
+one connection never lands on another, an ambient fault injector armed in
+one thread is invisible to its neighbours, and the parse cache both stops
+the lock-free stampede and stays bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import CancelledError, ReproError, SqlExecutionError
+from repro.faults import FaultInjector
+from repro.sqldb import Database, connect
+from repro.sqldb.locks import StatementLock
+
+
+class TestStatementLock:
+    def test_readers_share(self):
+        lock = StatementLock()
+        lock.acquire_read(None)
+        lock.acquire_read(None)  # reentrant in one thread
+        in_reader = threading.Event()
+
+        def other_reader():
+            lock.acquire_read(None)
+            in_reader.set()
+            lock.release_read()
+
+        t = threading.Thread(target=other_reader)
+        t.start()
+        assert in_reader.wait(timeout=5.0), "a second reader was blocked out"
+        t.join(timeout=5.0)
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = StatementLock()
+        lock.acquire_write(None)
+        progressed = threading.Event()
+
+        def contender():
+            with lock.read(None):
+                pass
+            with lock.write(None):
+                pass
+            progressed.set()
+
+        t = threading.Thread(target=contender)
+        t.start()
+        assert not progressed.wait(timeout=0.3), "writer did not exclude"
+        lock.release_write()
+        assert progressed.wait(timeout=5.0)
+        t.join(timeout=5.0)
+
+    def test_writer_is_reentrant_and_read_under_write_allowed(self):
+        lock = StatementLock()
+        with lock.write(None):
+            with lock.write(None):
+                with lock.read(None):
+                    pass
+        # Fully released: another thread can write immediately.
+        acquired = threading.Event()
+
+        def writer():
+            with lock.write(None):
+                acquired.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        assert acquired.wait(timeout=5.0)
+        t.join(timeout=5.0)
+
+    def test_read_to_write_upgrade_refused(self):
+        lock = StatementLock()
+        with lock.read(None):
+            with pytest.raises(SqlExecutionError, match="while holding it for read"):
+                lock.acquire_write(None)
+
+    def test_cancel_token_fires_while_queued_on_the_lock(self):
+        from repro.cancellation import CancelToken
+
+        lock = StatementLock()
+        lock.acquire_write(None)  # held by this thread, never released below
+        token = CancelToken()
+        failed = []
+
+        def blocked_writer():
+            try:
+                lock.acquire_write(token)
+            except ReproError as exc:
+                failed.append(exc)
+
+        t = threading.Thread(target=blocked_writer)
+        t.start()
+        time.sleep(0.1)
+        token.cancel()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert failed and isinstance(failed[0], CancelledError)
+        lock.release_write()
+
+
+class TestPerConnectionCancel:
+    def test_cancel_does_not_cross_connections(self):
+        # Regression: the cancel registry was database-global, so any
+        # connection's cancel() killed whatever statement happened to be
+        # running anywhere on the shared engine.
+        db = Database()
+        runner = connect(db)
+        bystander = connect(db)
+        runner.execute("CREATE TABLE big (id integer)")
+        runner.execute(
+            "INSERT INTO big VALUES " + ", ".join(f"({i})" for i in range(300))
+        )
+        outcome = []
+        started = threading.Event()
+
+        def long_select():
+            started.set()
+            try:
+                runner.execute(
+                    "SELECT count(*) FROM big a, big b, big c "
+                    "WHERE a.id + b.id + c.id > 1"
+                )
+                outcome.append("finished")
+            except ReproError as exc:
+                outcome.append(exc)
+
+        worker = threading.Thread(target=long_select)
+        worker.start()
+        started.wait(timeout=5.0)
+        time.sleep(0.05)
+        # The OTHER connection cancels repeatedly: the running statement
+        # must never be hit (its owner is `runner`, not `bystander`).
+        for _ in range(50):
+            assert bystander.cancel() is False
+            time.sleep(0.002)
+        # Now the owning connection cancels: the statement must stop.
+        deadline = time.monotonic() + 10.0
+        while worker.is_alive() and time.monotonic() < deadline:
+            runner.cancel()
+            time.sleep(0.002)
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert outcome and isinstance(outcome[0], CancelledError)
+
+    def test_concurrent_statements_cancel_independently(self):
+        db = Database()
+        db.execute("CREATE TABLE big (id integer)")
+        db.execute("INSERT INTO big VALUES " + ", ".join(f"({i})" for i in range(200)))
+        survivor = connect(db)
+        victim = connect(db)
+        results = {}
+        started = {"survivor": threading.Event(), "victim": threading.Event()}
+
+        def run(name, conn, sql):
+            started[name].set()
+            try:
+                conn.execute(sql)
+                results[name] = "finished"
+            except ReproError as exc:
+                results[name] = exc
+
+        # The survivor's query is big enough to overlap the cancel window
+        # but finishes in seconds; the victim's would run for much longer.
+        threads = [
+            threading.Thread(
+                target=run,
+                args=(
+                    "survivor",
+                    survivor,
+                    "SELECT count(*) FROM big a, big b WHERE a.id < b.id",
+                ),
+            ),
+            threading.Thread(
+                target=run,
+                args=(
+                    "victim",
+                    victim,
+                    "SELECT count(*) FROM big a, big b, big c "
+                    "WHERE a.id + b.id + c.id > 1",
+                ),
+            ),
+        ]
+        for t in threads:
+            t.start()
+        for event in started.values():
+            event.wait(timeout=5.0)
+        time.sleep(0.05)
+        deadline = time.monotonic() + 15.0
+        while "victim" not in results and time.monotonic() < deadline:
+            victim.cancel()
+            time.sleep(0.002)
+        for t in threads:
+            t.join(timeout=30.0)
+        assert isinstance(results.get("victim"), CancelledError)
+        assert results.get("survivor") == "finished"
+
+
+class TestFaultInjectorIsolation:
+    def test_ambient_injector_is_thread_local(self):
+        # Regression: _ACTIVE was a module global, so an injector armed in
+        # one session's chaos test fired inside every concurrent session.
+        seen = {}
+        armed_here = FaultInjector().arm("solver.step", nth=1)
+        in_context = threading.Event()
+        release = threading.Event()
+
+        def neighbour():
+            in_context.wait(timeout=5.0)
+            seen["neighbour"] = faults.active_injector()
+            faults.check("solver.step")  # must be a no-op in this thread
+            seen["neighbour_check_ok"] = True
+            release.set()
+
+        t = threading.Thread(target=neighbour)
+        t.start()
+        with faults.activate(armed_here):
+            in_context.set()
+            assert release.wait(timeout=5.0)
+            assert faults.active_injector() is armed_here
+        t.join(timeout=5.0)
+        assert seen["neighbour"] is None
+        assert seen["neighbour_check_ok"] is True
+
+    def test_activate_is_reentrant_per_context(self):
+        outer, inner = FaultInjector(), FaultInjector()
+        with faults.activate(outer):
+            with faults.activate(inner):
+                assert faults.active_injector() is inner
+            assert faults.active_injector() is outer
+        assert faults.active_injector() is None
+
+
+class TestStatementCache:
+    def test_cache_is_bounded_lru(self):
+        # Regression: the cache was an unbounded dict filled without a lock
+        # - a statement stream with distinct texts grew it forever.
+        db = Database()
+        db.execute("CREATE TABLE t (id integer)")
+        for i in range(db._STATEMENT_CACHE_SIZE + 50):
+            db.execute(f"SELECT id FROM t WHERE id = {i}")
+        assert len(db._statement_cache) <= db._STATEMENT_CACHE_SIZE
+
+    def test_hot_statement_survives_eviction(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer)")
+        hot = "SELECT id FROM t WHERE id = -1"
+        db.execute(hot)
+        for i in range(db._STATEMENT_CACHE_SIZE - 10):
+            db.execute(hot)  # keep it recently used
+            db.execute(f"SELECT id FROM t WHERE id = {i}")
+        assert hot in db._statement_cache
+
+    def test_parallel_first_parse_yields_one_entry(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer)")
+        sql = "SELECT id FROM t WHERE id < 42"
+        barrier = threading.Barrier(8)
+        failures = []
+
+        def hammer():
+            try:
+                barrier.wait(timeout=5.0)
+                for _ in range(20):
+                    db.execute(sql)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not failures, failures
+        assert sum(1 for key in db._statement_cache if key == sql) == 1
+
+
+class TestEngineStress:
+    def test_mixed_workload_with_batch_atomicity(self):
+        # N writer threads append batches through executemany while M
+        # reader threads watch; a torn read would show a row count that is
+        # not a multiple of the batch size.
+        db = Database()
+        db.execute("CREATE TABLE ledger (writer integer, seq integer)")
+        batch, rounds, writers = 10, 8, 4
+        failures = []
+        stop = threading.Event()
+        barrier = threading.Barrier(writers + 2)
+
+        def writer_run(writer_id: int):
+            conn = connect(db)
+            try:
+                barrier.wait(timeout=10.0)
+                for r in range(rounds):
+                    conn.cursor().executemany(
+                        "INSERT INTO ledger VALUES ($1, $2)",
+                        [[writer_id, r * batch + i] for i in range(batch)],
+                    )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                failures.append(("writer", writer_id, exc))
+            finally:
+                conn.close()
+
+        def reader_run(reader_id: int):
+            conn = connect(db)
+            try:
+                barrier.wait(timeout=10.0)
+                while not stop.is_set():
+                    count = conn.execute("SELECT count(*) FROM ledger").fetchone()[0]
+                    if count % batch != 0:
+                        failures.append(("torn-read", reader_id, count))
+                        return
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                failures.append(("reader", reader_id, exc))
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=writer_run, args=(w,)) for w in range(writers)
+        ] + [threading.Thread(target=reader_run, args=(r,)) for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads[:writers]:
+            t.join(timeout=120.0)
+        stop.set()
+        for t in threads[writers:]:
+            t.join(timeout=30.0)
+        assert not failures, failures
+        count = db.execute("SELECT count(*) FROM ledger").rows[0][0]
+        assert count == writers * rounds * batch
+
+    def test_explicit_transaction_blocks_other_writers_until_commit(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer)")
+        owner = connect(db)
+        other = connect(db)
+        owner.begin()
+        owner.execute("INSERT INTO t VALUES (1)")
+        inserted = threading.Event()
+
+        def contender():
+            other.execute("INSERT INTO t VALUES (2)")
+            inserted.set()
+
+        t = threading.Thread(target=contender)
+        t.start()
+        # While the transaction is open the other writer must queue.
+        assert not inserted.wait(timeout=0.3)
+        owner.commit()
+        assert inserted.wait(timeout=10.0)
+        t.join(timeout=5.0)
+        assert db.execute("SELECT count(*) FROM t").rows == [[2]]
+        owner.close()
+        other.close()

@@ -181,8 +181,21 @@ class TestTransactions:
         with pytest.raises(SqlExecutionError):
             cur.fetchall()
         assert cur.rowcount == -1
-        # The set before the failing one persisted (autocommit semantics).
+        # All-or-nothing: the implicit batch transaction rolled back the
+        # set before the failing one too (no partial apply in autocommit).
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 0
+
+    def test_failed_executemany_inside_explicit_transaction_joins_it(self, conn):
+        # Inside an explicit transaction the batch does NOT open its own:
+        # earlier sets stay pending and the caller's rollback decides.
+        conn.begin()
+        cur = conn.cursor()
+        with pytest.raises(Exception):
+            cur.executemany("INSERT INTO points VALUES ($1, $2)", [[1, 1.0], [1, 2.0]])
+        assert conn.in_transaction
         assert conn.execute("SELECT count(*) FROM points").result.scalar() == 1
+        conn.rollback()
+        assert conn.execute("SELECT count(*) FROM points").result.scalar() == 0
 
     def test_closing_another_connection_leaves_foreign_transaction_alone(self, conn):
         bystander = connect(conn.database)
